@@ -1,0 +1,111 @@
+//! Finite-difference gradient checking.
+//!
+//! Every analytic gradient in the workspace — the tape's own backward pass
+//! and the hand-fused kernels in `deepmd-core` — is validated against
+//! central differences through these helpers.
+
+use dp_linalg::Matrix;
+
+/// Central-difference gradient of `f` with respect to `x0`.
+///
+/// `f` must be a pure function of its input (it is re-evaluated ~2·len
+/// times).
+pub fn numeric_grad(
+    x0: &Matrix<f64>,
+    eps: f64,
+    mut f: impl FnMut(&Matrix<f64>) -> f64,
+) -> Matrix<f64> {
+    let mut g = Matrix::zeros(x0.rows(), x0.cols());
+    for idx in 0..x0.len() {
+        let mut xp = x0.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x0.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        g.as_mut_slice()[idx] = (f(&xp) - f(&xm)) / (2.0 * eps);
+    }
+    g
+}
+
+/// Relative error between an analytic and a numeric gradient, scaled by the
+/// larger of the two norms (plus a floor to avoid 0/0).
+pub fn relative_error(analytic: &Matrix<f64>, numeric: &Matrix<f64>) -> f64 {
+    assert_eq!(analytic.shape(), numeric.shape());
+    let mut diff = analytic.clone();
+    diff.axpy(-1.0, numeric);
+    let scale = analytic.norm().max(numeric.norm()).max(1e-8);
+    diff.norm() / scale
+}
+
+/// Assert that the analytic gradient matches central differences.
+pub fn assert_grad_close(analytic: &Matrix<f64>, numeric: &Matrix<f64>, tol: f64) {
+    let err = relative_error(analytic, numeric);
+    assert!(
+        err < tol,
+        "gradient check failed: relative error {err:.3e} >= {tol:.1e}\nanalytic: {analytic:?}\nnumeric: {numeric:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn tape_grad_matches_fd_on_composite() {
+        // f(X) = sum(tanh(X W) ∘ tanh(X W)) for fixed W
+        let w0 = Matrix::from_fn(3, 2, |i, j| 0.3 * (i as f64) - 0.2 * (j as f64) + 0.1);
+        let x0 = Matrix::from_fn(4, 3, |i, j| 0.05 * ((i * 3 + j) as f64) - 0.3);
+
+        let f = |x: &Matrix<f64>| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let wv = t.leaf(w0.clone());
+            let h = t.matmul(xv, wv);
+            let a = t.tanh(h);
+            let y = t.sum_squares(a);
+            t.value(y)[(0, 0)]
+        };
+
+        let mut t = Tape::new();
+        let xv = t.leaf(x0.clone());
+        let wv = t.leaf(w0.clone());
+        let h = t.matmul(xv, wv);
+        let a = t.tanh(h);
+        let y = t.sum_squares(a);
+        let g = t.grad(y, &[xv])[0];
+
+        let numeric = numeric_grad(&x0, 1e-6, f);
+        assert_grad_close(t.value(g), &numeric, 1e-7);
+    }
+
+    #[test]
+    fn second_order_matches_fd_of_grad() {
+        // g(x) = d/dx [x^3] = 3x^2 ; check dg/dx = 6x by FD on g.
+        let x0 = Matrix::from_vec(1, 1, vec![1.7]);
+        let grad_fn = |x: &Matrix<f64>| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let x2 = t.mul(xv, xv);
+            let x3 = t.mul(x2, xv);
+            let d = t.grad(x3, &[xv])[0];
+            t.value(d)[(0, 0)]
+        };
+
+        let mut t = Tape::new();
+        let xv = t.leaf(x0.clone());
+        let x2 = t.mul(xv, xv);
+        let x3 = t.mul(x2, xv);
+        let d1 = t.grad(x3, &[xv])[0];
+        let d2 = t.grad(d1, &[xv])[0];
+
+        let numeric = numeric_grad(&x0, 1e-6, grad_fn);
+        assert_grad_close(t.value(d2), &numeric, 1e-6);
+        assert!((t.value(d2)[(0, 0)] - 6.0 * 1.7).abs() < 1e-10);
+    }
+
+    #[test]
+    fn relative_error_of_identical_is_zero() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(relative_error(&a, &a), 0.0);
+    }
+}

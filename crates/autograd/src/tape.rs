@@ -1,0 +1,537 @@
+//! The differentiation tape.
+//!
+//! Every operation eagerly computes its value and records its provenance.
+//! [`Tape::grad`] walks the tape backwards and *emits the backward pass as
+//! new tape operations*, which makes gradients first-class differentiable
+//! quantities (grad-of-grad, needed for force-matching training).
+
+use crate::sparse::SparseLinear;
+use dp_linalg::gemm::matmul;
+use dp_linalg::Matrix;
+use std::sync::Arc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+#[derive(Clone)]
+enum Op {
+    /// Input or constant; has no inputs and receives no backward pass.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Neg(Var),
+    /// Elementwise (Hadamard) product.
+    Mul(Var, Var),
+    /// Multiply by a compile-time constant scalar.
+    Scale(Var, f64),
+    Matmul(Var, Var),
+    Transpose(Var),
+    Tanh(Var),
+    /// Sum of all elements, producing a 1x1 scalar.
+    SumAll(Var),
+    /// Sum over rows, producing a 1 x cols row.
+    SumRows(Var),
+    /// Broadcast a 1 x cols row to rows x cols.
+    BroadcastRow(Var, usize),
+    /// Broadcast a 1x1 scalar to rows x cols.
+    BroadcastScalar(Var),
+    /// Columns [start, end) of the input.
+    SliceCols(Var, usize, usize),
+    /// Embed the input's columns at offset `start` in a wider zero matrix.
+    PadCols(Var, usize, usize),
+    ConcatCols(Var, Var),
+    /// Reinterpret as a different shape with the same element count.
+    Reshape(Var),
+    /// Constant sparse linear map (false) or its transpose (true).
+    Sparse(Var, Arc<SparseLinear>, bool),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix<f64>,
+}
+
+/// The autodiff tape. See crate docs for an end-to-end example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Matrix<f64> {
+        &self.nodes[v.0].value
+    }
+
+    /// Overwrite the value of a *leaf*. Invalidates every downstream value;
+    /// callers must rebuild the graph afterwards (used by finite-difference
+    /// grad checks which rebuild anyway).
+    pub fn set_leaf(&mut self, v: Var, value: Matrix<f64>) {
+        assert!(matches!(self.nodes[v.0].op, Op::Leaf), "set_leaf on non-leaf");
+        assert_eq!(self.nodes[v.0].value.shape(), value.shape());
+        self.nodes[v.0].value = value;
+    }
+
+    fn push(&mut self, op: Op, value: Matrix<f64>) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- graph construction -------------------------------------------
+
+    /// New input/constant node.
+    pub fn leaf(&mut self, value: Matrix<f64>) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Constant scalar as a 1x1 leaf.
+    pub fn scalar(&mut self, x: f64) -> Var {
+        self.leaf(Matrix::from_vec(1, 1, vec![x]))
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut v = self.value(a).clone();
+        v.axpy(1.0, self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let mut v = self.value(a).clone();
+        v.axpy(-1.0, self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    pub fn neg(&mut self, a: Var) -> Var {
+        let mut v = self.value(a).clone();
+        v.scale(-1.0);
+        self.push(Op::Neg(a), v)
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let mut v = self.value(a).clone();
+        v.scale(c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul(self.value(a), self.value(b));
+        self.push(Op::Matmul(a, b), v)
+    }
+
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.tanh());
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Sum of all entries (1x1 result).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.value(a).sum();
+        self.push(Op::SumAll(a), Matrix::from_vec(1, 1, vec![s]))
+    }
+
+    /// Column sums: rows x cols -> 1 x cols.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let mut out = Matrix::zeros(1, m.cols());
+        for i in 0..m.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(i)) {
+                *o += x;
+            }
+        }
+        self.push(Op::SumRows(a), out)
+    }
+
+    /// Broadcast a 1 x cols row to `rows` identical rows.
+    pub fn broadcast_row(&mut self, a: Var, rows: usize) -> Var {
+        let r = self.value(a);
+        assert_eq!(r.rows(), 1, "broadcast_row input must be a row");
+        let mut out = Matrix::zeros(rows, r.cols());
+        for i in 0..rows {
+            out.row_mut(i).copy_from_slice(r.row(0));
+        }
+        self.push(Op::BroadcastRow(a, rows), out)
+    }
+
+    /// Broadcast a 1x1 scalar to rows x cols.
+    pub fn broadcast_scalar(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let s = self.value(a);
+        assert_eq!(s.shape(), (1, 1), "broadcast_scalar input must be 1x1");
+        let v = Matrix::full(rows, cols, s[(0, 0)]);
+        self.push(Op::BroadcastScalar(a), v)
+    }
+
+    /// Columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let m = self.value(a);
+        assert!(start <= end && end <= m.cols(), "slice_cols out of range");
+        let mut out = Matrix::zeros(m.rows(), end - start);
+        for i in 0..m.rows() {
+            out.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
+        }
+        self.push(Op::SliceCols(a, start, end), out)
+    }
+
+    /// Place the input's columns at offset `start` inside a zero matrix of
+    /// width `total`.
+    pub fn pad_cols(&mut self, a: Var, start: usize, total: usize) -> Var {
+        let m = self.value(a);
+        assert!(start + m.cols() <= total, "pad_cols out of range");
+        let mut out = Matrix::zeros(m.rows(), total);
+        for i in 0..m.rows() {
+            out.row_mut(i)[start..start + m.cols()].copy_from_slice(m.row(i));
+        }
+        self.push(Op::PadCols(a, start, total), out)
+    }
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hcat(self.value(b));
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Reinterpret the (row-major) data as `rows × cols`.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let v = self.value(a).clone().reshape(rows, cols);
+        self.push(Op::Reshape(a), v)
+    }
+
+    /// Apply a constant sparse linear map.
+    pub fn sparse_apply(&mut self, a: Var, map: Arc<SparseLinear>) -> Var {
+        let v = map.apply(self.value(a));
+        self.push(Op::Sparse(a, map, false), v)
+    }
+
+    /// Apply the transpose of a constant sparse linear map.
+    pub fn sparse_apply_transpose(&mut self, a: Var, map: Arc<SparseLinear>) -> Var {
+        let v = map.apply_transpose(self.value(a));
+        self.push(Op::Sparse(a, map, true), v)
+    }
+
+    // ---- composite helpers --------------------------------------------
+
+    /// `x·W + 1⊗b` — the dense-layer affine map (bias is a 1 x n row var).
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        let rows = self.value(xw).rows();
+        let bb = self.broadcast_row(b, rows);
+        self.add(xw, bb)
+    }
+
+    /// Sum of squares of all entries (1x1).
+    pub fn sum_squares(&mut self, a: Var) -> Var {
+        let sq = self.mul(a, a);
+        self.sum_all(sq)
+    }
+
+    // ---- differentiation ----------------------------------------------
+
+    /// Reverse-mode gradient of scalar `y` with respect to each var in
+    /// `wrt`, returned as new tape vars (differentiable again).
+    ///
+    /// Vars in `wrt` that `y` does not depend on get a zero gradient of the
+    /// appropriate shape.
+    pub fn grad(&mut self, y: Var, wrt: &[Var]) -> Vec<Var> {
+        assert_eq!(
+            self.value(y).shape(),
+            (1, 1),
+            "grad target must be a 1x1 scalar"
+        );
+
+        // adjoints[i] = Some(var holding dy/d node_i), for i <= y.0
+        let mut adjoints: Vec<Option<Var>> = vec![None; y.0 + 1];
+        let seed = self.scalar(1.0);
+        adjoints[y.0] = Some(seed);
+
+        for id in (0..=y.0).rev() {
+            let Some(g) = adjoints[id] else { continue };
+            // Clone the op descriptor so we can mutate the tape while
+            // emitting the backward ops.
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(&mut adjoints, a, g);
+                    self.accumulate(&mut adjoints, b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(&mut adjoints, a, g);
+                    let ng = self.neg(g);
+                    self.accumulate(&mut adjoints, b, ng);
+                }
+                Op::Neg(a) => {
+                    let ng = self.neg(g);
+                    self.accumulate(&mut adjoints, a, ng);
+                }
+                Op::Mul(a, b) => {
+                    let ga = self.mul(g, b);
+                    self.accumulate(&mut adjoints, a, ga);
+                    let gb = self.mul(g, a);
+                    self.accumulate(&mut adjoints, b, gb);
+                }
+                Op::Scale(a, c) => {
+                    let ga = self.scale(g, c);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::Matmul(a, b) => {
+                    // dA = G Bᵀ ; dB = Aᵀ G
+                    let bt = self.transpose(b);
+                    let ga = self.matmul(g, bt);
+                    self.accumulate(&mut adjoints, a, ga);
+                    let at = self.transpose(a);
+                    let gb = self.matmul(at, g);
+                    self.accumulate(&mut adjoints, b, gb);
+                }
+                Op::Transpose(a) => {
+                    let gt = self.transpose(g);
+                    self.accumulate(&mut adjoints, a, gt);
+                }
+                Op::Tanh(a) => {
+                    // d tanh = 1 - tanh²; the forward value is node `id`.
+                    let t = Var(id);
+                    let t2 = self.mul(t, t);
+                    let (rows, cols) = self.value(t).shape();
+                    let ones = self.leaf(Matrix::full(rows, cols, 1.0));
+                    let dt = self.sub(ones, t2);
+                    let ga = self.mul(g, dt);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::SumAll(a) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let ga = self.broadcast_scalar(g, rows, cols);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::SumRows(a) => {
+                    let rows = self.value(a).rows();
+                    let ga = self.broadcast_row(g, rows);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::BroadcastRow(a, _rows) => {
+                    let ga = self.sum_rows(g);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::BroadcastScalar(a) => {
+                    let ga = self.sum_all(g);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::SliceCols(a, start, _end) => {
+                    let total = self.value(a).cols();
+                    let ga = self.pad_cols(g, start, total);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::PadCols(a, start, _total) => {
+                    let w = self.value(a).cols();
+                    let ga = self.slice_cols(g, start, start + w);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::Reshape(a) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let ga = self.reshape(g, rows, cols);
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let wa = self.value(a).cols();
+                    let wtotal = self.value(Var(id)).cols();
+                    let ga = self.slice_cols(g, 0, wa);
+                    self.accumulate(&mut adjoints, a, ga);
+                    let gb = self.slice_cols(g, wa, wtotal);
+                    self.accumulate(&mut adjoints, b, gb);
+                }
+                Op::Sparse(a, map, transposed) => {
+                    let ga = if transposed {
+                        self.sparse_apply(g, map)
+                    } else {
+                        self.sparse_apply_transpose(g, map)
+                    };
+                    self.accumulate(&mut adjoints, a, ga);
+                }
+            }
+        }
+
+        wrt.iter()
+            .map(|&w| {
+                adjoints.get(w.0).copied().flatten().unwrap_or_else(|| {
+                    let (rows, cols) = self.value(w).shape();
+                    self.leaf(Matrix::zeros(rows, cols))
+                })
+            })
+            .collect()
+    }
+
+    fn accumulate(&mut self, adjoints: &mut [Option<Var>], target: Var, grad: Var) {
+        // Broadcast the scalar seed to the target's shape if needed (the
+        // seed is 1x1 but the first backward op may expect a wider adjoint —
+        // this only happens when y IS the node, so shapes always match
+        // except for the seed itself).
+        let g = if self.value(grad).shape() != self.value(target).shape()
+            && self.value(grad).shape() == (1, 1)
+        {
+            let (rows, cols) = self.value(target).shape();
+            self.broadcast_scalar(grad, rows, cols)
+        } else {
+            grad
+        };
+        adjoints[target.0] = Some(match adjoints[target.0] {
+            None => g,
+            Some(existing) => self.add(existing, g),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_second_derivative_of_square() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = t.mul(x, x);
+        let dy = t.grad(y, &[x])[0];
+        assert_eq!(t.value(dy)[(0, 0)], 6.0);
+        let d2y = t.grad(dy, &[x])[0];
+        assert_eq!(t.value(d2y)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn grad_of_matmul_chain() {
+        // y = sum(A B); dy/dA = 1 Bᵀ
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = t.leaf(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let ab = t.matmul(a, b);
+        let y = t.sum_all(ab);
+        let da = t.grad(y, &[a])[0];
+        // each entry of dA = sum of corresponding row of Bᵀ = col sums of B rows
+        // dA[i][k] = sum_j B[k][j]
+        assert_eq!(t.value(da).as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+    }
+
+    #[test]
+    fn tanh_third_derivative() {
+        // f = tanh(x); f''' (0) = -2
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1, vec![0.0]));
+        let y = t.tanh(x);
+        let s = t.sum_all(y);
+        let d1 = t.grad(s, &[x])[0];
+        let d2 = t.grad(d1, &[x])[0];
+        let d3 = t.grad(d2, &[x])[0];
+        assert!((t.value(d1)[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(t.value(d2)[(0, 0)].abs() < 1e-12);
+        assert!((t.value(d3)[(0, 0)] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_var_gets_zero_grad() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1, vec![2.0]));
+        let z = t.leaf(Matrix::from_vec(3, 2, vec![0.0; 6]));
+        let y = t.mul(x, x);
+        let gz = t.grad(y, &[z])[0];
+        assert_eq!(t.value(gz).shape(), (3, 2));
+        assert!(t.value(gz).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn slice_and_pad_are_adjoint() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 4, (0..8).map(|i| i as f64).collect()));
+        let s = t.slice_cols(x, 1, 3);
+        assert_eq!(t.value(s).as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+        let y = t.sum_squares(s);
+        let gx = t.grad(y, &[x])[0];
+        // gradient = 2*x on sliced cols, 0 elsewhere
+        assert_eq!(
+            t.value(gx).as_slice(),
+            &[0.0, 2.0, 4.0, 0.0, 0.0, 10.0, 12.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn shared_input_accumulates() {
+        // y = sum(concat(x, x)) => dy/dx = 2 everywhere
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let c = t.concat_cols(x, x);
+        let y = t.sum_all(c);
+        let gx = t.grad(y, &[x])[0];
+        assert!(t.value(gx).as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn affine_bias_grad_is_row_count() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(3, 2, vec![0.5; 6]));
+        let w = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let b = t.leaf(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let h = t.affine(x, w, b);
+        let y = t.sum_all(h);
+        let gb = t.grad(y, &[b])[0];
+        assert_eq!(t.value(gb).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn sparse_map_grad() {
+        let mut t = Tape::new();
+        let mut map = SparseLinear::new((2, 1), (2, 1));
+        map.push((0, 0), (0, 0), 2.0);
+        map.push((1, 0), (1, 0), 3.0);
+        let x = t.leaf(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+        let y = t.sparse_apply(x, Arc::new(map));
+        let s = t.sum_squares(y); // (2x0)^2 + (3x1)^2
+        let gx = t.grad(s, &[x])[0];
+        assert_eq!(t.value(gx).as_slice(), &[8.0, 18.0]); // 2*2*2, 2*3*3
+    }
+
+    #[test]
+    fn reshape_grad_flows_through() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 3, (1..=6).map(|i| i as f64).collect()));
+        let r = t.reshape(x, 3, 2);
+        assert_eq!(t.value(r).shape(), (3, 2));
+        let y = t.sum_squares(r);
+        let g = t.grad(y, &[x])[0];
+        assert_eq!(t.value(g).shape(), (2, 3));
+        for (i, v) in t.value(g).as_slice().iter().enumerate() {
+            assert_eq!(*v, 2.0 * (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn hessian_of_quartic() {
+        // y = (sum x)^4 via repeated mul; check d2y/dx2 with x scalar.
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1, vec![2.0]));
+        let x2 = t.mul(x, x);
+        let x4 = t.mul(x2, x2);
+        let d1 = t.grad(x4, &[x])[0]; // 4x^3 = 32
+        let d2 = t.grad(d1, &[x])[0]; // 12x^2 = 48
+        let d3 = t.grad(d2, &[x])[0]; // 24x = 48
+        assert_eq!(t.value(d1)[(0, 0)], 32.0);
+        assert_eq!(t.value(d2)[(0, 0)], 48.0);
+        assert_eq!(t.value(d3)[(0, 0)], 48.0);
+    }
+}

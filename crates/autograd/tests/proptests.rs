@@ -1,0 +1,132 @@
+//! Property-based validation of the tape against finite differences.
+
+use dp_autograd::gradcheck::{numeric_grad, relative_error};
+use dp_autograd::{SparseLinear, Tape};
+use dp_linalg::Matrix;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    prop::collection::vec(-1.5..1.5f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mlp_grad_matches_fd(x0 in small_matrix(3, 4), w0 in small_matrix(4, 2)) {
+        let f = |x: &Matrix<f64>| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let wv = t.leaf(w0.clone());
+            let h = t.matmul(xv, wv);
+            let a = t.tanh(h);
+            let y = t.sum_squares(a);
+            t.value(y)[(0, 0)]
+        };
+        let mut t = Tape::new();
+        let xv = t.leaf(x0.clone());
+        let wv = t.leaf(w0.clone());
+        let h = t.matmul(xv, wv);
+        let a = t.tanh(h);
+        let y = t.sum_squares(a);
+        let g = t.grad(y, &[xv, wv]);
+        let gx_num = numeric_grad(&x0, 1e-5, f);
+        prop_assert!(relative_error(t.value(g[0]), &gx_num) < 1e-6);
+
+        let fw = |w: &Matrix<f64>| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x0.clone());
+            let wv = t.leaf(w.clone());
+            let h = t.matmul(xv, wv);
+            let a = t.tanh(h);
+            let y = t.sum_squares(a);
+            t.value(y)[(0, 0)]
+        };
+        let gw_num = numeric_grad(&w0, 1e-5, fw);
+        prop_assert!(relative_error(t.value(g[1]), &gw_num) < 1e-6);
+    }
+
+    #[test]
+    fn second_order_matches_fd_of_first(x0 in small_matrix(2, 2)) {
+        // scalar = sum(tanh(x)^2); hessian diagonal via FD on the gradient
+        let grad_at = |x: &Matrix<f64>| -> Matrix<f64> {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let a = t.tanh(xv);
+            let y = t.sum_squares(a);
+            let g = t.grad(y, &[xv])[0];
+            t.value(g).clone()
+        };
+        // analytic second derivative w.r.t. x[0,0] of the gradient's [0,0]:
+        let mut t = Tape::new();
+        let xv = t.leaf(x0.clone());
+        let a = t.tanh(xv);
+        let y = t.sum_squares(a);
+        let g = t.grad(y, &[xv])[0];
+        // select g[0,0] by slicing then summing the first element
+        let col0 = t.slice_cols(g, 0, 1);
+        let s = t.sum_all(col0); // = g[0,0] + g[1,0]
+        let h = t.grad(s, &[xv])[0];
+
+        let eps = 1e-5;
+        let mut xp = x0.clone();
+        xp.as_mut_slice()[0] += eps;
+        let mut xm = x0.clone();
+        xm.as_mut_slice()[0] -= eps;
+        let gp = grad_at(&xp);
+        let gm = grad_at(&xm);
+        let fd = (gp.as_slice()[0] + gp.as_slice()[2] - gm.as_slice()[0] - gm.as_slice()[2]) / (2.0 * eps);
+        prop_assert!((t.value(h).as_slice()[0] - fd).abs() < 1e-5,
+            "analytic {} vs fd {}", t.value(h).as_slice()[0], fd);
+    }
+
+    #[test]
+    fn sparse_roundtrip_inner_product(v in prop::collection::vec(-2.0..2.0f64, 6)) {
+        // <L x, L x> >= 0 and grad of it is 2 LᵀL x
+        let mut map = SparseLinear::new((3, 2), (4, 1));
+        map.push((0, 0), (0, 0), 1.0);
+        map.push((1, 0), (1, 1), -2.0);
+        map.push((2, 0), (2, 0), 0.5);
+        map.push((3, 0), (0, 1), 1.5);
+        let map = Arc::new(map);
+        let x0 = Matrix::from_vec(3, 2, v);
+
+        let mut t = Tape::new();
+        let xv = t.leaf(x0.clone());
+        let lx = t.sparse_apply(xv, map.clone());
+        let y = t.sum_squares(lx);
+        prop_assert!(t.value(y)[(0, 0)] >= 0.0);
+        let g = t.grad(y, &[xv])[0];
+
+        let num = numeric_grad(&x0, 1e-6, |x: &Matrix<f64>| {
+            let lx = map.apply(x);
+            lx.as_slice().iter().map(|a| a * a).sum()
+        });
+        prop_assert!(relative_error(t.value(g), &num) < 1e-6);
+    }
+
+    #[test]
+    fn grad_is_linear_in_seed_direction(x0 in small_matrix(2, 3), c in 0.1..3.0f64) {
+        // grad(c * f) = c * grad(f)
+        let build = |t: &mut Tape, xv| {
+            let a = t.tanh(xv);
+            t.sum_squares(a)
+        };
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(x0.clone());
+        let y1 = build(&mut t1, x1);
+        let g1 = t1.grad(y1, &[x1])[0];
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(x0.clone());
+        let y2 = build(&mut t2, x2);
+        let cy = t2.scale(y2, c);
+        let g2 = t2.grad(cy, &[x2])[0];
+
+        let mut scaled = t1.value(g1).clone();
+        scaled.scale(c);
+        prop_assert!(scaled.max_abs_diff(t2.value(g2)) < 1e-10);
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end force-evaluation step: baseline pipeline vs optimized,
+//! double vs mixed precision (the §7.1 stack, as a tracked benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmd_core::baseline::evaluate_baseline;
+use deepmd_core::codec::Codec;
+use deepmd_core::eval::evaluate;
+use deepmd_core::format::{format_optimized, format_optimized_into};
+use deepmd_core::model::DpModel;
+use deepmd_core::DpConfig;
+use dp_md::{lattice, NeighborList};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_step(c: &mut Criterion) {
+    // 192-atom water slice with the paper's network sizes: big enough to be
+    // realistic per-atom, small enough for the serial baseline.
+    let sys = lattice::water_box([4, 4, 4], 3.104);
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = DpModel::<f64>::new_random(DpConfig::water_paper(), &mut rng);
+    let model32 = model.cast::<f32>();
+    let nl = NeighborList::build(&sys, model.config.rcut);
+
+    let mut g = c.benchmark_group("force_evaluation_192_water_paper_nets");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+
+    g.bench_function("baseline (2018 serial, unfused)", |b| {
+        b.iter(|| std::hint::black_box(evaluate_baseline(&model, &sys, &nl).energy))
+    });
+    let mut ws = format_optimized(&sys, &nl, &model.config, Codec::PaperDecimal);
+    g.bench_function("optimized double", |b| {
+        b.iter(|| {
+            format_optimized_into(&mut ws, &sys, &nl, &model.config, Codec::PaperDecimal);
+            std::hint::black_box(evaluate(&model, &ws, &sys.types, sys.len(), None).energy)
+        })
+    });
+    g.bench_function("optimized mixed", |b| {
+        b.iter(|| {
+            format_optimized_into(&mut ws, &sys, &nl, &model.config, Codec::PaperDecimal);
+            std::hint::black_box(evaluate(&model32, &ws, &sys.types, sys.len(), None).energy)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §5.2.1–5.2.2 ablation: neighbor formatting end to end — baseline AoS
+//! struct sort vs the compressed/sorted/padded optimized layout — plus the
+//! memory-arena variant that reuses the formatting workspace (§5.2.2's
+//! "allocate once, reuse throughout the MD simulation").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmd_core::codec::Codec;
+use deepmd_core::format::{format_baseline, format_optimized, format_optimized_into};
+use deepmd_core::DpConfig;
+use dp_md::{lattice, NeighborList};
+use std::time::Duration;
+
+fn bench_format(c: &mut Criterion) {
+    let sys = lattice::water_box([8, 8, 8], 3.104); // 1,536 atoms
+    let cfg = DpConfig::water_paper();
+    let nl = NeighborList::build(&sys, cfg.rcut);
+
+    let mut g = c.benchmark_group("neighbor_format_1536_water");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+
+    g.bench_function("baseline: AoS struct sort", |b| {
+        b.iter(|| std::hint::black_box(format_baseline(&sys, &nl, &cfg)))
+    });
+    g.bench_function("optimized: u64 decimal codec", |b| {
+        b.iter(|| std::hint::black_box(format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal)))
+    });
+    g.bench_function("optimized: u64 binary codec", |b| {
+        b.iter(|| std::hint::black_box(format_optimized(&sys, &nl, &cfg, Codec::Binary)))
+    });
+    let mut ws = format_optimized(&sys, &nl, &cfg, Codec::Binary);
+    g.bench_function("optimized + workspace reuse (arena)", |b| {
+        b.iter(|| {
+            format_optimized_into(&mut ws, &sys, &nl, &cfg, Codec::Binary);
+            std::hint::black_box(ws.overflowed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

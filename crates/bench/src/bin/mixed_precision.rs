@@ -1,0 +1,68 @@
+//! §5.2.3 / §7.1.3 — mixed-precision accuracy.
+//!
+//! The paper compares mixed- against double-precision predictions on a
+//! 4,096-molecule water configuration and reports a 0.32 meV/molecule
+//! energy deviation and a 0.029 eV/Å force RMSD — both below the model's
+//! training error, hence "no loss of accuracy". It also rejects half
+//! precision because 16-bit range breaks the required accuracy; we
+//! reproduce that negative result with an emulated-fp16 mode.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin mixed_precision`
+
+use deepmd_core::{DeepPotential, PrecisionMode};
+use dp_bench::{models, report::print_table, workloads};
+use dp_md::{NeighborList, Potential};
+
+fn main() {
+    // Trained scaled-down water model on a 1,536-atom (512-molecule) box;
+    // the paper uses 12,288 atoms — deviations are per-molecule/per-
+    // component statistics, so the box size only affects averaging noise.
+    let model = models::water_model();
+    let sys = workloads::water_1536();
+    let n_molecules = sys.type_counts()[0] as f64;
+
+    let mut dp = DeepPotential::new(model, PrecisionMode::Double);
+    let nl = NeighborList::build(&sys, dp.cutoff());
+    let double = dp.compute(&sys, &nl);
+
+    let mut rows = Vec::new();
+    let mut rmsds = Vec::new();
+    for (mode, label) in [
+        (PrecisionMode::Mixed, "mixed (f32 nets)"),
+        (PrecisionMode::HalfEmulated, "fp16-emulated"),
+    ] {
+        dp.set_mode(mode);
+        let out = dp.compute(&sys, &nl);
+        let de_mev_per_mol = (out.energy - double.energy).abs() / n_molecules * 1000.0;
+        let mut se = 0.0;
+        let mut n = 0usize;
+        for (a, b) in double.forces.iter().zip(&out.forces) {
+            for k in 0..3 {
+                se += (a[k] - b[k]).powi(2);
+                n += 1;
+            }
+        }
+        let f_rmsd = (se / n as f64).sqrt();
+        rmsds.push(f_rmsd);
+        rows.push(vec![
+            label.to_string(),
+            format!("{de_mev_per_mol:.2e}"),
+            format!("{f_rmsd:.2e}"),
+        ]);
+    }
+
+    print_table(
+        "Mixed-precision deviations from double precision (512-molecule water)",
+        &["mode", "|dE| [meV/molecule]", "force RMSD [eV/Å]"],
+        &rows,
+    );
+    println!(
+        "\nPaper: mixed = 0.32 meV/molecule and 0.029 eV/Å (both below training\n\
+         error); fp16 rejected for accuracy. Shape check: the fp16 row must be\n\
+         orders of magnitude worse than the mixed row."
+    );
+    println!(
+        "\nfp16 force deviation / mixed force deviation = {:.1}x",
+        rmsds[1] / rmsds[0].max(1e-300)
+    );
+}

@@ -1,0 +1,74 @@
+//! §7.3 — setup-time optimization.
+//!
+//! Baseline: rank 0 builds the whole atomic structure and scatters it, and
+//! every rank reads/parses the model file itself (240+ s at 4,560 nodes).
+//! Optimized: every rank builds only its region in parallel, and the model
+//! is parsed once and broadcast (<5 s). We measure both protocols for the
+//! structure build and for model staging.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin setup_time`
+
+use dp_bench::models;
+use dp_bench::report::print_table;
+use dp_md::{lattice, Cell};
+use dp_parallel::setup::{
+    setup_distributed, setup_replicated, stage_model_all_read, stage_model_broadcast,
+};
+use dp_parallel::DomainGrid;
+
+fn main() {
+    let n_ranks = 8;
+    let reps = 14usize; // 14^3 fcc cells = 10,976 atoms
+    let grid = DomainGrid::new(Cell::cubic(reps as f64 * 3.615), [2, 2, 2]);
+    let build = || lattice::copper([reps, reps, reps]);
+
+    let (a, t_repl) = setup_replicated(build, &grid);
+    let (b, t_dist) = setup_distributed(build, &grid);
+    assert_eq!(
+        a.iter().map(|r| r.ids.len()).sum::<usize>(),
+        b.iter().map(|r| r.ids.len()).sum::<usize>(),
+        "partitions disagree"
+    );
+
+    // model staging with the paper-size water model (~1.6M parameters)
+    let model = models::water_model_paper_size(61);
+    let serialized = serde_json::to_string(&model.to_data()).expect("serialize");
+    println!(
+        "model file: {:.1} MB serialized, {} parameters",
+        serialized.len() as f64 / 1e6,
+        model.num_params()
+    );
+    let parse = || -> deepmd_core::model::DpModelData {
+        serde_json::from_str(&serialized).expect("parse")
+    };
+    let (_, t_all_read) = stage_model_all_read(n_ranks, parse);
+    let (_, t_broadcast) = stage_model_broadcast(n_ranks, parse);
+
+    print_table(
+        &format!("Setup time, {n_ranks} ranks, {} atoms", 4 * reps * reps * reps),
+        &["phase", "baseline [ms]", "optimized [ms]", "speedup"],
+        &[
+            vec![
+                "structure build".into(),
+                format!("{:.1}", t_repl.as_secs_f64() * 1e3),
+                format!("{:.1}", t_dist.as_secs_f64() * 1e3),
+                format!("{:.1}x", t_repl.as_secs_f64() / t_dist.as_secs_f64()),
+            ],
+            vec![
+                "model staging".into(),
+                format!("{:.1}", t_all_read.as_secs_f64() * 1e3),
+                format!("{:.1}", t_broadcast.as_secs_f64() * 1e3),
+                format!(
+                    "{:.1}x",
+                    t_all_read.as_secs_f64() / t_broadcast.as_secs_f64()
+                ),
+            ],
+        ],
+    );
+    println!(
+        "\nPaper: total setup 240 s -> <5 s on 4,560 nodes. On one host the\n\
+         model-staging speedup approaches the rank count ({n_ranks}x here) because\n\
+         the baseline parses the file once per rank; the structure-build\n\
+         speedup is bounded by this host's single core."
+    );
+}

@@ -1,0 +1,251 @@
+//! Table 3 — performance of the customized TensorFlow operators.
+//!
+//! The paper times the Environment, ProdViral and ProdForce operators in
+//! the baseline (CPU, serial, AoS) and optimized (GPU, sorted/compressed,
+//! fine-grained parallel) implementations on the 12,288-atom water system,
+//! reporting 130× / 38× / 17× speedups. We reproduce the same three
+//! operators with our baseline (serial struct-sort formatting, per-slot
+//! serial loops) and optimized (u64-compressed parallel formatting,
+//! rayon per-slot kernels) paths on the identical workload and network
+//! hyper-parameters.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin table3`
+
+use deepmd_core::codec::Codec;
+use deepmd_core::format::{format_baseline, format_optimized, FormattedEnv, NONE};
+use dp_bench::report::print_table;
+use dp_bench::workloads;
+use dp_md::NeighborList;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Synthetic per-slot ∂E/∂R̃ rows (4 values) + embedding-input gradients,
+/// standing in for what the network backward pass produces; the ProdForce /
+/// ProdVirial operators are pure functions of these plus the geometry.
+fn synthetic_gw(fmt: &FormattedEnv, seed: u64) -> Vec<[f64; 4]> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..fmt.n_atoms * fmt.nm)
+        .map(|_| {
+            [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+/// Baseline ProdForce: single-threaded slot loop, scalar scatter.
+fn prod_force_baseline(fmt: &FormattedEnv, gw: &[[f64; 4]], n_total: usize) -> Vec<[f64; 3]> {
+    let mut forces = vec![[0.0f64; 3]; n_total];
+    for atom in 0..fmt.n_atoms {
+        for s in 0..fmt.nm {
+            let slot = atom * fmt.nm + s;
+            let j = fmt.indices[slot];
+            if j == NONE {
+                continue;
+            }
+            let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+            let g = gw[slot];
+            for kk in 0..3 {
+                let grad =
+                    g[0] * jac[kk] + g[1] * jac[3 + kk] + g[2] * jac[6 + kk] + g[3] * jac[9 + kk];
+                forces[atom][kk] += grad;
+                forces[j as usize][kk] -= grad;
+            }
+        }
+    }
+    forces
+}
+
+/// Optimized ProdForce: parallel per-slot gradient kernel + linear scatter
+/// (on a single hardware thread the kernel runs serially — fine-grain
+/// parallel dispatch without parallel hardware would only add overhead).
+fn prod_force_optimized(fmt: &FormattedEnv, gw: &[[f64; 4]], n_total: usize) -> Vec<[f64; 3]> {
+    let slot_grad = |slot: usize| -> [f64; 3] {
+        if fmt.indices[slot] == NONE {
+            return [0.0; 3];
+        }
+        let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+        let g = gw[slot];
+        let mut out = [0.0; 3];
+        for kk in 0..3 {
+            out[kk] =
+                g[0] * jac[kk] + g[1] * jac[3 + kk] + g[2] * jac[6 + kk] + g[3] * jac[9 + kk];
+        }
+        out
+    };
+    let n_slots = fmt.n_atoms * fmt.nm;
+    let grads: Vec<[f64; 3]> = if rayon::current_num_threads() > 1 {
+        (0..n_slots).into_par_iter().map(slot_grad).collect()
+    } else {
+        (0..n_slots).map(slot_grad).collect()
+    };
+    let mut forces = vec![[0.0f64; 3]; n_total];
+    for (slot, g) in grads.iter().enumerate() {
+        let j = fmt.indices[slot];
+        if j == NONE {
+            continue;
+        }
+        let atom = slot / fmt.nm;
+        for kk in 0..3 {
+            forces[atom][kk] += g[kk];
+            forces[j as usize][kk] -= g[kk];
+        }
+    }
+    forces
+}
+
+/// Baseline ProdVirial: single-threaded.
+fn prod_virial_baseline(fmt: &FormattedEnv, gw: &[[f64; 4]]) -> [f64; 6] {
+    let mut w = [0.0f64; 6];
+    for slot in 0..fmt.n_atoms * fmt.nm {
+        if fmt.indices[slot] == NONE {
+            continue;
+        }
+        let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+        let g = gw[slot];
+        let d = &fmt.disp[slot * 3..slot * 3 + 3];
+        let mut grad = [0.0; 3];
+        for kk in 0..3 {
+            grad[kk] =
+                g[0] * jac[kk] + g[1] * jac[3 + kk] + g[2] * jac[6 + kk] + g[3] * jac[9 + kk];
+        }
+        w[0] -= d[0] * grad[0];
+        w[1] -= d[1] * grad[1];
+        w[2] -= d[2] * grad[2];
+        w[3] -= d[0] * grad[1];
+        w[4] -= d[0] * grad[2];
+        w[5] -= d[1] * grad[2];
+    }
+    w
+}
+
+/// Optimized ProdVirial: parallel reduction (serial on one thread).
+fn prod_virial_optimized(fmt: &FormattedEnv, gw: &[[f64; 4]]) -> [f64; 6] {
+    let slot_w = |slot: usize| -> [f64; 6] {
+            let mut w = [0.0f64; 6];
+            if fmt.indices[slot] == NONE {
+                return w;
+            }
+            let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+            let g = gw[slot];
+            let d = &fmt.disp[slot * 3..slot * 3 + 3];
+            let mut grad = [0.0; 3];
+            for kk in 0..3 {
+                grad[kk] =
+                    g[0] * jac[kk] + g[1] * jac[3 + kk] + g[2] * jac[6 + kk] + g[3] * jac[9 + kk];
+            }
+            w[0] -= d[0] * grad[0];
+            w[1] -= d[1] * grad[1];
+            w[2] -= d[2] * grad[2];
+            w[3] -= d[0] * grad[1];
+            w[4] -= d[0] * grad[2];
+            w[5] -= d[1] * grad[2];
+            w
+    };
+    let n_slots = fmt.n_atoms * fmt.nm;
+    let add = |mut a: [f64; 6], b: [f64; 6]| {
+        for k in 0..6 {
+            a[k] += b[k];
+        }
+        a
+    };
+    if rayon::current_num_threads() > 1 {
+        (0..n_slots)
+            .into_par_iter()
+            .map(slot_w)
+            .reduce(|| [0.0; 6], add)
+    } else {
+        (0..n_slots).map(slot_w).fold([0.0; 6], add)
+    }
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    // warm-up
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / reps as f64
+}
+
+fn main() {
+    let sys = workloads::water_12288();
+    let cfg = deepmd_core::DpConfig::water_paper();
+    let nl = NeighborList::build(&sys, cfg.rcut);
+    println!(
+        "Table 3 reproduction: water, {} atoms, rcut {} Å, sel {:?}",
+        sys.len(),
+        cfg.rcut,
+        cfg.sel
+    );
+
+    // --- Environment operator (neighbor formatting + environment matrix) ---
+    let t_env_base = time_ms(3, || {
+        std::hint::black_box(format_baseline(&sys, &nl, &cfg));
+    });
+    let t_env_opt = time_ms(5, || {
+        std::hint::black_box(format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal));
+    });
+
+    let fmt = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+    let gw = synthetic_gw(&fmt, 99);
+
+    // correctness cross-checks before timing
+    let fb = prod_force_baseline(&fmt, &gw, sys.len());
+    let fo = prod_force_optimized(&fmt, &gw, sys.len());
+    let max_df = fb
+        .iter()
+        .zip(&fo)
+        .flat_map(|(a, b)| (0..3).map(move |k| (a[k] - b[k]).abs()))
+        .fold(0.0f64, f64::max);
+    assert!(max_df < 1e-10, "ProdForce implementations disagree: {max_df}");
+    let vb = prod_virial_baseline(&fmt, &gw);
+    let vo = prod_virial_optimized(&fmt, &gw);
+    for k in 0..6 {
+        assert!((vb[k] - vo[k]).abs() < 1e-6 * vb[k].abs().max(1.0));
+    }
+
+    let t_force_base = time_ms(3, || {
+        std::hint::black_box(prod_force_baseline(&fmt, &gw, sys.len()));
+    });
+    let t_force_opt = time_ms(5, || {
+        std::hint::black_box(prod_force_optimized(&fmt, &gw, sys.len()));
+    });
+    let t_virial_base = time_ms(3, || {
+        std::hint::black_box(prod_virial_baseline(&fmt, &gw));
+    });
+    let t_virial_opt = time_ms(5, || {
+        std::hint::black_box(prod_virial_optimized(&fmt, &gw));
+    });
+
+    let row = |name: &str, base: f64, opt: f64, paper: &str| {
+        vec![
+            name.to_string(),
+            format!("{base:.2}"),
+            format!("{opt:.2}"),
+            format!("{:.1}x", base / opt),
+            paper.to_string(),
+        ]
+    };
+    print_table(
+        "Table 3: customized operators, baseline vs optimized [ms]",
+        &["operator", "baseline", "optimized", "speedup", "paper speedup"],
+        &[
+            row("Environment", t_env_base, t_env_opt, "130x"),
+            row("ProdViral", t_virial_base, t_virial_opt, "38x"),
+            row("ProdForce", t_force_base, t_force_opt, "17x"),
+        ],
+    );
+    println!(
+        "\nNote: the paper compares serial CPU against a V100; our optimized side is\n\
+         a multicore CPU, so absolute speedups are bounded by the core count while\n\
+         the ranking (Environment >> ProdViral > ProdForce) is the reproducible shape."
+    );
+}

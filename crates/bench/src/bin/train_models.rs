@@ -1,0 +1,11 @@
+//! Pre-train and cache the scaled-down water and copper DP models used by
+//! the fig4 / fig7 / mixed_precision harnesses.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin train_models`
+
+fn main() {
+    let w = dp_bench::models::water_model();
+    println!("water model cached: {} parameters", w.num_params());
+    let c = dp_bench::models::copper_model();
+    println!("copper model cached: {} parameters", c.num_params());
+}

@@ -1,0 +1,90 @@
+//! Table/series printing shared by the harness binaries.
+
+/// Print a fixed-width table: header row plus data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Engineering notation helper ("86.2 P", "4.53 m").
+pub fn eng(x: f64) -> String {
+    let (scaled, suffix) = if x.abs() >= 1e15 {
+        (x / 1e15, "P")
+    } else if x.abs() >= 1e12 {
+        (x / 1e12, "T")
+    } else if x.abs() >= 1e9 {
+        (x / 1e9, "G")
+    } else if x.abs() >= 1e6 {
+        (x / 1e6, "M")
+    } else if x.abs() >= 1e3 {
+        (x / 1e3, "k")
+    } else if x.abs() >= 1.0 || x == 0.0 {
+        (x, "")
+    } else if x.abs() >= 1e-3 {
+        (x * 1e3, "m")
+    } else if x.abs() >= 1e-6 {
+        (x * 1e6, "u")
+    } else {
+        (x * 1e9, "n")
+    };
+    format!("{scaled:.3}{suffix}")
+}
+
+/// Simple ASCII series plot: one line per (label, y) with a bar.
+pub fn print_series(title: &str, points: &[(String, f64)], unit: &str) {
+    println!("\n-- {title} --");
+    let max = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    for (label, y) in points {
+        let bar_len = if max > 0.0 {
+            ((y / max) * 50.0).round() as usize
+        } else {
+            0
+        };
+        println!("{label:>16}  {:>10} {unit}  {}", eng(*y), "#".repeat(bar_len));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(86.2e15), "86.200P");
+        assert_eq!(eng(0.0045), "4.500m");
+        assert_eq!(eng(2.0), "2.000");
+        assert_eq!(eng(7.3e-10), "0.730n");
+    }
+
+    #[test]
+    fn tables_do_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        print_series("s", &[("x".into(), 1.0), ("y".into(), 2.0)], "u");
+    }
+}

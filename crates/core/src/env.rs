@@ -1,0 +1,135 @@
+//! The smoothed environment weight `s(r)` and per-neighbor environment
+//! rows of the DeepPot-SE descriptor.
+//!
+//! For a neighbor at displacement `d` (center → neighbor), the environment
+//! matrix row is `(s, s·x/r, s·y/r, s·z/r)` where `s(r)` is `1/r` smoothly
+//! switched to zero between `rcut_smth` and `rcut`. This module also
+//! supplies the geometric Jacobian `∂row/∂d` consumed by the ProdForce and
+//! ProdVirial operators.
+
+/// `s(r)` and `ds/dr` (DeepPot-SE cosine switch).
+#[inline]
+pub fn smooth_weight(r: f64, rcut_smth: f64, rcut: f64) -> (f64, f64) {
+    debug_assert!(r > 0.0);
+    if r >= rcut {
+        (0.0, 0.0)
+    } else if r <= rcut_smth {
+        (1.0 / r, -1.0 / (r * r))
+    } else {
+        let x = (r - rcut_smth) / (rcut - rcut_smth);
+        let u = 0.5 * (std::f64::consts::PI * x).cos() + 0.5;
+        let du =
+            -0.5 * std::f64::consts::PI * (std::f64::consts::PI * x).sin() / (rcut - rcut_smth);
+        (u / r, du / r - u / (r * r))
+    }
+}
+
+/// Environment row `w = (s, s·d/r)` and its Jacobian `dw[m]/dd[k]`.
+#[inline]
+pub fn env_row(d: [f64; 3], r: f64, s: f64, ds: f64) -> ([f64; 4], [[f64; 3]; 4]) {
+    let inv_r = 1.0 / r;
+    let u = [d[0] * inv_r, d[1] * inv_r, d[2] * inv_r]; // unit vector
+    let w = [s, s * u[0], s * u[1], s * u[2]];
+    let mut dw = [[0.0; 3]; 4];
+    // dw0/dd_k = ds * u_k
+    for k in 0..3 {
+        dw[0][k] = ds * u[k];
+    }
+    // d(s·u_m)/dd_k = ds·u_k·u_m + s·(δ_mk − u_m·u_k)/r
+    for m in 0..3 {
+        for k in 0..3 {
+            let delta = if m == k { 1.0 } else { 0.0 };
+            dw[m + 1][k] = ds * u[k] * u[m] + s * (delta - u[m] * u[k]) * inv_r;
+        }
+    }
+    (w, dw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_inverse_r_inside() {
+        let (s, ds) = smooth_weight(2.0, 3.0, 6.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!((ds + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_vanishes_at_cutoff() {
+        let (s, ds) = smooth_weight(6.0, 3.0, 6.0);
+        assert_eq!(s, 0.0);
+        assert_eq!(ds, 0.0);
+        // approaching the cutoff from inside: continuous to 0
+        let (s, _) = smooth_weight(5.999, 3.0, 6.0);
+        assert!(s.abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_is_continuous_at_smth() {
+        let (s_in, ds_in) = smooth_weight(3.0 - 1e-9, 3.0, 6.0);
+        let (s_out, ds_out) = smooth_weight(3.0 + 1e-9, 3.0, 6.0);
+        assert!((s_in - s_out).abs() < 1e-8);
+        assert!((ds_in - ds_out).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_derivative_matches_fd() {
+        for &r in &[1.5, 3.5, 4.7, 5.5] {
+            let (_, ds) = smooth_weight(r, 3.0, 6.0);
+            let h = 1e-7;
+            let fd = (smooth_weight(r + h, 3.0, 6.0).0 - smooth_weight(r - h, 3.0, 6.0).0)
+                / (2.0 * h);
+            assert!((ds - fd).abs() < 1e-6, "r={r}: {ds} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn env_row_jacobian_matches_fd() {
+        let d0: [f64; 3] = [1.2, -0.7, 2.1];
+        let rcs = 1.0;
+        let rc = 6.0;
+        let row_of = |d: [f64; 3]| {
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            let (s, ds) = smooth_weight(r, rcs, rc);
+            env_row(d, r, s, ds).0
+        };
+        let r0 = (d0[0] * d0[0] + d0[1] * d0[1] + d0[2] * d0[2]).sqrt();
+        let (s0, ds0) = smooth_weight(r0, rcs, rc);
+        let (_, dw) = env_row(d0, r0, s0, ds0);
+        let h = 1e-7;
+        for k in 0..3 {
+            let mut dp = d0;
+            dp[k] += h;
+            let mut dm = d0;
+            dm[k] -= h;
+            let wp = row_of(dp);
+            let wm = row_of(dm);
+            for m in 0..4 {
+                let fd = (wp[m] - wm[m]) / (2.0 * h);
+                assert!(
+                    (fd - dw[m][k]).abs() < 1e-6,
+                    "m={m} k={k}: fd {fd} vs {}",
+                    dw[m][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_covariance_of_row() {
+        // s-part invariant, vector part rotates with d.
+        let d: [f64; 3] = [0.5, 1.0, -0.3];
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        let (s, ds) = smooth_weight(r, 1.0, 6.0);
+        let (w, _) = env_row(d, r, s, ds);
+        // rotate 90° about z: (x,y,z) -> (-y,x,z)
+        let dr = [-d[1], d[0], d[2]];
+        let (wr, _) = env_row(dr, r, s, ds);
+        assert!((w[0] - wr[0]).abs() < 1e-12);
+        assert!((wr[1] + w[2]).abs() < 1e-12);
+        assert!((wr[2] - w[1]).abs() < 1e-12);
+        assert!((wr[3] - w[3]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,591 @@
+//! Optimized Deep Potential evaluation (§5.2–§5.3).
+//!
+//! The pipeline mirrors the optimized GPU DeePMD-kit:
+//!
+//! 1. **Batched embedding**: thanks to the fixed-shape formatted layout,
+//!    the `s(r)` inputs of *all* atoms' neighbors of one type form a single
+//!    tall column, so each embedding layer is one tall GEMM + one fused
+//!    tanh kernel instead of per-atom small ops — the "computational
+//!    granularity" innovation of §5.2.1.
+//! 2. **Descriptor contraction** (custom op): per atom,
+//!    `T1 = Ḡᵀ R̃ / Nm`, `T2 = R̃ᵀ G⁻ / Nm`, `D = T1 T2`.
+//! 3. **Batched fitting** per center type, 240-wide residual layers with
+//!    fused GEMM+bias and fused tanh+grad.
+//! 4. **Backward** through fitting, descriptor and embedding using the
+//!    cached tanh gradients (no recomputation, §5.3.3).
+//! 5. **ProdForce / ProdVirial** (custom ops): chain `∂E/∂R̃` and the
+//!    embedding-input gradient through the geometric Jacobian and scatter
+//!    into per-atom forces and the virial.
+//!
+//! The whole pipeline is generic over precision `T`; the mixed-precision
+//! mode (§5.2.3) runs it in `f32` on an environment matrix built in `f64`,
+//! converting the per-slot force gradients back to `f64` before
+//! accumulation — exactly the paper's conversion points.
+//!
+//! Atoms are processed in chunks so peak memory stays bounded at paper-size
+//! neighbor counts (the GPU code relies on 16 GB device memory instead).
+
+use crate::format::{FormattedEnv, NONE};
+use crate::model::DpModel;
+use crate::profile::{maybe_time, Kernel, Profiler};
+use dp_linalg::fused::{dup_sum_fused, tanh_fused};
+use dp_linalg::gemm::{gemm_bias, matmul_nt};
+use dp_linalg::{Matrix, Real};
+use dp_nn::layer::{LayerCache, LayerKind};
+use dp_nn::net::Net;
+use rayon::prelude::*;
+
+/// Result of one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    pub energy: f64,
+    pub per_atom_energy: Vec<f64>,
+    pub forces: Vec<[f64; 3]>,
+    pub virial: [f64; 6],
+}
+
+/// Upper bound on atoms per pipeline chunk.
+pub const CHUNK: usize = 256;
+
+/// Atoms per pipeline chunk: targets ~32k embedding rows per neighbor
+/// type so the GEMMs stay tall while activation memory stays bounded even
+/// at the paper's sel=500 copper setting.
+pub fn chunk_size(max_sel: usize) -> usize {
+    (32_768 / max_sel.max(1)).clamp(16, CHUNK)
+}
+
+/// Profiled re-implementation of `Net::forward_cached`, attributing GEMM
+/// and activation time to their Fig 3 categories. Kept in lockstep with
+/// `dp_nn::Layer::forward` (equivalence is tested).
+fn net_forward_profiled<T: Real>(
+    net: &Net<T>,
+    x: &Matrix<T>,
+    prof: Option<&Profiler>,
+) -> (Matrix<T>, Vec<LayerCache<T>>) {
+    let mut caches = Vec::with_capacity(net.layers.len());
+    let mut h = x.clone();
+    for l in &net.layers {
+        let pre = maybe_time(prof, Kernel::Gemm, || gemm_bias(&h, &l.w, &l.b));
+        h = match l.kind {
+            LayerKind::Linear => {
+                caches.push(LayerCache {
+                    tgrad: Matrix::zeros(0, 0),
+                });
+                pre
+            }
+            LayerKind::Plain => {
+                let (t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
+                caches.push(LayerCache { tgrad: g });
+                t
+            }
+            LayerKind::Growth => {
+                let (t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
+                caches.push(LayerCache { tgrad: g });
+                maybe_time(prof, Kernel::Other, || dup_sum_fused(&h, &t))
+            }
+            LayerKind::Residual => {
+                let (mut t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
+                caches.push(LayerCache { tgrad: g });
+                t.axpy(T::ONE, &h);
+                t
+            }
+        };
+    }
+    (h, caches)
+}
+
+/// Profiled `Net::backward_input` (same taxonomy).
+fn net_backward_profiled<T: Real>(
+    net: &Net<T>,
+    caches: &[LayerCache<T>],
+    dy: &Matrix<T>,
+    prof: Option<&Profiler>,
+) -> Matrix<T> {
+    let mut g = dy.clone();
+    for (l, c) in net.layers.iter().zip(caches.iter()).rev() {
+        g = match l.kind {
+            LayerKind::Linear => maybe_time(prof, Kernel::Gemm, || matmul_nt(&g, &l.w)),
+            LayerKind::Plain => {
+                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
+                maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w))
+            }
+            LayerKind::Residual => {
+                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
+                let mut dx = maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w));
+                dx.axpy(T::ONE, &g);
+                dx
+            }
+            LayerKind::Growth => {
+                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
+                let mut dx = maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w));
+                let k = l.w.rows();
+                for i in 0..g.rows() {
+                    let g_row = g.row(i);
+                    let dx_row = dx.row_mut(i);
+                    for j in 0..k {
+                        dx_row[j] += g_row[j] + g_row[j + k];
+                    }
+                }
+                dx
+            }
+        };
+    }
+    g
+}
+
+/// Evaluate energy, forces and virial for the formatted environment.
+///
+/// `types` are the species of the `fmt.n_atoms` local atoms; `n_total`
+/// includes ghosts (forces on ghosts are accumulated for the reverse
+/// communication pass of the parallel driver).
+pub fn evaluate<T: Real>(
+    model: &DpModel<T>,
+    fmt: &FormattedEnv,
+    types: &[usize],
+    n_total: usize,
+    prof: Option<&Profiler>,
+) -> EvalOutput {
+    assert_eq!(types.len(), fmt.n_atoms);
+    assert!(n_total >= fmt.n_atoms);
+    let cfg = &model.config;
+    let n_types = cfg.n_types();
+    let m_w = cfg.emb_width();
+    let m2 = cfg.axis_neurons;
+    let nm = fmt.nm;
+    let inv_nm = T::from_f64(1.0 / nm as f64);
+
+    let mut per_atom_energy = vec![0.0f64; fmt.n_atoms];
+    let mut forces = vec![[0.0f64; 3]; n_total];
+    let mut virial = [0.0f64; 6];
+
+    // type-block offsets within an atom's slot range
+    let mut block_off = vec![0usize; n_types + 1];
+    for t in 0..n_types {
+        block_off[t + 1] = block_off[t] + cfg.sel[t];
+    }
+
+    let chunk = chunk_size(cfg.sel.iter().copied().max().unwrap_or(1));
+    let mut chunk_start = 0usize;
+    while chunk_start < fmt.n_atoms {
+        let chunk_end = (chunk_start + chunk).min(fmt.n_atoms);
+        let nc = chunk_end - chunk_start;
+
+        // ---- 1. batched embedding per neighbor type ----
+        let mut g_mats: Vec<Matrix<T>> = Vec::with_capacity(n_types);
+        let mut g_caches: Vec<Vec<LayerCache<T>>> = Vec::with_capacity(n_types);
+        for t in 0..n_types {
+            let rows = nc * cfg.sel[t];
+            let s_col = maybe_time(prof, Kernel::Slice, || {
+                let mut s = Matrix::<T>::zeros(rows, 1);
+                let data = s.as_mut_slice();
+                for a in 0..nc {
+                    let slot0 = (chunk_start + a) * nm + block_off[t];
+                    for k in 0..cfg.sel[t] {
+                        data[a * cfg.sel[t] + k] = T::from_f64(fmt.env[(slot0 + k) * 4]);
+                    }
+                }
+                s
+            });
+            let (g, caches) = net_forward_profiled(&model.embeddings[t], &s_col, prof);
+            g_mats.push(g);
+            g_caches.push(caches);
+        }
+
+        // ---- 2. descriptor contraction (custom op) ----
+        // per atom in chunk: T1 (m_w x 4), T2 (4 x m2), D = T1*T2
+        struct AtomCtx<T> {
+            t1: Vec<T>,
+            t2: Vec<T>,
+        }
+        let (descriptors, atom_ctx): (Vec<Vec<T>>, Vec<AtomCtx<T>>) =
+            maybe_time(prof, Kernel::Custom, || {
+                (0..nc)
+                    .into_par_iter()
+                    .map(|a| {
+                        let atom = chunk_start + a;
+                        let mut t1 = vec![T::ZERO; m_w * 4];
+                        let mut t2 = vec![T::ZERO; 4 * m2];
+                        for t in 0..n_types {
+                            let g = &g_mats[t];
+                            for k in 0..cfg.sel[t] {
+                                let slot = atom * nm + block_off[t] + k;
+                                if fmt.indices[slot] == NONE {
+                                    // padded rows have zero env; their G row
+                                    // would multiply zero — skip entirely
+                                    continue;
+                                }
+                                let w = [
+                                    T::from_f64(fmt.env[slot * 4]),
+                                    T::from_f64(fmt.env[slot * 4 + 1]),
+                                    T::from_f64(fmt.env[slot * 4 + 2]),
+                                    T::from_f64(fmt.env[slot * 4 + 3]),
+                                ];
+                                let g_row = g.row(a * cfg.sel[t] + k);
+                                for (mi, &gm) in g_row.iter().enumerate() {
+                                    for c in 0..4 {
+                                        t1[mi * 4 + c] += gm * w[c];
+                                    }
+                                }
+                                for c in 0..4 {
+                                    for (ai, &ga) in g_row[..m2].iter().enumerate() {
+                                        t2[c * m2 + ai] += w[c] * ga;
+                                    }
+                                }
+                            }
+                        }
+                        for x in &mut t1 {
+                            *x *= inv_nm;
+                        }
+                        for x in &mut t2 {
+                            *x *= inv_nm;
+                        }
+                        // D = T1 (m_w x 4) * T2 (4 x m2)
+                        let mut d = vec![T::ZERO; m_w * m2];
+                        for mi in 0..m_w {
+                            for c in 0..4 {
+                                let t1v = t1[mi * 4 + c];
+                                for ai in 0..m2 {
+                                    d[mi * m2 + ai] += t1v * t2[c * m2 + ai];
+                                }
+                            }
+                        }
+                        (d, AtomCtx { t1, t2 })
+                    })
+                    .unzip()
+            });
+
+        // ---- 3. batched fitting per center type ----
+        // gather chunk atoms by type
+        let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); n_types];
+        for a in 0..nc {
+            by_type[types[chunk_start + a]].push(a);
+        }
+        // dE/dD per atom (filled from fitting backward)
+        let mut d_desc: Vec<Vec<T>> = vec![Vec::new(); nc];
+        for t in 0..n_types {
+            if by_type[t].is_empty() {
+                continue;
+            }
+            let rows = by_type[t].len();
+            let d_in = cfg.descriptor_dim();
+            let x = maybe_time(prof, Kernel::Slice, || {
+                let mut x = Matrix::<T>::zeros(rows, d_in);
+                for (r, &a) in by_type[t].iter().enumerate() {
+                    x.row_mut(r).copy_from_slice(&descriptors[a]);
+                }
+                x
+            });
+            let (e_col, caches) = net_forward_profiled(&model.fittings[t], &x, prof);
+            for (r, &a) in by_type[t].iter().enumerate() {
+                per_atom_energy[chunk_start + a] = e_col[(r, 0)].to_f64() + model.e0[t];
+            }
+            // ---- 4. fitting backward: dE/dD ----
+            let ones = Matrix::<T>::full(rows, 1, T::ONE);
+            let dx = net_backward_profiled(&model.fittings[t], &caches, &ones, prof);
+            maybe_time(prof, Kernel::Slice, || {
+                for (r, &a) in by_type[t].iter().enumerate() {
+                    d_desc[a] = dx.row(r).to_vec();
+                }
+            });
+        }
+
+        // ---- 5. descriptor backward (custom op) ----
+        // produces dG rows (per neighbor type, batched) and dE/dR̃ rows
+        let mut dg_mats: Vec<Matrix<T>> = (0..n_types)
+            .map(|t| Matrix::<T>::zeros(nc * cfg.sel[t], m_w))
+            .collect();
+        // dE/dR̃ per type block: 4 per slot, f64 for the f64 ProdForce below
+        let mut denv_blocks: Vec<Vec<f64>> = (0..n_types)
+            .map(|t| vec![0.0f64; nc * cfg.sel[t] * 4])
+            .collect();
+        maybe_time(prof, Kernel::Custom, || {
+            for t in 0..n_types {
+                let sel_t = cfg.sel[t];
+                let g = &g_mats[t];
+                let block = block_off[t];
+                let (dg, denv_t) = (&mut dg_mats[t], &mut denv_blocks[t]);
+                dg.as_mut_slice()
+                    .par_chunks_mut(sel_t * m_w)
+                    .zip(denv_t.par_chunks_mut(sel_t * 4))
+                    .enumerate()
+                    .for_each(|(a, (dg_atom, denv_atom))| {
+                        let atom = chunk_start + a;
+                        let dd = &d_desc[a];
+                        let ctx = &atom_ctx[a];
+                        // dT1[mi][c] = Σ_ai dd[mi*m2+ai] * t2[c*m2+ai]
+                        // dT2[c][ai] = Σ_mi t1[mi*4+c] * dd[mi*m2+ai]
+                        let mut dt1 = vec![T::ZERO; m_w * 4];
+                        let mut dt2 = vec![T::ZERO; 4 * m2];
+                        for mi in 0..m_w {
+                            for c in 0..4 {
+                                let mut acc = T::ZERO;
+                                for ai in 0..m2 {
+                                    acc += dd[mi * m2 + ai] * ctx.t2[c * m2 + ai];
+                                }
+                                dt1[mi * 4 + c] = acc;
+                            }
+                        }
+                        for c in 0..4 {
+                            for ai in 0..m2 {
+                                let mut acc = T::ZERO;
+                                for mi in 0..m_w {
+                                    acc += ctx.t1[mi * 4 + c] * dd[mi * m2 + ai];
+                                }
+                                dt2[c * m2 + ai] = acc;
+                            }
+                        }
+                        for k in 0..sel_t {
+                            let slot = atom * nm + block + k;
+                            if fmt.indices[slot] == NONE {
+                                continue;
+                            }
+                            let w = [
+                                T::from_f64(fmt.env[slot * 4]),
+                                T::from_f64(fmt.env[slot * 4 + 1]),
+                                T::from_f64(fmt.env[slot * 4 + 2]),
+                                T::from_f64(fmt.env[slot * 4 + 3]),
+                            ];
+                            let g_row = g.row(a * sel_t + k);
+                            let dg_row = &mut dg_atom[k * m_w..(k + 1) * m_w];
+                            // dG[mi] = Σ_c w[c]*dT1[mi][c] (+ T2 path for mi<m2)
+                            for mi in 0..m_w {
+                                let mut acc = T::ZERO;
+                                for c in 0..4 {
+                                    acc += w[c] * dt1[mi * 4 + c];
+                                }
+                                dg_row[mi] = acc * inv_nm;
+                            }
+                            for ai in 0..m2 {
+                                let mut acc = T::ZERO;
+                                for c in 0..4 {
+                                    acc += w[c] * dt2[c * m2 + ai];
+                                }
+                                dg_row[ai] += acc * inv_nm;
+                            }
+                            // dE/dR̃[c] = Σ_mi g[mi]*dT1[mi][c]
+                            //           + Σ_ai dT2[c][ai]*g[ai]
+                            for c in 0..4 {
+                                let mut acc = T::ZERO;
+                                for (mi, &gm) in g_row.iter().enumerate() {
+                                    acc += gm * dt1[mi * 4 + c];
+                                }
+                                for ai in 0..m2 {
+                                    acc += dt2[c * m2 + ai] * g_row[ai];
+                                }
+                                denv_atom[k * 4 + c] = (acc * inv_nm).to_f64();
+                            }
+                        }
+                    });
+            }
+        });
+
+        // ---- 6. embedding backward: dE/ds per slot ----
+        let mut ds_cols: Vec<Matrix<T>> = Vec::with_capacity(n_types);
+        for t in 0..n_types {
+            let ds = net_backward_profiled(&model.embeddings[t], &g_caches[t], &dg_mats[t], prof);
+            ds_cols.push(ds);
+        }
+
+        // ---- 7/8. ProdForce + ProdVirial (custom ops, f64) ----
+        maybe_time(prof, Kernel::Custom, || {
+            // per-slot total gradient dE/dd (parallel), then scatter (serial)
+            let slot_grads: Vec<[f64; 3]> = (0..nc * nm)
+                .into_par_iter()
+                .map(|local_slot| {
+                    let a = local_slot / nm;
+                    let within = local_slot % nm;
+                    let atom = chunk_start + a;
+                    let slot = atom * nm + within;
+                    if fmt.indices[slot] == NONE {
+                        return [0.0; 3];
+                    }
+                    // which type block is this slot in?
+                    let t = block_off[1..=n_types]
+                        .iter()
+                        .position(|&end| within < end)
+                        .expect("slot outside type blocks");
+                    let k = within - block_off[t];
+                    let ds = ds_cols[t][(a * cfg.sel[t] + k, 0)].to_f64();
+                    let base = (a * cfg.sel[t] + k) * 4;
+                    let denv_atom = &denv_blocks[t];
+                    let gw = [
+                        denv_atom[base] + ds,
+                        denv_atom[base + 1],
+                        denv_atom[base + 2],
+                        denv_atom[base + 3],
+                    ];
+                    let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+                    let mut g = [0.0; 3];
+                    for kk in 0..3 {
+                        g[kk] = gw[0] * jac[kk]
+                            + gw[1] * jac[3 + kk]
+                            + gw[2] * jac[6 + kk]
+                            + gw[3] * jac[9 + kk];
+                    }
+                    g
+                })
+                .collect();
+            for (local_slot, g) in slot_grads.iter().enumerate() {
+                let atom = chunk_start + local_slot / nm;
+                let slot = atom * nm + local_slot % nm;
+                let j = fmt.indices[slot];
+                if j == NONE {
+                    continue;
+                }
+                let j = j as usize;
+                let d = &fmt.disp[slot * 3..slot * 3 + 3];
+                for kk in 0..3 {
+                    forces[atom][kk] += g[kk];
+                    forces[j][kk] -= g[kk];
+                }
+                virial[0] -= d[0] * g[0];
+                virial[1] -= d[1] * g[1];
+                virial[2] -= d[2] * g[2];
+                virial[3] -= d[0] * g[1];
+                virial[4] -= d[0] * g[2];
+                virial[5] -= d[1] * g[2];
+            }
+        });
+
+        chunk_start = chunk_end;
+    }
+
+    let energy = per_atom_energy.iter().sum();
+    EvalOutput {
+        energy,
+        per_atom_energy,
+        forces,
+        virial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+    use crate::config::DpConfig;
+    use crate::format::format_optimized;
+    use dp_md::{lattice, units, NeighborList, System};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_setup() -> (DpModel<f64>, System, FormattedEnv) {
+        let cfg = DpConfig::small(1, 4.5, 16);
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = DpModel::new_random(cfg.clone(), &mut rng);
+        let mut sys = lattice::fcc(3.615, [3, 3, 3], units::MASS_CU);
+        sys.perturb(0.1, &mut rng);
+        let nl = NeighborList::build(&sys, cfg.rcut);
+        let fmt = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        (model, sys, fmt)
+    }
+
+    #[test]
+    fn energy_is_sum_of_atomic_contributions() {
+        let (model, sys, fmt) = test_setup();
+        let out = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        let sum: f64 = out.per_atom_energy.iter().sum();
+        assert!((out.energy - sum).abs() < 1e-10);
+        assert_eq!(out.per_atom_energy.len(), sys.len());
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        // translation invariance => ΣF = 0
+        let (model, sys, fmt) = test_setup();
+        let out = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        let mut total = [0.0; 3];
+        for f in &out.forces {
+            for k in 0..3 {
+                total[k] += f[k];
+            }
+        }
+        for k in 0..3 {
+            assert!(total[k].abs() < 1e-9, "net force {total:?}");
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let (model, mut sys, _) = test_setup();
+        let cfg = &model.config;
+        let compute = |sys: &System| {
+            let nl = NeighborList::build(sys, cfg.rcut);
+            let fmt = format_optimized(sys, &nl, cfg, Codec::PaperDecimal);
+            evaluate(&model, &fmt, &sys.types, sys.len(), None)
+        };
+        let out = compute(&sys);
+        let eps = 1e-6;
+        for &i in &[0usize, 13, 50] {
+            for k in 0..3 {
+                let orig = sys.positions[i][k];
+                sys.positions[i][k] = orig + eps;
+                let ep = compute(&sys).energy;
+                sys.positions[i][k] = orig - eps;
+                let em = compute(&sys).energy;
+                sys.positions[i][k] = orig;
+                let fd = -(ep - em) / (2.0 * eps);
+                assert!(
+                    (fd - out.forces[i][k]).abs() < 1e-6,
+                    "atom {i} dim {k}: fd {fd} vs {}",
+                    out.forces[i][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e0_shifts_energy_linearly() {
+        let (mut model, sys, fmt) = test_setup();
+        let out0 = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        model.e0[0] += 1.5;
+        let out1 = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        let expect = out0.energy + 1.5 * sys.len() as f64;
+        assert!((out1.energy - expect).abs() < 1e-9);
+        // forces unchanged
+        for (a, b) in out0.forces.iter().zip(&out1.forces) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_forward_matches_plain() {
+        let (model, sys, fmt) = test_setup();
+        let prof = Profiler::new();
+        let a = evaluate(&model, &fmt, &sys.types, sys.len(), Some(&prof));
+        let b = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        assert!((a.energy - b.energy).abs() < 1e-12);
+        assert!(prof.grand_total().as_nanos() > 0);
+        let pct = prof.percentages();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        // a system larger than one chunk gives identical energies to a
+        // manual per-chunk evaluation — i.e. chunk boundaries don't leak
+        let cfg = DpConfig::small(1, 4.5, 16);
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = DpModel::<f64>::new_random(cfg.clone(), &mut rng);
+        let mut sys = lattice::fcc(3.615, [5, 5, 5], units::MASS_CU); // 500 atoms > CHUNK
+        sys.perturb(0.05, &mut rng);
+        let nl = NeighborList::build(&sys, cfg.rcut);
+        let fmt = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        let out = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+        // reference: evaluate per single atom via baseline-like loop is in
+        // baseline.rs tests; here check translation invariance + finiteness
+        assert!(out.energy.is_finite());
+        assert_eq!(out.forces.len(), 500);
+        let mut total = [0.0; 3];
+        for f in &out.forces {
+            for k in 0..3 {
+                total[k] += f[k];
+            }
+        }
+        for k in 0..3 {
+            assert!(total[k].abs() < 1e-8);
+        }
+    }
+}

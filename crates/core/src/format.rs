@@ -1,0 +1,373 @@
+//! Neighbor-list formatting: the paper's data-layout innovation (§5.2.1).
+//!
+//! Each atom's raw neighbor list is sorted by type, then by distance;
+//! within each type the neighbors are padded to the cut-off count
+//! `sel[type]`. The result is a fixed-shape table — every atom contributes
+//! exactly `Nm = Σ sel[t]` rows to the environment matrix, with padded rows
+//! zero — so the embedding computation contains *no per-neighbor
+//! branching* and can run as a handful of tall GEMMs.
+//!
+//! Two implementations are kept deliberately:
+//! * [`format_optimized`] — compress each neighbor into a `u64` key
+//!   ([`crate::codec`]), sort scalars, decode (§5.2.2);
+//! * [`format_baseline`] — the AoS struct sort the baseline code used.
+//!
+//! Both produce identical tables (tested); the Table 3 ablation times them
+//! against each other.
+
+use crate::codec::Codec;
+use crate::config::DpConfig;
+use crate::env::{env_row, smooth_weight};
+use dp_md::{NeighborList, System};
+use rayon::prelude::*;
+
+/// Slot marker for padding.
+pub const NONE: i32 = -1;
+
+/// The formatted, fixed-shape environment of every local atom.
+#[derive(Debug, Clone)]
+pub struct FormattedEnv {
+    pub n_atoms: usize,
+    /// Padded per-type widths (copied from the config).
+    pub sel: Vec<usize>,
+    /// Total slots per atom.
+    pub nm: usize,
+    /// Neighbor atom index per slot (`NONE` = padding); `n_atoms × nm`.
+    pub indices: Vec<i32>,
+    /// Environment matrix rows, 4 per slot; `n_atoms × nm × 4`.
+    pub env: Vec<f64>,
+    /// Jacobian `∂row/∂d`, 12 per slot; `n_atoms × nm × 12` (row-major
+    /// `[m][k]`).
+    pub denv: Vec<f64>,
+    /// Displacement `d = r_j − r_i` per slot; `n_atoms × nm × 3`.
+    pub disp: Vec<f64>,
+    /// Neighbors dropped because a type exceeded its `sel` capacity
+    /// (diagnostic; the sort guarantees the *nearest* are kept).
+    pub overflowed: usize,
+}
+
+impl FormattedEnv {
+    fn alloc(n_atoms: usize, cfg: &DpConfig) -> Self {
+        let nm = cfg.nm();
+        Self {
+            n_atoms,
+            sel: cfg.sel.clone(),
+            nm,
+            indices: vec![NONE; n_atoms * nm],
+            env: vec![0.0; n_atoms * nm * 4],
+            denv: vec![0.0; n_atoms * nm * 12],
+            disp: vec![0.0; n_atoms * nm * 3],
+            overflowed: 0,
+        }
+    }
+
+    /// Base slot offset of (atom, type) block.
+    #[inline]
+    pub fn block_start(&self, atom: usize, ty: usize) -> usize {
+        let before: usize = self.sel[..ty].iter().sum();
+        atom * self.nm + before
+    }
+
+    /// Environment row (4 values) of a global slot.
+    #[inline]
+    pub fn env_of(&self, slot: usize) -> &[f64] {
+        &self.env[slot * 4..slot * 4 + 4]
+    }
+
+    /// Count of real (non-padding) neighbors.
+    pub fn real_neighbors(&self) -> usize {
+        self.indices.iter().filter(|&&i| i != NONE).count()
+    }
+}
+
+/// Scratch entry used by both formatters.
+#[derive(Clone, Copy)]
+struct RawNeighbor {
+    ty: u32,
+    r: f64,
+    j: u32,
+    d: [f64; 3],
+}
+
+fn fill_atom_slots(
+    out_indices: &mut [i32],
+    out_env: &mut [f64],
+    out_denv: &mut [f64],
+    out_disp: &mut [f64],
+    sel: &[usize],
+    sorted: &[RawNeighbor],
+    cfg: &DpConfig,
+) -> usize {
+    let mut overflow = 0usize;
+    // type-block cursors
+    let mut cursor: Vec<usize> = Vec::with_capacity(sel.len());
+    let mut start = 0usize;
+    for &s in sel {
+        cursor.push(start);
+        start += s;
+    }
+    let mut limit: Vec<usize> = cursor.iter().zip(sel).map(|(&c, &s)| c + s).collect();
+    for n in sorted {
+        let t = n.ty as usize;
+        if cursor[t] >= limit[t] {
+            overflow += 1;
+            continue;
+        }
+        let slot = cursor[t];
+        cursor[t] += 1;
+        out_indices[slot] = n.j as i32;
+        let (s, ds) = smooth_weight(n.r, cfg.rcut_smth, cfg.rcut);
+        let (w, dw) = env_row(n.d, n.r, s, ds);
+        out_env[slot * 4..slot * 4 + 4].copy_from_slice(&w);
+        for m in 0..4 {
+            out_denv[slot * 12 + m * 3..slot * 12 + m * 3 + 3].copy_from_slice(&dw[m]);
+        }
+        out_disp[slot * 3..slot * 3 + 3].copy_from_slice(&n.d);
+    }
+    let _ = &mut limit;
+    overflow
+}
+
+fn gather_raw(sys: &System, nl: &NeighborList, cfg: &DpConfig, i: usize) -> Vec<RawNeighbor> {
+    let c2 = cfg.rcut * cfg.rcut;
+    let mut raw = Vec::with_capacity(nl.neighbors_of(i).len());
+    for &j in nl.neighbors_of(i) {
+        let j = j as usize;
+        let d = sys.cell.displacement(sys.positions[i], sys.positions[j]);
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        if r2 >= c2 || r2 < 1e-12 {
+            continue;
+        }
+        raw.push(RawNeighbor {
+            ty: sys.types[j] as u32,
+            r: r2.sqrt(),
+            j: j as u32,
+            d,
+        });
+    }
+    raw
+}
+
+/// Optimized formatter: u64-compress, scalar sort, decode (§5.2.2).
+pub fn format_optimized(sys: &System, nl: &NeighborList, cfg: &DpConfig, codec: Codec) -> FormattedEnv {
+    let mut out = FormattedEnv::alloc(sys.n_local, cfg);
+    format_optimized_into(&mut out, sys, nl, cfg, codec);
+    out
+}
+
+/// In-place variant reusing an existing [`FormattedEnv`]'s buffers — the
+/// paper's "allocate a trunk of GPU memory at the initialization stage and
+/// re-use it throughout the MD simulation" (§5.2.2). The target must have
+/// been allocated for the same atom count and config.
+pub fn format_optimized_into(
+    out: &mut FormattedEnv,
+    sys: &System,
+    nl: &NeighborList,
+    cfg: &DpConfig,
+    codec: Codec,
+) {
+    assert!(sys.num_types() <= cfg.n_types(), "model has too few types");
+    assert_eq!(out.n_atoms, sys.n_local, "workspace sized for another system");
+    assert_eq!(out.nm, cfg.nm(), "workspace sized for another config");
+    out.indices.fill(NONE);
+    out.env.fill(0.0);
+    out.denv.fill(0.0);
+    out.disp.fill(0.0);
+    let nm = out.nm;
+    let sel = out.sel.clone();
+
+    let overflow: usize = out
+        .indices
+        .par_chunks_mut(nm)
+        .zip(out.env.par_chunks_mut(nm * 4))
+        .zip(out.denv.par_chunks_mut(nm * 12))
+        .zip(out.disp.par_chunks_mut(nm * 3))
+        .enumerate()
+        .map(|(i, (((idx, env), denv), disp))| {
+            let raw = gather_raw(sys, nl, cfg, i);
+            // compress -> sort scalars -> decode
+            let mut keys: Vec<u64> = raw
+                .iter()
+                .enumerate()
+                .map(|(k, n)| codec.encode(n.ty as usize, n.r, k))
+                .collect();
+            keys.sort_unstable();
+            let sorted: Vec<RawNeighbor> = keys
+                .iter()
+                .map(|&key| {
+                    let (_, _, k) = codec.decode(key);
+                    raw[k]
+                })
+                .collect();
+            fill_atom_slots(idx, env, denv, disp, &sel, &sorted, cfg)
+        })
+        .sum();
+    out.overflowed = overflow;
+}
+
+/// Baseline formatter: sort an array of structs with a three-field
+/// comparator (what the 2018 DeePMD-kit did on the CPU), single-threaded
+/// like the baseline.
+pub fn format_baseline(sys: &System, nl: &NeighborList, cfg: &DpConfig) -> FormattedEnv {
+    assert!(sys.num_types() <= cfg.n_types(), "model has too few types");
+    let mut out = FormattedEnv::alloc(sys.n_local, cfg);
+    let nm = out.nm;
+    let sel = out.sel.clone();
+    let mut overflow = 0usize;
+    for i in 0..sys.n_local {
+        let mut raw = gather_raw(sys, nl, cfg, i);
+        raw.sort_by(|a, b| {
+            a.ty.cmp(&b.ty)
+                .then(a.r.partial_cmp(&b.r).unwrap())
+                .then(a.j.cmp(&b.j))
+        });
+        let idx = &mut out.indices[i * nm..(i + 1) * nm];
+        let env = &mut out.env[i * nm * 4..(i + 1) * nm * 4];
+        let denv = &mut out.denv[i * nm * 12..(i + 1) * nm * 12];
+        let disp = &mut out.disp[i * nm * 3..(i + 1) * nm * 3];
+        overflow += fill_atom_slots(idx, env, denv, disp, &sel, &raw, cfg);
+    }
+    out.overflowed = overflow;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_md::lattice;
+    use dp_md::units;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> DpConfig {
+        DpConfig::small(1, 4.5, 16)
+    }
+
+    fn copper_test_system() -> (System, NeighborList) {
+        let mut sys = lattice::fcc(3.615, [3, 3, 3], units::MASS_CU);
+        let mut rng = StdRng::seed_from_u64(7);
+        sys.perturb(0.1, &mut rng);
+        let nl = NeighborList::build(&sys, 4.5);
+        (sys, nl)
+    }
+
+    #[test]
+    fn optimized_equals_baseline() {
+        let (sys, nl) = copper_test_system();
+        let cfg = small_cfg();
+        for codec in [Codec::PaperDecimal, Codec::Binary] {
+            let a = format_optimized(&sys, &nl, &cfg, codec);
+            let b = format_baseline(&sys, &nl, &cfg);
+            assert_eq!(a.indices, b.indices, "{codec:?}");
+            assert_eq!(a.env, b.env);
+            assert_eq!(a.denv, b.denv);
+            assert_eq!(a.overflowed, b.overflowed);
+        }
+    }
+
+    #[test]
+    fn slots_sorted_by_distance_within_type() {
+        let (sys, nl) = copper_test_system();
+        let cfg = small_cfg();
+        let f = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        for i in 0..f.n_atoms {
+            let mut last_r = 0.0;
+            for s in 0..f.nm {
+                let slot = i * f.nm + s;
+                if f.indices[slot] == NONE {
+                    continue;
+                }
+                let d = &f.disp[slot * 3..slot * 3 + 3];
+                let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                assert!(r >= last_r - 1e-9, "atom {i} slot {s}: {r} < {last_r}");
+                last_r = r;
+            }
+        }
+    }
+
+    #[test]
+    fn padding_rows_are_zero() {
+        let (sys, nl) = copper_test_system();
+        let cfg = small_cfg();
+        let f = format_optimized(&sys, &nl, &cfg, Codec::Binary);
+        for slot in 0..f.n_atoms * f.nm {
+            if f.indices[slot] == NONE {
+                assert!(f.env[slot * 4..slot * 4 + 4].iter().all(|&x| x == 0.0));
+                assert!(f.denv[slot * 12..slot * 12 + 12].iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_keeps_nearest() {
+        // capacity 4 with 12 fcc nearest neighbors: keep the 4 closest
+        let sys = lattice::fcc(3.615, [3, 3, 3], units::MASS_CU);
+        let nl = NeighborList::build(&sys, 4.5);
+        let mut cfg = small_cfg();
+        cfg.sel = vec![4];
+        let f = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        assert!(f.overflowed > 0);
+        // all kept slots are at the nearest-neighbor distance
+        let nn = 3.615 / 2f64.sqrt();
+        for s in 0..4 {
+            let slot = s; // atom 0
+            assert_ne!(f.indices[slot], NONE);
+            let d = &f.disp[slot * 3..slot * 3 + 3];
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            assert!((r - nn).abs() < 1e-6, "kept non-nearest neighbor at {r}");
+        }
+    }
+
+    #[test]
+    fn two_type_blocks_are_type_pure() {
+        let sys = lattice::water_box([4, 4, 4], 3.104);
+        let nl = NeighborList::build(&sys, 5.0);
+        let cfg = DpConfig {
+            rcut: 5.0,
+            rcut_smth: 1.0,
+            sel: vec![20, 40],
+            embedding: vec![4, 8],
+            fitting: vec![16, 16],
+            axis_neurons: 4,
+        };
+        let f = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        for i in 0..f.n_atoms {
+            for (t, &cap) in cfg.sel.iter().enumerate() {
+                let start = f.block_start(i, t);
+                for s in 0..cap {
+                    let j = f.indices[start + s];
+                    if j != NONE {
+                        assert_eq!(sys.types[j as usize], t, "type block violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh() {
+        let (sys, nl) = copper_test_system();
+        let cfg = small_cfg();
+        let fresh = format_optimized(&sys, &nl, &cfg, Codec::Binary);
+        // dirty workspace from a different geometry, then reuse
+        let mut ws = {
+            let mut sys2 = sys.clone();
+            sys2.positions.swap(0, 5);
+            let nl2 = NeighborList::build(&sys2, cfg.rcut);
+            format_optimized(&sys2, &nl2, &cfg, Codec::Binary)
+        };
+        format_optimized_into(&mut ws, &sys, &nl, &cfg, Codec::Binary);
+        assert_eq!(ws.indices, fresh.indices);
+        assert_eq!(ws.env, fresh.env);
+        assert_eq!(ws.denv, fresh.denv);
+    }
+
+    #[test]
+    fn real_neighbor_count_matches_list() {
+        let (sys, nl) = copper_test_system();
+        let cfg = small_cfg();
+        let f = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        // cfg cutoff equals list cutoff, capacity is ample -> same count
+        assert_eq!(f.real_neighbors() + f.overflowed, nl.num_pairs());
+    }
+}

@@ -1,0 +1,43 @@
+//! Deep Potential: the paper's primary contribution, re-engineered in Rust.
+//!
+//! The crate implements the DeepPot-SE descriptor and its optimized
+//! evaluation pipeline exactly along the lines of §5 of the paper:
+//!
+//! * [`codec`] — the 64-bit compressed neighbor encoding
+//!   `type·10¹⁵ + ⌊r·10⁸⌋·10⁵ + j` (§5.2.2), plus a binary-split variant
+//!   for systems larger than the decimal layout allows,
+//! * `format` — the type-sorted, distance-sorted, padded neighbor layout
+//!   that removes branching from the embedding computation (§5.2.1); the
+//!   unsorted AoS baseline is kept for the Table 3 ablation,
+//! * `env` — the Environment operator: smoothed environment matrices
+//!   `R̃` and the geometric derivatives the force pass consumes,
+//! * [`model`] — model parameters (embedding nets per neighbor type,
+//!   fitting nets per center type) in any precision,
+//! * [`eval`] — the optimized batched forward/backward: one tall GEMM per
+//!   (neighbor-type, layer) instead of per-atom small kernels, fused
+//!   bias/tanh/skip kernels, and the ProdForce / ProdVirial operators,
+//! * [`baseline`] — the unoptimized per-atom reference implementation
+//!   standing in for the 2018 serial DeePMD-kit (the paper's baseline),
+//! * [`potential_impl`] — [`DeepPotential`], the `dp_md::Potential`
+//!   implementation with double / mixed / single / emulated-fp16 precision
+//!   modes (§5.2.3),
+//! * [`profile`] — per-kernel-category timers reproducing Fig 3's GEMM /
+//!   TANH / CUSTOM / SLICE breakdown,
+//! * [`compress`] — tabulated (spline-compressed) embedding nets, the
+//!   paper's future-work direction that became DeePMD-kit's model
+//!   compression: no embedding GEMMs or tanh in the MD hot path.
+
+pub mod baseline;
+pub mod codec;
+pub mod compress;
+pub mod config;
+pub mod env;
+pub mod eval;
+pub mod format;
+pub mod model;
+pub mod potential_impl;
+pub mod profile;
+
+pub use config::DpConfig;
+pub use model::DpModel;
+pub use potential_impl::{DeepPotential, PrecisionMode};

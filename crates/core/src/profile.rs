@@ -1,0 +1,124 @@
+//! Per-kernel-category wall-time accounting (Fig 3).
+//!
+//! The paper's Fig 3 is a stacked bar chart of GPU execution time per
+//! TensorFlow operator class: GEMM, TANH, SLICE, CUSTOM (environment /
+//! force / virial), and Others. We reproduce the same taxonomy with scoped
+//! wall-clock timers around the corresponding CPU kernels.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Kernel categories matching Fig 3's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense affine transforms (MATMUL+SUM fused into GEMM).
+    Gemm,
+    /// Activation evaluation (fused TANH + TANHGrad).
+    Tanh,
+    /// Row gather/scatter and reshapes between type blocks.
+    Slice,
+    /// The customized operators: Environment, ProdForce, ProdVirial,
+    /// neighbor formatting.
+    Custom,
+    /// Everything else in the MD loop.
+    Other,
+}
+
+const N_KERNELS: usize = 5;
+
+/// Accumulates wall time per kernel category. Cheap enough to keep on in
+/// benches; pass `None` in hot production paths.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    totals: Mutex<[Duration; N_KERNELS]>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure, attributing it to `kernel`.
+    pub fn time<R>(&self, kernel: Kernel, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(kernel, start.elapsed());
+        out
+    }
+
+    pub fn add(&self, kernel: Kernel, d: Duration) {
+        self.totals.lock()[kernel as usize] += d;
+    }
+
+    pub fn total(&self, kernel: Kernel) -> Duration {
+        self.totals.lock()[kernel as usize]
+    }
+
+    pub fn grand_total(&self) -> Duration {
+        self.totals.lock().iter().sum()
+    }
+
+    /// Percentages in Fig 3 order: (GEMM, TANH, SLICE, CUSTOM, Others).
+    pub fn percentages(&self) -> [f64; N_KERNELS] {
+        let t = self.totals.lock();
+        let total: f64 = t.iter().map(|d| d.as_secs_f64()).sum();
+        if total == 0.0 {
+            return [0.0; N_KERNELS];
+        }
+        [
+            t[Kernel::Gemm as usize].as_secs_f64() / total * 100.0,
+            t[Kernel::Tanh as usize].as_secs_f64() / total * 100.0,
+            t[Kernel::Slice as usize].as_secs_f64() / total * 100.0,
+            t[Kernel::Custom as usize].as_secs_f64() / total * 100.0,
+            t[Kernel::Other as usize].as_secs_f64() / total * 100.0,
+        ]
+    }
+
+    pub fn reset(&self) {
+        *self.totals.lock() = [Duration::ZERO; N_KERNELS];
+    }
+}
+
+/// Helper: time a closure against an optional profiler.
+#[inline]
+pub fn maybe_time<R>(prof: Option<&Profiler>, kernel: Kernel, f: impl FnOnce() -> R) -> R {
+    match prof {
+        Some(p) => p.time(kernel, f),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports_percentages() {
+        let p = Profiler::new();
+        p.add(Kernel::Gemm, Duration::from_millis(30));
+        p.add(Kernel::Tanh, Duration::from_millis(10));
+        p.add(Kernel::Custom, Duration::from_millis(10));
+        let pct = p.percentages();
+        assert!((pct[0] - 60.0).abs() < 1e-9);
+        assert!((pct[1] - 20.0).abs() < 1e-9);
+        assert!((pct[3] - 20.0).abs() < 1e-9);
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_a_closure_returns_its_value() {
+        let p = Profiler::new();
+        let v = p.time(Kernel::Other, || 42);
+        assert_eq!(v, 42);
+        assert!(p.total(Kernel::Other) > Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.add(Kernel::Gemm, Duration::from_millis(5));
+        p.reset();
+        assert_eq!(p.grand_total(), Duration::ZERO);
+        assert_eq!(p.percentages(), [0.0; 5]);
+    }
+}

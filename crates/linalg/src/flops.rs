@@ -1,0 +1,96 @@
+//! Global floating-point-operation accounting.
+//!
+//! The paper counts FLOPs with NVPROF on the GPU and reports
+//! `peak = total FLOPs / MD loop time` and
+//! `sustained = total FLOPs / total wall time` (§6.3). We do the equivalent
+//! in software: every GEMM and fused activation kernel adds its operation
+//! count to a process-wide atomic counter, and the bench harnesses read and
+//! reset it around the MD loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` floating-point operations to the global counter.
+#[inline(always)]
+pub fn add(n: u64) {
+    // Relaxed is enough: the counter is a statistic, not a synchronization
+    // point, and the benches only read it after joining all workers.
+    GLOBAL_FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the global counter.
+pub fn read() -> u64 {
+    GLOBAL_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Reset the global counter to zero, returning the previous value.
+pub fn reset() -> u64 {
+    GLOBAL_FLOPS.swap(0, Ordering::Relaxed)
+}
+
+/// Scoped FLOP counter: records the global counter at construction and
+/// reports the delta, so nested regions can be measured without resets
+/// interfering with each other.
+pub struct FlopCounter {
+    start: u64,
+}
+
+impl FlopCounter {
+    pub fn start() -> Self {
+        Self { start: read() }
+    }
+
+    /// FLOPs accumulated since `start()`.
+    pub fn elapsed(&self) -> u64 {
+        read().saturating_sub(self.start)
+    }
+}
+
+impl Default for FlopCounter {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// FLOPs for a `m×k · k×n` GEMM (one multiply + one add per inner element).
+#[inline(always)]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_scopes() {
+        let c0 = FlopCounter::start();
+        add(100);
+        let c1 = FlopCounter::start();
+        add(50);
+        assert_eq!(c1.elapsed(), 50);
+        assert!(c0.elapsed() >= 150);
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = FlopCounter::start();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add(1);
+                    }
+                });
+            }
+        });
+        assert!(c.elapsed() >= 8000);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fused elementwise kernels (§5.3.2–5.3.3).
+//!
+//! The DP nets need both `tanh(x)` (forward) and `1 - tanh²(x)` (backward,
+//! for force evaluation) in *every* MD step. Stock TensorFlow runs TANH and
+//! TANHGrad as two operators; the optimized DeePMD-kit fuses them into one
+//! kernel since `∇tanh(x) = 1 − tanh²(x)` lets the gradient reuse the
+//! forward value (Fig 2 (g3)). Likewise the skip connection `(x,x) + h`
+//! is executed without materializing the CONCAT (Fig 2 (g2)).
+//!
+//! Both baseline and fused versions are kept so the ablation benches can
+//! measure the same before/after delta the paper reports (1.6–1.7×).
+
+use crate::flops;
+use crate::matrix::Matrix;
+use crate::real::Real;
+
+/// Nominal FLOP charge per tanh evaluation. NVPROF counts the FP
+/// instructions of the device `tanh`; on CPU a polynomial/rational `tanh`
+/// is on the order of ten FLOPs, which is what we charge.
+pub const TANH_FLOPS: u64 = 10;
+
+/// Elementwise `tanh` (the baseline TANH operator).
+pub fn tanh_forward<T: Real>(x: &Matrix<T>) -> Matrix<T> {
+    flops::add(x.len() as u64 * TANH_FLOPS);
+    x.map(|v| v.tanh())
+}
+
+/// Baseline TANH + TANHGrad as two separate passes, the second recomputing
+/// `tanh` the way two independent TF operators would.
+pub fn tanh_then_grad_baseline<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let t = tanh_forward(x);
+    flops::add(x.len() as u64 * (TANH_FLOPS + 2));
+    let g = x.map(|v| {
+        let tv = v.tanh();
+        T::ONE - tv * tv
+    });
+    (t, g)
+}
+
+/// Fused kernel: one pass producing both `tanh(x)` and `1 - tanh²(x)`.
+///
+/// This trades memory for time exactly as the paper describes: the gradient
+/// buffer is produced during the forward pass so the backward pass reads it
+/// instead of recomputing.
+pub fn tanh_fused<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    flops::add(x.len() as u64 * (TANH_FLOPS + 2));
+    let (rows, cols) = x.shape();
+    let mut t = Matrix::zeros(rows, cols);
+    let mut g = Matrix::zeros(rows, cols);
+    for ((out_t, out_g), &v) in t
+        .as_mut_slice()
+        .iter_mut()
+        .zip(g.as_mut_slice().iter_mut())
+        .zip(x.as_slice().iter())
+    {
+        let tv = v.tanh();
+        *out_t = tv;
+        *out_g = T::ONE - tv * tv;
+    }
+    (t, g)
+}
+
+/// Baseline skip connection for the embedding net's growth layers:
+/// materialize `(x, x)` with CONCAT, then SUM with `h` (two operators).
+pub fn concat_sum_baseline<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
+    let xx = x.hcat(x);
+    assert_eq!(xx.shape(), h.shape(), "skip-connection shape mismatch");
+    flops::add(xx.len() as u64);
+    let mut out = xx;
+    out.axpy(T::ONE, h);
+    out
+}
+
+/// The paper's replacement: `(x,x) = x × (I,I)` merged with the SUM into a
+/// single GEMM call. We expose the literal GEMM formulation for fidelity
+/// with §5.3.2 (the benefit the paper measures comes from merging the SUM
+/// into the GEMM epilogue).
+pub fn concat_sum_gemm<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(h.cols(), 2 * x.cols(), "skip-connection shape mismatch");
+    // (I, I): identity stacked horizontally, k x 2k.
+    let k = x.cols();
+    let ii = Matrix::from_fn(k, 2 * k, |i, j| {
+        if j == i || j == i + k {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    });
+    let mut out = h.clone();
+    crate::gemm::gemm_ex(
+        crate::gemm::Transpose::No,
+        crate::gemm::Transpose::No,
+        T::ONE,
+        x,
+        &ii,
+        T::ONE,
+        &mut out,
+    );
+    out
+}
+
+/// Fastest form used in the hot inference path: write `h + (x,x)` directly
+/// with no intermediate at all.
+pub fn dup_sum_fused<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(h.rows(), x.rows(), "skip-connection row mismatch");
+    assert_eq!(h.cols(), 2 * x.cols(), "skip-connection shape mismatch");
+    flops::add(h.len() as u64);
+    let k = x.cols();
+    let mut out = h.clone();
+    for i in 0..x.rows() {
+        let x_row = x.row(i);
+        let o_row = out.row_mut(i);
+        for (j, &xv) in x_row.iter().enumerate() {
+            o_row[j] += xv;
+            o_row[j + k] += xv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |i, j| ((i * cols + j) as f64) * 0.1 - 1.3)
+    }
+
+    #[test]
+    fn fused_tanh_matches_baseline() {
+        let x = m(13, 7);
+        let (t0, g0) = tanh_then_grad_baseline(&x);
+        let (t1, g1) = tanh_fused(&x);
+        assert!(t0.max_abs_diff(&t1) < 1e-15);
+        assert!(g0.max_abs_diff(&g1) < 1e-15);
+    }
+
+    #[test]
+    fn tanh_grad_identity() {
+        // d/dx tanh(x) via finite differences equals the fused gradient.
+        let x = m(5, 5);
+        let (_, g) = tanh_fused(&x);
+        let eps = 1e-6;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (xp.as_slice()[idx].tanh() - xm.as_slice()[idx].tanh()) / (2.0 * eps);
+            assert!((fd - g.as_slice()[idx]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn skip_connection_variants_agree() {
+        let x = m(9, 4);
+        let h = m(9, 8);
+        let a = concat_sum_baseline(&x, &h);
+        let b = concat_sum_gemm(&x, &h);
+        let c = dup_sum_fused(&x, &h);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+        assert!(a.max_abs_diff(&c) < 1e-12);
+    }
+
+    #[test]
+    fn skip_connection_values() {
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let h = Matrix::from_vec(1, 4, vec![10.0, 20.0, 30.0, 40.0]);
+        let out = dup_sum_fused(&x, &h);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 31.0, 42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn skip_connection_bad_shapes() {
+        let x = Matrix::<f64>::zeros(3, 2);
+        let h = Matrix::<f64>::zeros(3, 5);
+        let _ = dup_sum_fused(&x, &h);
+    }
+}

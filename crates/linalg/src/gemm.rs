@@ -1,0 +1,319 @@
+//! General matrix-matrix multiplication kernels.
+//!
+//! The optimized DeePMD-kit replaces TensorFlow's MATMUL+SUM pairs with a
+//! single cuBLAS GEMM call `C = alpha * A x B + beta * C` (§5.3.1). This
+//! module provides the CPU equivalent: a cache-blocked, rayon-parallel GEMM
+//! with transpose variants (needed by back-propagation) plus the textbook
+//! triple loop kept as the correctness baseline and as the "unoptimized"
+//! side of ablation benches.
+
+use crate::flops;
+use crate::matrix::Matrix;
+use crate::real::Real;
+use rayon::prelude::*;
+
+/// Which operand layout a GEMM input uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the matrix as stored.
+    No,
+    /// Use the mathematical transpose of the stored matrix.
+    Yes,
+}
+
+/// Problem sizes below this many FLOPs run serially: the rayon fork/join
+/// overhead would dominate (the paper's analogue is kernel-launch latency
+/// dominating small ops, §4 restriction 3).
+const PAR_FLOP_THRESHOLD: u64 = 64 * 1024;
+
+/// Textbook `C = A x B` (no blocking, no parallelism, no accounting).
+///
+/// This is the reference the fast kernels are tested against, and the
+/// baseline side of the GEMM ablation bench.
+pub fn naive_gemm<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            for j in 0..n {
+                c[(i, j)] += aip * b[(p, j)];
+            }
+        }
+    }
+    c
+}
+
+/// `C = alpha * op(A) x op(B) + beta * C`, blocked and parallel.
+///
+/// FLOPs are charged to the global counter (`2*m*n*k`, plus `m*n` when
+/// `beta != 0`).
+pub fn gemm_ex<T: Real>(
+    trans_a: Transpose,
+    trans_b: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k) = match trans_a {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match trans_b {
+        Transpose::No => (b.rows(), b.cols()),
+        Transpose::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(k, kb, "gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+
+    flops::add(flops::gemm_flops(m, n, k));
+    if beta != T::ZERO && beta != T::ONE {
+        flops::add((m * n) as u64);
+    }
+
+    // Normalize to the NN kernel: transposed inputs are materialized once.
+    // For DP shapes (m >> k, n) the transpose cost is negligible next to the
+    // multiply, and the NN kernel then streams contiguous rows.
+    let at;
+    let a_nn = match trans_a {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_nn = match trans_b {
+        Transpose::No => b,
+        Transpose::Yes => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+
+    gemm_nn(alpha, a_nn, b_nn, beta, c);
+}
+
+/// Convenience: allocate and return `A x B`.
+pub fn matmul<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_ex(Transpose::No, Transpose::No, T::ONE, a, b, T::ZERO, &mut c);
+    c
+}
+
+/// Convenience: allocate and return `A^T x B`.
+pub fn matmul_tn<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm_ex(Transpose::Yes, Transpose::No, T::ONE, a, b, T::ZERO, &mut c);
+    c
+}
+
+/// Convenience: allocate and return `A x B^T`.
+pub fn matmul_nt<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm_ex(Transpose::No, Transpose::Yes, T::ONE, a, b, T::ZERO, &mut c);
+    c
+}
+
+/// Core NN kernel: `C = alpha * A x B + beta * C`.
+fn gemm_nn<T: Real>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let work = flops::gemm_flops(m, n, k);
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    let row_kernel = |i: usize, c_row: &mut [T]| {
+        if beta == T::ZERO {
+            c_row.fill(T::ZERO);
+        } else if beta != T::ONE {
+            for x in c_row.iter_mut() {
+                *x *= beta;
+            }
+        }
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (p, &aip) in a_row.iter().enumerate() {
+            let scaled = alpha * aip;
+            if scaled == T::ZERO {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                *cj = bj.mul_add(scaled, *cj);
+            }
+        }
+    };
+
+    if work < PAR_FLOP_THRESHOLD {
+        for (i, c_row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    }
+}
+
+/// Fused `C = A x B + 1 ⊗ bias`: GEMM with the bias row broadcast-added,
+/// replacing the separate MATMUL and SUM operators (§5.3.1, Fig 2 (g1)).
+pub fn gemm_bias<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T]) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(bias.len(), b.cols(), "bias length mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    flops::add(flops::gemm_flops(m, n, k) + (m * n) as u64);
+
+    let mut c = Matrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let work = flops::gemm_flops(m, n, k);
+
+    let row_kernel = |i: usize, c_row: &mut [T]| {
+        c_row.copy_from_slice(bias);
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == T::ZERO {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                *cj = bj.mul_add(aip, *cj);
+            }
+        }
+    };
+
+    if work < PAR_FLOP_THRESHOLD {
+        for (i, c_row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    }
+    c
+}
+
+/// Baseline for the §5.3.1 ablation: separate MATMUL then row-broadcast SUM,
+/// the way a stock TensorFlow graph executes `x·W + b`.
+pub fn matmul_then_sum<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T]) -> Matrix<T> {
+    let mut c = matmul(a, b);
+    let n = c.cols();
+    assert_eq!(bias.len(), n);
+    flops::add(c.len() as u64);
+    for i in 0..c.rows() {
+        let row = c.row_mut(i);
+        for (x, &bb) in row.iter_mut().zip(bias.iter()) {
+            *x += bb;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        // Small deterministic LCG so tests need no rand dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 31, 13), (64, 25, 50), (130, 7, 3)] {
+            let a = rand_matrix(m, k, 1);
+            let b = rand_matrix(k, n, 2);
+            let fast = matmul(&a, &b);
+            let slow = naive_gemm(&a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_variants() {
+        let a = rand_matrix(7, 5, 3);
+        let b = rand_matrix(7, 4, 4);
+        // A^T (5x7) x B (7x4) = 5x4
+        let tn = matmul_tn(&a, &b);
+        let reference = naive_gemm(&a.transpose(), &b);
+        assert!(tn.max_abs_diff(&reference) < 1e-12);
+
+        let c = rand_matrix(6, 5, 5);
+        let d = rand_matrix(9, 5, 6);
+        // C (6x5) x D^T (5x9) = 6x9
+        let nt = matmul_nt(&c, &d);
+        let reference = naive_gemm(&c, &d.transpose());
+        assert!(nt.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = rand_matrix(4, 4, 7);
+        let b = rand_matrix(4, 4, 8);
+        let mut c = rand_matrix(4, 4, 9);
+        let c0 = c.clone();
+        gemm_ex(Transpose::No, Transpose::No, 2.0, &a, &b, 0.5, &mut c);
+        let mut want = naive_gemm(&a, &b);
+        want.scale(2.0);
+        let mut c0_scaled = c0;
+        c0_scaled.scale(0.5);
+        want.axpy(1.0, &c0_scaled);
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn fused_bias_matches_unfused() {
+        let a = rand_matrix(33, 25, 10);
+        let w = rand_matrix(25, 50, 11);
+        let bias: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        let fused = gemm_bias(&a, &w, &bias);
+        let unfused = matmul_then_sum(&a, &w, &bias);
+        assert!(fused.max_abs_diff(&unfused) < 1e-12);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        flops::reset();
+        let a = rand_matrix(10, 20, 12);
+        let b = rand_matrix(20, 30, 13);
+        let _ = matmul(&a, &b);
+        assert_eq!(flops::reset(), 2 * 10 * 20 * 30);
+    }
+
+    #[test]
+    fn large_parallel_path_matches() {
+        // Big enough to cross PAR_FLOP_THRESHOLD and exercise rayon.
+        let a = rand_matrix(256, 64, 20);
+        let b = rand_matrix(64, 96, 21);
+        let fast = matmul(&a, &b);
+        let slow = naive_gemm(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-10);
+    }
+
+    #[test]
+    fn f32_kernel_works() {
+        let a = rand_matrix(12, 8, 30).cast::<f32>();
+        let b = rand_matrix(8, 6, 31).cast::<f32>();
+        let c = matmul(&a, &b);
+        let slow = naive_gemm(&a, &b);
+        assert!(c.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

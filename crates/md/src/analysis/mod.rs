@@ -1,0 +1,10 @@
+//! Structural analysis: radial distribution functions (Fig 4) and common
+//! neighbor analysis (Fig 7).
+
+pub mod cna;
+pub mod msd;
+pub mod rdf;
+
+pub use cna::{classify, CnaClass, CnaCounts};
+pub use msd::Msd;
+pub use rdf::Rdf;

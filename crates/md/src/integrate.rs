@@ -1,0 +1,437 @@
+//! Velocity–Verlet time integration with the paper's neighbor-list
+//! protocol (skin buffer, periodic rebuild checks) and thermodynamic
+//! collection every `thermo_every` steps (the paper records kinetic
+//! energy, potential energy, temperature and pressure every 20 steps,
+//! §6.1).
+
+use crate::neighbor::NeighborList;
+use crate::potential::Potential;
+use crate::system::System;
+use crate::units;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Berendsen weak-coupling thermostat.
+#[derive(Debug, Clone, Copy)]
+pub struct Berendsen {
+    /// Target temperature (K).
+    pub target_t: f64,
+    /// Coupling time constant (ps).
+    pub tau: f64,
+}
+
+/// Langevin thermostat: friction + matched random kicks (canonical
+/// sampling even for a model with residual PES artifacts, unlike
+/// velocity rescaling).
+#[derive(Debug, Clone, Copy)]
+pub struct Langevin {
+    /// Target temperature (K).
+    pub target_t: f64,
+    /// Friction coefficient γ (1/ps).
+    pub gamma: f64,
+    /// RNG seed (deterministic trajectories for testing).
+    pub seed: u64,
+}
+
+/// Berendsen weak-coupling barostat (isotropic): rescales the cell and
+/// coordinates toward a target pressure.
+#[derive(Debug, Clone, Copy)]
+pub struct BerendsenBarostat {
+    /// Target pressure (bar).
+    pub target_p: f64,
+    /// Coupling time constant (ps).
+    pub tau: f64,
+    /// Isothermal compressibility estimate (1/bar); 4.5e-5 suits water.
+    pub compressibility: f64,
+}
+
+/// Integration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MdOptions {
+    /// Time step (ps). The paper uses 0.5 fs for water, 1.0 fs for copper.
+    pub dt: f64,
+    /// Neighbor-list skin (Å); the paper uses a 2 Å buffer.
+    pub skin: f64,
+    /// Steps between displacement checks / forced rebuilds (paper: 50).
+    pub rebuild_every: usize,
+    /// Steps between thermodynamic samples (paper: 20).
+    pub thermo_every: usize,
+    /// Optional thermostat; `None` = NVE.
+    pub thermostat: Option<Berendsen>,
+    /// Optional Langevin thermostat (mutually exclusive with `thermostat`).
+    pub langevin: Option<Langevin>,
+    /// Optional isotropic pressure coupling (NPT when combined with a
+    /// thermostat).
+    pub barostat: Option<BerendsenBarostat>,
+}
+
+impl Default for MdOptions {
+    fn default() -> Self {
+        Self {
+            dt: 1.0e-3,
+            skin: 2.0,
+            rebuild_every: 50,
+            thermo_every: 20,
+            thermostat: None,
+            langevin: None,
+            barostat: None,
+        }
+    }
+}
+
+/// One thermodynamic sample.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermoSample {
+    pub step: usize,
+    pub potential_energy: f64,
+    pub kinetic_energy: f64,
+    pub temperature: f64,
+    pub pressure: f64,
+}
+
+impl ThermoSample {
+    pub fn total_energy(&self) -> f64 {
+        self.potential_energy + self.kinetic_energy
+    }
+}
+
+/// Result of an MD run.
+#[derive(Debug, Clone)]
+pub struct MdRun {
+    pub thermo: Vec<ThermoSample>,
+    pub steps: usize,
+    pub neighbor_rebuilds: usize,
+    /// Wall time of the MD loop only (the paper's "MD loop time", §6.3).
+    pub loop_time: Duration,
+    /// Potential evaluations performed (`steps + 1`, §6.1).
+    pub evaluations: usize,
+}
+
+impl MdRun {
+    /// Time-to-solution: seconds / step / atom, the paper's headline metric.
+    pub fn time_to_solution(&self, n_atoms: usize) -> f64 {
+        self.loop_time.as_secs_f64() / self.steps as f64 / n_atoms as f64
+    }
+}
+
+/// Run `n_steps` of Velocity–Verlet, mutating the system in place.
+///
+/// An optional `observer` is called at every thermo sample; pass `|_|{}` to
+/// only collect the returned series.
+pub fn run_md(
+    sys: &mut System,
+    pot: &dyn Potential,
+    opts: &MdOptions,
+    n_steps: usize,
+    mut observer: impl FnMut(&ThermoSample),
+) -> MdRun {
+    assert!(opts.dt > 0.0, "time step must be positive");
+    assert!(
+        !(opts.thermostat.is_some() && opts.langevin.is_some()),
+        "pick one thermostat"
+    );
+    let start = Instant::now();
+    let mut langevin_rng = opts
+        .langevin
+        .map(|l| rand::rngs::StdRng::seed_from_u64(l.seed));
+    let cutoff = pot.cutoff() + opts.skin;
+    let mut nl = NeighborList::build(sys, cutoff);
+    let mut rebuilds = 1usize;
+    let mut out = pot.compute(sys, &nl);
+    sys.forces.clone_from(&out.forces);
+    let mut evaluations = 1usize;
+
+    let mut thermo = Vec::with_capacity(n_steps / opts.thermo_every.max(1) + 1);
+    let record =
+        |step: usize, sys: &System, out: &crate::potential::PotentialOutput,
+         thermo: &mut Vec<ThermoSample>,
+         observer: &mut dyn FnMut(&ThermoSample)| {
+            let s = ThermoSample {
+                step,
+                potential_energy: out.energy,
+                kinetic_energy: sys.kinetic_energy(),
+                temperature: sys.temperature(),
+                pressure: out.pressure(sys),
+            };
+            observer(&s);
+            thermo.push(s);
+        };
+    record(0, sys, &out, &mut thermo, &mut observer);
+
+    let dt = opts.dt;
+    for step in 1..=n_steps {
+        // half kick + drift
+        for i in 0..sys.n_local {
+            let inv_m = units::FORCE_TO_ACCEL / sys.masses[sys.types[i]];
+            for d in 0..3 {
+                sys.velocities[i][d] += 0.5 * dt * sys.forces[i][d] * inv_m;
+                sys.positions[i][d] += dt * sys.velocities[i][d];
+            }
+        }
+        sys.wrap_positions();
+
+        // neighbor maintenance on the paper's schedule
+        if step % opts.rebuild_every == 0 && nl.needs_rebuild(sys, opts.skin) {
+            nl = NeighborList::build(sys, cutoff);
+            rebuilds += 1;
+        }
+
+        out = pot.compute(sys, &nl);
+        evaluations += 1;
+        sys.forces.clone_from(&out.forces);
+
+        // second half kick
+        for i in 0..sys.n_local {
+            let inv_m = units::FORCE_TO_ACCEL / sys.masses[sys.types[i]];
+            for d in 0..3 {
+                sys.velocities[i][d] += 0.5 * dt * sys.forces[i][d] * inv_m;
+            }
+        }
+
+        if let Some(b) = opts.thermostat {
+            let t = sys.temperature();
+            if t > 0.0 {
+                let lambda = (1.0 + dt / b.tau * (b.target_t / t - 1.0)).sqrt();
+                for v in &mut sys.velocities[..sys.n_local] {
+                    for d in 0..3 {
+                        v[d] *= lambda;
+                    }
+                }
+            }
+        }
+
+        if let (Some(l), Some(rng)) = (opts.langevin, langevin_rng.as_mut()) {
+            // BAOAB-style O step: v <- c v + sqrt((1-c^2) kB T / m) ξ
+            let c = (-l.gamma * dt).exp();
+            let amp_base = (1.0 - c * c) * units::KB * l.target_t * units::FORCE_TO_ACCEL;
+            for i in 0..sys.n_local {
+                let amp = (amp_base / sys.masses[sys.types[i]]).sqrt();
+                for d in 0..3 {
+                    // Box–Muller gaussian
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let xi =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    sys.velocities[i][d] = c * sys.velocities[i][d] + amp * xi;
+                }
+            }
+        }
+
+        if let Some(p) = opts.barostat {
+            let pressure = out.pressure(sys);
+            let mu = (1.0 - opts.dt / p.tau * p.compressibility * (p.target_p - pressure))
+                .cbrt();
+            // guard against catastrophic rescaling from pressure spikes
+            let mu = mu.clamp(0.99, 1.01);
+            sys.cell = sys.cell.scaled([mu, mu, mu]);
+            for pos in &mut sys.positions {
+                for d in 0..3 {
+                    pos[d] *= mu;
+                }
+            }
+        }
+
+        if step % opts.thermo_every == 0 || step == n_steps {
+            record(step, sys, &out, &mut thermo, &mut observer);
+        }
+    }
+
+    MdRun {
+        thermo,
+        steps: n_steps,
+        neighbor_rebuilds: rebuilds,
+        loop_time: start.elapsed(),
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice;
+    use crate::potential::pair::LennardJones;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn argon_crystal() -> System {
+        // fcc argon at its LJ-ish lattice constant
+        lattice::fcc(5.26, [3, 3, 3], 39.948)
+    }
+
+    fn argon_lj() -> LennardJones {
+        // Shortened cutoff so cutoff+skin fits minimum image in a 15.8 Å box.
+        LennardJones::new(0.0104, 3.405, 5.5)
+    }
+
+    #[test]
+    fn nve_conserves_energy() {
+        let mut sys = argon_crystal();
+        let mut rng = StdRng::seed_from_u64(99);
+        sys.init_velocities(40.0, &mut rng);
+        let lj = argon_lj();
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermo_every: 10,
+            ..Default::default()
+        };
+        let run = run_md(&mut sys, &lj, &opts, 200, |_| {});
+        let e0 = run.thermo.first().unwrap().total_energy();
+        let e1 = run.thermo.last().unwrap().total_energy();
+        let drift = (e1 - e0).abs() / sys.len() as f64;
+        assert!(drift < 2e-5, "energy drift {drift} eV/atom");
+    }
+
+    #[test]
+    fn berendsen_reaches_target() {
+        let mut sys = argon_crystal();
+        let mut rng = StdRng::seed_from_u64(100);
+        sys.init_velocities(10.0, &mut rng);
+        let lj = argon_lj();
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermostat: Some(Berendsen {
+                target_t: 60.0,
+                tau: 0.05,
+            }),
+            ..Default::default()
+        };
+        let run = run_md(&mut sys, &lj, &opts, 500, |_| {});
+        let t_final = run.thermo.last().unwrap().temperature;
+        assert!(
+            (t_final - 60.0).abs() < 15.0,
+            "thermostat failed: T = {t_final}"
+        );
+    }
+
+    #[test]
+    fn evaluation_count_matches_paper_convention() {
+        // "500 MD steps (energy and forces are evaluated 501 times)" §6.1
+        let mut sys = argon_crystal();
+        let lj = argon_lj();
+        let run = run_md(&mut sys, &lj, &MdOptions::default(), 50, |_| {});
+        assert_eq!(run.evaluations, 51);
+    }
+
+    #[test]
+    fn observer_sees_every_sample() {
+        let mut sys = argon_crystal();
+        let lj = argon_lj();
+        let mut seen = 0usize;
+        let opts = MdOptions {
+            thermo_every: 20,
+            ..Default::default()
+        };
+        let run = run_md(&mut sys, &lj, &opts, 100, |_| seen += 1);
+        assert_eq!(seen, run.thermo.len());
+        assert_eq!(seen, 1 + 5); // step 0 plus every 20th
+    }
+
+    #[test]
+    fn langevin_thermalizes_cold_start() {
+        let mut sys = argon_crystal();
+        let lj = argon_lj();
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            langevin: Some(Langevin {
+                target_t: 50.0,
+                gamma: 5.0,
+                seed: 7,
+            }),
+            thermo_every: 50,
+            ..Default::default()
+        };
+        let run = run_md(&mut sys, &lj, &opts, 600, |_| {});
+        let t_final = run.thermo.last().unwrap().temperature;
+        assert!(
+            (20.0..90.0).contains(&t_final),
+            "Langevin failed to thermalize: T = {t_final}"
+        );
+    }
+
+    #[test]
+    fn langevin_is_deterministic_given_seed() {
+        let run_once = || {
+            let mut sys = argon_crystal();
+            let lj = argon_lj();
+            let opts = MdOptions {
+                dt: 2.0e-3,
+                langevin: Some(Langevin {
+                    target_t: 40.0,
+                    gamma: 2.0,
+                    seed: 11,
+                }),
+                ..Default::default()
+            };
+            run_md(&mut sys, &lj, &opts, 50, |_| {});
+            sys.positions[17]
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn barostat_moves_volume_toward_target_pressure() {
+        // start compressed (smaller lattice constant) -> positive pressure
+        // -> the barostat should expand the cell
+        let mut sys = lattice::fcc(5.0, [3, 3, 3], 39.948);
+        let mut rng = StdRng::seed_from_u64(4);
+        sys.init_velocities(30.0, &mut rng);
+        let lj = argon_lj();
+        let v0 = sys.cell.volume();
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermostat: Some(Berendsen {
+                target_t: 30.0,
+                tau: 0.1,
+            }),
+            barostat: Some(BerendsenBarostat {
+                target_p: 0.0,
+                tau: 0.5,
+                compressibility: 4.5e-5,
+            }),
+            ..Default::default()
+        };
+        run_md(&mut sys, &lj, &opts, 300, |_| {});
+        assert!(
+            sys.cell.volume() > v0 * 1.001,
+            "cell did not expand: {} -> {}",
+            v0,
+            sys.cell.volume()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pick one thermostat")]
+    fn two_thermostats_rejected() {
+        let mut sys = argon_crystal();
+        let lj = argon_lj();
+        let opts = MdOptions {
+            thermostat: Some(Berendsen {
+                target_t: 10.0,
+                tau: 0.1,
+            }),
+            langevin: Some(Langevin {
+                target_t: 10.0,
+                gamma: 1.0,
+                seed: 0,
+            }),
+            ..Default::default()
+        };
+        run_md(&mut sys, &lj, &opts, 1, |_| {});
+    }
+
+    #[test]
+    fn static_lattice_stays_put_without_velocities() {
+        let mut sys = argon_crystal();
+        let p0 = sys.positions.clone();
+        let lj = argon_lj();
+        let run = run_md(&mut sys, &lj, &MdOptions::default(), 10, |_| {});
+        // forces are zero by symmetry, so nothing should move
+        for (a, b) in sys.positions.iter().zip(&p0) {
+            for d in 0..3 {
+                assert!((a[d] - b[d]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(run.steps, 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! Molecular-dynamics substrate: the role LAMMPS plays for DeePMD-kit.
+//!
+//! DeePMD-kit delegates to LAMMPS everything that is not the potential:
+//! atom storage, periodic boundaries, neighbor lists, time integration and
+//! thermodynamic output (§5.4). Since the reproduction builds every
+//! substrate from scratch, this crate provides all of it:
+//!
+//! * [`cell`] / [`system`] — orthorhombic periodic cells and atom state in
+//!   LAMMPS "metal" units (Å, eV, ps, amu),
+//! * [`neighbor`] — O(N) cell-list neighbor search with a skin buffer and
+//!   delayed rebuilds (the paper uses a 2 Å buffer, rebuilt every 50 steps),
+//! * [`potential`] — the `Potential` trait plus the classical reference
+//!   potentials that stand in for DFT labels and for the EFF baseline:
+//!   Lennard-Jones, a pairwise water model, and Sutton–Chen EAM copper,
+//! * [`integrate`] — Velocity–Verlet with optional Berendsen thermostat,
+//! * [`lattice`] / [`polycrystal`] / [`deform`] — configuration builders
+//!   (fcc crystals, water boxes, Voronoi polycrystals) and tensile strain,
+//! * [`analysis`] — radial distribution functions, common neighbor
+//!   analysis and mean-squared displacement (Fig 4, Fig 7),
+//! * [`xyz`] — extended-XYZ trajectory I/O.
+
+pub mod analysis;
+pub mod cell;
+pub mod deform;
+pub mod integrate;
+pub mod lattice;
+pub mod neighbor;
+pub mod polycrystal;
+pub mod potential;
+pub mod system;
+pub mod units;
+pub mod xyz;
+
+pub use cell::Cell;
+pub use neighbor::NeighborList;
+pub use potential::{Potential, PotentialOutput};
+pub use system::System;

@@ -1,0 +1,116 @@
+//! Adam optimizer over flat parameter vectors.
+//!
+//! DeePMD-kit trains with Adam and an exponentially decaying learning rate;
+//! we reproduce both. The optimizer is deliberately framework-free: it owns
+//! two moment vectors and updates a flat `Vec<f64>` in place, matching the
+//! canonical flat order of [`crate::net::Net::flat_params`].
+
+/// Adam with exponential learning-rate decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr0: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    /// Multiplicative decay applied every `decay_steps` steps:
+    /// `lr = lr0 * decay_rate^(step / decay_steps)`.
+    pub decay_rate: f64,
+    pub decay_steps: usize,
+    step: usize,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    pub fn new(n_params: usize, lr0: f64) -> Self {
+        Self {
+            lr0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            decay_rate: 0.95,
+            decay_steps: 10_000,
+            step: 0,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+        }
+    }
+
+    /// Current learning rate after decay.
+    pub fn lr(&self) -> f64 {
+        self.lr0 * self.decay_rate.powf(self.step as f64 / self.decay_steps as f64)
+    }
+
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// One Adam update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param length changed");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.step += 1;
+        let lr = self.lr();
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.step as i32);
+        let bc2 = 1.0 - b2.powi(self.step as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(p) = sum (p - target)^2
+        let target = [3.0, -1.5, 0.25];
+        let mut p = vec![0.0; 3];
+        let mut opt = Adam::new(3, 0.05);
+        for _ in 0..2000 {
+            let g: Vec<f64> = p.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+            opt.step(&mut p, &g);
+        }
+        for (a, b) in p.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lr_decays() {
+        let mut opt = Adam::new(1, 0.1);
+        opt.decay_steps = 10;
+        opt.decay_rate = 0.5;
+        let lr_start = opt.lr();
+        let mut p = vec![0.0];
+        for _ in 0..10 {
+            opt.step(&mut p, &[0.0]);
+        }
+        assert!((opt.lr() - lr_start * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_grad_is_fixed_point() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![1.0, 2.0];
+        opt.step(&mut p, &[0.0, 0.0]);
+        assert_eq!(p, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grad length mismatch")]
+    fn length_mismatch_panics() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![0.0, 0.0];
+        opt.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Stacks of layers: the embedding net and the fitting net.
+
+use crate::layer::{Layer, LayerCache, LayerKind};
+use dp_linalg::{Matrix, Real};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+#[derive(Clone)]
+pub struct Net<T> {
+    pub layers: Vec<Layer<T>>,
+}
+
+/// Serializable form of a network (always stored in f64).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetWeights {
+    pub layers: Vec<LayerWeights>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerWeights {
+    pub kind: LayerKind,
+    pub rows: usize,
+    pub cols: usize,
+    pub w: Vec<f64>,
+    pub b: Vec<f64>,
+}
+
+fn xavier<T: Real>(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix<T> {
+    // Glorot-normal via Box–Muller on the sanctioned `rand` uniform source.
+    let std = (2.0 / (rows + cols) as f64).sqrt();
+    let gauss = move |rng: &mut dyn rand::RngCore| -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(gauss(rng) * std))
+}
+
+impl<T: Real> Net<T> {
+    /// Embedding net (Fig 1 (c)): input is the scalar `s(r)` per neighbor,
+    /// `sizes` are the paper's `[25, 50, 100]`-style widths where each later
+    /// width doubles the previous one (growth layers).
+    pub fn embedding(sizes: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(!sizes.is_empty(), "embedding net needs at least one layer");
+        let mut layers = Vec::with_capacity(sizes.len());
+        layers.push(Layer {
+            kind: LayerKind::Plain,
+            w: xavier(rng, 1, sizes[0]),
+            b: vec![T::ZERO; sizes[0]],
+        });
+        for win in sizes.windows(2) {
+            let (prev, next) = (win[0], win[1]);
+            assert_eq!(
+                next,
+                2 * prev,
+                "embedding widths must double (paper layout), got {prev} -> {next}"
+            );
+            layers.push(Layer {
+                kind: LayerKind::Growth,
+                w: xavier(rng, prev, next),
+                b: vec![T::ZERO; next],
+            });
+        }
+        let net = Self { layers };
+        net.check();
+        net
+    }
+
+    /// Fitting net (Fig 1 (d)): descriptor in, scalar atomic energy out.
+    /// `hidden` are the paper's `[240, 240, 240]`-style widths; equal
+    /// consecutive widths become residual (skip) layers.
+    pub fn fitting(d_in: usize, hidden: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(!hidden.is_empty(), "fitting net needs hidden layers");
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        layers.push(Layer {
+            kind: LayerKind::Plain,
+            w: xavier(rng, d_in, hidden[0]),
+            b: vec![T::ZERO; hidden[0]],
+        });
+        for win in hidden.windows(2) {
+            let (prev, next) = (win[0], win[1]);
+            let kind = if prev == next {
+                LayerKind::Residual
+            } else {
+                LayerKind::Plain
+            };
+            layers.push(Layer {
+                kind,
+                w: xavier(rng, prev, next),
+                b: vec![T::ZERO; next],
+            });
+        }
+        layers.push(Layer {
+            kind: LayerKind::Linear,
+            w: xavier(rng, *hidden.last().unwrap(), 1),
+            b: vec![T::ZERO; 1],
+        });
+        let net = Self { layers };
+        net.check();
+        net
+    }
+
+    pub fn check(&self) {
+        for l in &self.layers {
+            l.check();
+        }
+        for win in self.layers.windows(2) {
+            assert_eq!(
+                win[0].out_dim(),
+                win[1].in_dim(),
+                "consecutive layers disagree on width"
+            );
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim())
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim())
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Forward pass discarding caches.
+    pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.forward(&h).0;
+        }
+        h
+    }
+
+    /// Forward pass returning per-layer caches for the backward pass.
+    pub fn forward_cached(&self, x: &Matrix<T>) -> (Matrix<T>, Vec<LayerCache<T>>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for l in &self.layers {
+            let (next, cache) = l.forward(&h);
+            caches.push(cache);
+            h = next;
+        }
+        (h, caches)
+    }
+
+    /// Backward pass: `dL/d(input)` given `dL/d(output)` and the caches from
+    /// [`forward_cached`](Self::forward_cached).
+    pub fn backward_input(&self, caches: &[LayerCache<T>], dy: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(caches.len(), self.layers.len());
+        let mut g = dy.clone();
+        for (l, c) in self.layers.iter().zip(caches.iter()).rev() {
+            g = l.backward_input(c, &g);
+        }
+        g
+    }
+
+    /// Flatten all parameters (row-major weights then biases, layer order)
+    /// into an `f64` vector — the canonical order shared with the tape
+    /// builder and the optimizer.
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend(l.w.as_slice().iter().map(|x| x.to_f64()));
+            out.extend(l.b.iter().map(|x| x.to_f64()));
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector (inverse of
+    /// [`flat_params`](Self::flat_params)).
+    pub fn set_flat_params(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter length");
+        let mut off = 0;
+        for l in &mut self.layers {
+            for x in l.w.as_mut_slice() {
+                *x = T::from_f64(flat[off]);
+                off += 1;
+            }
+            for x in &mut l.b {
+                *x = T::from_f64(flat[off]);
+                off += 1;
+            }
+        }
+    }
+
+    pub fn cast<U: Real>(&self) -> Net<U> {
+        Net {
+            layers: self.layers.iter().map(|l| l.cast()).collect(),
+        }
+    }
+
+    pub fn to_weights(&self) -> NetWeights {
+        NetWeights {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerWeights {
+                    kind: l.kind,
+                    rows: l.w.rows(),
+                    cols: l.w.cols(),
+                    w: l.w.as_slice().iter().map(|x| x.to_f64()).collect(),
+                    b: l.b.iter().map(|x| x.to_f64()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn from_weights(w: &NetWeights) -> Self {
+        let net = Self {
+            layers: w
+                .layers
+                .iter()
+                .map(|lw| Layer {
+                    kind: lw.kind,
+                    w: Matrix::from_vec(
+                        lw.rows,
+                        lw.cols,
+                        lw.w.iter().map(|&x| T::from_f64(x)).collect(),
+                    ),
+                    b: lw.b.iter().map(|&x| T::from_f64(x)).collect(),
+                })
+                .collect(),
+        };
+        net.check();
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Net::<f64>::embedding(&[4, 8, 16], &mut rng);
+        assert_eq!(net.in_dim(), 1);
+        assert_eq!(net.out_dim(), 16);
+        let x = Matrix::from_fn(10, 1, |i, _| 0.1 * i as f64);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), (10, 16));
+    }
+
+    #[test]
+    fn fitting_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Net::<f64>::fitting(12, &[24, 24, 24], &mut rng);
+        assert_eq!(net.in_dim(), 12);
+        assert_eq!(net.out_dim(), 1);
+        assert_eq!(net.layers[1].kind, LayerKind::Residual);
+        let x = Matrix::from_fn(5, 12, |i, j| 0.05 * (i + j) as f64);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), (5, 1));
+    }
+
+    #[test]
+    fn backward_matches_fd_through_whole_net() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Net::<f64>::fitting(3, &[6, 6], &mut rng);
+        let x0 = Matrix::from_fn(2, 3, |i, j| 0.2 * (i as f64) - 0.1 * (j as f64));
+        let (y0, caches) = net.forward_cached(&x0);
+        assert_eq!(y0.shape(), (2, 1));
+        let dy = Matrix::full(2, 1, 1.0);
+        let dx = net.backward_input(&caches, &dy);
+
+        let f = |x: &Matrix<f64>| net.forward(x).sum();
+        let eps = 1e-6;
+        for idx in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[idx]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Net::<f64>::embedding(&[4, 8], &mut rng);
+        let p = net.flat_params();
+        assert_eq!(p.len(), net.num_params());
+        let mut p2 = p.clone();
+        for x in &mut p2 {
+            *x += 1.0;
+        }
+        net.set_flat_params(&p2);
+        assert_eq!(net.flat_params(), p2);
+    }
+
+    #[test]
+    fn weights_serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Net::<f64>::fitting(4, &[8, 8], &mut rng);
+        let json = serde_json::to_string(&net.to_weights()).unwrap();
+        let back = Net::<f64>::from_weights(&serde_json::from_str(&json).unwrap());
+        // JSON decimal text may perturb the last ULP.
+        for (a, b) in net.flat_params().iter().zip(back.flat_params()) {
+            assert!((a - b).abs() <= a.abs() * 1e-15);
+        }
+    }
+
+    #[test]
+    fn cast_to_f32_stays_close() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = Net::<f64>::embedding(&[4, 8], &mut rng);
+        let net32: Net<f32> = net.cast();
+        let x = Matrix::from_fn(6, 1, |i, _| 0.3 * i as f64);
+        let y64 = net.forward(&x);
+        let y32: Matrix<f64> = net32.forward(&x.cast()).cast();
+        assert!(y64.max_abs_diff(&y32) < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let n1 = Net::<f64>::embedding(&[4, 8], &mut StdRng::seed_from_u64(7));
+        let n2 = Net::<f64>::embedding(&[4, 8], &mut StdRng::seed_from_u64(7));
+        assert_eq!(n1.flat_params(), n2.flat_params());
+    }
+}

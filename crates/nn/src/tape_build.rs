@@ -1,0 +1,161 @@
+//! Build the same networks on an autodiff tape.
+//!
+//! Training needs parameter gradients and — for the force-matching loss —
+//! gradients of gradients, so the training graph lives on `dp-autograd`.
+//! The functions here mirror [`crate::net::Net::forward`] layer-for-layer;
+//! `fast_path_matches_tape` below pins the two implementations together.
+
+use crate::layer::LayerKind;
+use crate::net::Net;
+use dp_autograd::{Tape, Var};
+use dp_linalg::Matrix;
+
+/// Tape handles for one layer's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerVars {
+    pub kind: LayerKind,
+    pub w: Var,
+    /// Bias as a `1 × out` row.
+    pub b: Var,
+}
+
+/// Tape handles for a whole net, in the same order as `Net::layers`.
+#[derive(Debug, Clone)]
+pub struct NetVars {
+    pub layers: Vec<LayerVars>,
+}
+
+impl NetVars {
+    /// All parameter vars in the canonical flat order (w then b per layer).
+    pub fn param_vars(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(|l| [l.w, l.b]).collect()
+    }
+}
+
+/// Create tape leaves holding the net's current parameters (always in f64 —
+/// training runs in double precision, as does the paper's).
+pub fn leaves_for_net(tape: &mut Tape, net: &Net<f64>) -> NetVars {
+    let layers = net
+        .layers
+        .iter()
+        .map(|l| LayerVars {
+            kind: l.kind,
+            w: tape.leaf(l.w.clone()),
+            b: tape.leaf(Matrix::from_vec(1, l.b.len(), l.b.clone())),
+        })
+        .collect();
+    NetVars { layers }
+}
+
+/// Forward the network symbolically: input var `x` (rows × in_dim) to the
+/// output var (rows × out_dim).
+pub fn forward_on_tape(tape: &mut Tape, vars: &NetVars, x: Var) -> Var {
+    let mut h = x;
+    for l in &vars.layers {
+        let pre = tape.affine(h, l.w, l.b);
+        h = match l.kind {
+            LayerKind::Linear => pre,
+            LayerKind::Plain => tape.tanh(pre),
+            LayerKind::Residual => {
+                let t = tape.tanh(pre);
+                tape.add(h, t)
+            }
+            LayerKind::Growth => {
+                let t = tape.tanh(pre);
+                let hh = tape.concat_cols(h, h);
+                tape.add(hh, t)
+            }
+        };
+    }
+    h
+}
+
+/// Copy gradients (one var per parameter leaf, in `param_vars()` order) into
+/// a flat `f64` vector matching `Net::flat_params` order.
+pub fn flatten_grads(tape: &Tape, vars: &NetVars, grads: &[Var]) -> Vec<f64> {
+    assert_eq!(grads.len(), vars.layers.len() * 2);
+    let mut out = Vec::new();
+    for (i, _l) in vars.layers.iter().enumerate() {
+        out.extend_from_slice(tape.value(grads[2 * i]).as_slice());
+        out.extend_from_slice(tape.value(grads[2 * i + 1]).as_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fast_path_matches_tape_fitting() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Net::<f64>::fitting(5, &[10, 10, 10], &mut rng);
+        let x = Matrix::from_fn(4, 5, |i, j| 0.1 * (i as f64) - 0.07 * (j as f64));
+
+        let fast = net.forward(&x);
+
+        let mut tape = Tape::new();
+        let vars = leaves_for_net(&mut tape, &net);
+        let xv = tape.leaf(x.clone());
+        let y = forward_on_tape(&mut tape, &vars, xv);
+
+        assert!(fast.max_abs_diff(tape.value(y)) < 1e-12);
+    }
+
+    #[test]
+    fn fast_path_matches_tape_embedding() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = Net::<f64>::embedding(&[6, 12, 24], &mut rng);
+        let x = Matrix::from_fn(7, 1, |i, _| 0.15 * i as f64 + 0.02);
+
+        let fast = net.forward(&x);
+
+        let mut tape = Tape::new();
+        let vars = leaves_for_net(&mut tape, &net);
+        let xv = tape.leaf(x.clone());
+        let y = forward_on_tape(&mut tape, &vars, xv);
+
+        assert!(fast.max_abs_diff(tape.value(y)) < 1e-12);
+    }
+
+    #[test]
+    fn fast_backward_matches_tape_grad() {
+        // dL/dx for L = sum(net(x)) must agree between the hand-written
+        // backward (used for forces) and the tape gradient.
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = Net::<f64>::fitting(4, &[8, 8], &mut rng);
+        let x = Matrix::from_fn(3, 4, |i, j| 0.2 * (i as f64) - 0.15 * (j as f64));
+
+        let (y, caches) = net.forward_cached(&x);
+        let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+        let fast_dx = net.backward_input(&caches, &dy);
+
+        let mut tape = Tape::new();
+        let vars = leaves_for_net(&mut tape, &net);
+        let xv = tape.leaf(x);
+        let out = forward_on_tape(&mut tape, &vars, xv);
+        let s = tape.sum_all(out);
+        let g = tape.grad(s, &[xv])[0];
+
+        assert!(fast_dx.max_abs_diff(tape.value(g)) < 1e-11);
+    }
+
+    #[test]
+    fn param_grad_flattening_matches_param_order() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let net = Net::<f64>::fitting(3, &[6, 6], &mut rng);
+        let x = Matrix::from_fn(2, 3, |i, j| 0.1 * (i + j) as f64);
+
+        let mut tape = Tape::new();
+        let vars = leaves_for_net(&mut tape, &net);
+        let xv = tape.leaf(x);
+        let out = forward_on_tape(&mut tape, &vars, xv);
+        let s = tape.sum_all(out);
+        let pv = vars.param_vars();
+        let grads = tape.grad(s, &pv);
+        let flat = flatten_grads(&tape, &vars, &grads);
+        assert_eq!(flat.len(), net.num_params());
+    }
+}

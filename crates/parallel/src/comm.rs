@@ -1,0 +1,228 @@
+//! Rank-to-rank messaging and global reductions.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// One ghost atom shipped at exchange time.
+#[derive(Debug, Clone, Copy)]
+pub struct GhostAtom {
+    /// Owner-rank-local index (for reverse communication).
+    pub owner_index: u32,
+    pub ty: u32,
+    pub position: [f64; 3],
+}
+
+/// An atom migrating to a new owner.
+#[derive(Debug, Clone, Copy)]
+pub struct Migrant {
+    /// Global atom id (stable across the run).
+    pub id: u64,
+    pub ty: u32,
+    pub position: [f64; 3],
+    pub velocity: [f64; 3],
+}
+
+/// Messages between ranks.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Full ghost set (at neighbor-list rebuild).
+    Ghosts(Vec<GhostAtom>),
+    /// Position refresh for the previously shipped ghosts, same order.
+    GhostPositions(Vec<[f64; 3]>),
+    /// Forces accumulated on the receiver's atoms that were ghosts here,
+    /// same order as the `Ghosts` they answer.
+    GhostForces(Vec<[f64; 3]>),
+    /// Atoms whose owner changed.
+    Migrants(Vec<Migrant>),
+}
+
+/// Per-rank endpoints of a full point-to-point mesh.
+pub struct RankComm {
+    pub rank: usize,
+    /// `to[r]` sends to rank r (None for self).
+    pub to: Vec<Option<Sender<Msg>>>,
+    /// `from[r]` receives from rank r (None for self).
+    pub from: Vec<Option<Receiver<Msg>>>,
+}
+
+impl RankComm {
+    /// Build the mesh for `n` ranks.
+    pub fn mesh(n: usize) -> Vec<RankComm> {
+        // channels[i][j]: i -> j
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (s, r) = unbounded();
+                senders[i][j] = Some(s);
+                receivers[j][i] = Some(r);
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for (rank, (to, from)) in senders.into_iter().zip(receivers).enumerate() {
+            out.push(RankComm { rank, to, from });
+        }
+        out
+    }
+
+    pub fn send(&self, dest: usize, msg: Msg) {
+        self.to[dest]
+            .as_ref()
+            .expect("no channel to self")
+            .send(msg)
+            .expect("receiver dropped");
+    }
+
+    pub fn recv(&self, src: usize) -> Msg {
+        self.from[src]
+            .as_ref()
+            .expect("no channel from self")
+            .recv()
+            .expect("sender dropped")
+    }
+}
+
+struct ReduceState {
+    acc: Vec<f64>,
+    arrived: usize,
+    generation: u64,
+    result: Vec<f64>,
+}
+
+/// Blocking sum-allreduce over `n` ranks (the `MPI_Allreduce` stand-in).
+/// Counts invocations so benches can report reduction traffic.
+pub struct Allreduce {
+    n: usize,
+    width: usize,
+    state: Mutex<ReduceState>,
+    cv: Condvar,
+    ops: std::sync::atomic::AtomicU64,
+}
+
+impl Allreduce {
+    pub fn new(n: usize, width: usize) -> Self {
+        Self {
+            n,
+            width,
+            state: Mutex::new(ReduceState {
+                acc: vec![0.0; width],
+                arrived: 0,
+                generation: 0,
+                result: vec![0.0; width],
+            }),
+            cv: Condvar::new(),
+            ops: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Contribute and wait for the global sum. Every rank must call this
+    /// the same number of times (like MPI).
+    pub fn reduce(&self, contribution: &[f64]) -> Vec<f64> {
+        assert_eq!(contribution.len(), self.width);
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        for (a, &c) in st.acc.iter_mut().zip(contribution) {
+            *a += c;
+        }
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.result = std::mem::replace(&mut st.acc, vec![0.0; self.width]);
+            st.arrived = 0;
+            st.generation += 1;
+            self.ops
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.cv.notify_all();
+            st.result.clone()
+        } else {
+            self.cv.wait_while(&mut st, |s| s.generation == my_gen);
+            st.result.clone()
+        }
+    }
+
+    /// Number of completed reductions.
+    pub fn operations(&self) -> u64 {
+        self.ops.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mesh_delivers_messages() {
+        let mesh = RankComm::mesh(3);
+        mesh[0].send(2, Msg::GhostPositions(vec![[1.0, 2.0, 3.0]]));
+        match mesh[2].recv(0) {
+            Msg::GhostPositions(v) => assert_eq!(v[0], [1.0, 2.0, 3.0]),
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesh_channels_are_pairwise_ordered() {
+        let mesh = RankComm::mesh(2);
+        mesh[0].send(1, Msg::GhostPositions(vec![[1.0; 3]]));
+        mesh[0].send(1, Msg::GhostPositions(vec![[2.0; 3]]));
+        let first = mesh[1].recv(0);
+        let second = mesh[1].recv(0);
+        match (first, second) {
+            (Msg::GhostPositions(a), Msg::GhostPositions(b)) => {
+                assert_eq!(a[0][0], 1.0);
+                assert_eq!(b[0][0], 2.0);
+            }
+            _ => panic!("order broken"),
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_threads() {
+        let n = 4;
+        let ar = Arc::new(Allreduce::new(n, 2));
+        let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let ar = ar.clone();
+                    s.spawn(move || ar.reduce(&[r as f64, 1.0]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for res in results {
+            assert_eq!(res, vec![6.0, 4.0]);
+        }
+        assert_eq!(ar.operations(), 1);
+    }
+
+    #[test]
+    fn allreduce_generations_do_not_mix() {
+        let n = 3;
+        let ar = Arc::new(Allreduce::new(n, 1));
+        let sums: Vec<(f64, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let ar = ar.clone();
+                    s.spawn(move || {
+                        let a = ar.reduce(&[(r + 1) as f64])[0];
+                        let b = ar.reduce(&[(r + 1) as f64 * 10.0])[0];
+                        (a, b)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in sums {
+            assert_eq!(a, 6.0);
+            assert_eq!(b, 60.0);
+        }
+        assert_eq!(ar.operations(), 2);
+    }
+}

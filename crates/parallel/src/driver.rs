@@ -1,0 +1,702 @@
+//! The parallel Velocity–Verlet driver.
+//!
+//! One OS thread per rank; each step performs the LAMMPS communication
+//! cycle the paper inherits (§5.4): forward ghost refresh → force
+//! evaluation → reverse force communication → (optionally deferred)
+//! global reductions. Neighbor-list rebuild decisions are collective, so
+//! the message schedule is identical on every rank.
+
+use crate::comm::{Allreduce, GhostAtom, Migrant, Msg, RankComm};
+use crate::grid::DomainGrid;
+use dp_md::integrate::{MdOptions, ThermoSample};
+use dp_md::{units, NeighborList, Potential, System};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options for a parallel run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    pub md: MdOptions,
+    /// `true`: allreduce thermodynamic output every step (the baseline
+    /// behaviour whose implicit barrier the paper works around);
+    /// `false`: reduce only on output steps (reduced output frequency +
+    /// `MPI_Iallreduce`, §5.4).
+    pub blocking_reduce: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self {
+            md: MdOptions::default(),
+            blocking_reduce: false,
+        }
+    }
+}
+
+/// Per-rank communication/computation statistics (Table 4 columns).
+#[derive(Debug, Clone, Default)]
+pub struct RankStats {
+    pub rank: usize,
+    pub final_local: usize,
+    /// Ghost count at the last exchange.
+    pub last_ghosts: usize,
+    pub max_ghosts: usize,
+    pub ghost_atoms_sent: u64,
+    pub rebuilds: usize,
+    pub compute_time: Duration,
+    pub comm_time: Duration,
+    pub reduce_time: Duration,
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelRun {
+    pub thermo: Vec<ThermoSample>,
+    pub steps: usize,
+    pub loop_time: Duration,
+    pub rank_stats: Vec<RankStats>,
+    /// Final state gathered across ranks, in original atom order.
+    pub system: System,
+    /// Completed thermo reductions (allreduce traffic indicator).
+    pub reduce_operations: u64,
+}
+
+impl ParallelRun {
+    pub fn time_to_solution(&self, n_atoms: usize) -> f64 {
+        self.loop_time.as_secs_f64() / self.steps.max(1) as f64 / n_atoms as f64
+    }
+}
+
+struct RankState {
+    rank: usize,
+    ids: Vec<u64>,
+    positions: Vec<[f64; 3]>,
+    velocities: Vec<[f64; 3]>,
+    types: Vec<usize>,
+    forces: Vec<[f64; 3]>,
+    /// partners (sorted rank ids) for the halo width in use
+    partners: Vec<usize>,
+    /// per partner: local indices shipped as ghosts
+    send_lists: Vec<Vec<u32>>,
+    /// per partner: number of ghosts received (appended in partner order)
+    recv_counts: Vec<usize>,
+    /// local positions at the last exchange (rebuild trigger reference)
+    ref_positions_snapshot: Vec<[f64; 3]>,
+}
+
+/// Run `n_steps` of parallel MD. The input system defines the initial
+/// state; the returned [`ParallelRun::system`] carries the final one.
+pub fn run_parallel_md(
+    sys: &System,
+    pot: Arc<dyn Potential>,
+    grid_dims: [usize; 3],
+    opts: &ParallelOptions,
+    n_steps: usize,
+) -> ParallelRun {
+    assert_eq!(sys.n_local, sys.len(), "input must have no ghosts");
+    let grid = DomainGrid::new(sys.cell, grid_dims);
+    let n_ranks = grid.n_ranks();
+    let halo = pot.cutoff() + opts.md.skin;
+    assert!(
+        halo <= sys.cell.max_cutoff(),
+        "halo {halo} exceeds minimum-image limit"
+    );
+
+    // scatter atoms to owners
+    let mut initial: Vec<RankState> = (0..n_ranks)
+        .map(|rank| RankState {
+            rank,
+            ids: Vec::new(),
+            positions: Vec::new(),
+            velocities: Vec::new(),
+            types: Vec::new(),
+            forces: Vec::new(),
+            partners: grid.neighbors_within(rank, halo),
+            send_lists: Vec::new(),
+            recv_counts: Vec::new(),
+            ref_positions_snapshot: Vec::new(),
+        })
+        .collect();
+    for i in 0..sys.len() {
+        let r = grid.rank_of_position(sys.positions[i]);
+        let st = &mut initial[r];
+        st.ids.push(i as u64);
+        st.positions.push(sys.cell.wrap(sys.positions[i]));
+        st.velocities.push(sys.velocities[i]);
+        st.types.push(sys.types[i]);
+    }
+
+    let mesh = RankComm::mesh(n_ranks);
+    let thermo_reduce = Arc::new(Allreduce::new(n_ranks, 9));
+    let flag_reduce = Arc::new(Allreduce::new(n_ranks, 1));
+    let masses = sys.masses.clone();
+    let cell = sys.cell;
+    let start = Instant::now();
+
+    let results: Vec<(RankState, RankStats, Vec<ThermoSample>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = initial
+            .drain(..)
+            .zip(mesh)
+            .map(|(state, comm)| {
+                let grid = grid.clone();
+                let pot = pot.clone();
+                let thermo_reduce = thermo_reduce.clone();
+                let flag_reduce = flag_reduce.clone();
+                let masses = masses.clone();
+                scope.spawn(move || {
+                    rank_loop(
+                        state,
+                        comm,
+                        &grid,
+                        pot.as_ref(),
+                        &masses,
+                        cell,
+                        opts,
+                        n_steps,
+                        halo,
+                        &thermo_reduce,
+                        &flag_reduce,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let loop_time = start.elapsed();
+
+    // gather final state in original order
+    let mut positions = vec![[0.0; 3]; sys.len()];
+    let mut velocities = vec![[0.0; 3]; sys.len()];
+    let mut types = vec![0usize; sys.len()];
+    let mut rank_stats = Vec::with_capacity(n_ranks);
+    let mut thermo: Vec<ThermoSample> = Vec::new();
+    for (state, stats, rank_thermo) in results {
+        for (k, &id) in state.ids.iter().enumerate() {
+            positions[id as usize] = state.positions[k];
+            velocities[id as usize] = state.velocities[k];
+            types[id as usize] = state.types[k];
+        }
+        if !rank_thermo.is_empty() {
+            thermo = rank_thermo; // identical on every rank; keep one
+        }
+        rank_stats.push(stats);
+    }
+    rank_stats.sort_by_key(|s| s.rank);
+    let mut final_sys = System::new(cell, positions, types, masses);
+    final_sys.velocities = velocities;
+
+    ParallelRun {
+        thermo,
+        steps: n_steps,
+        loop_time,
+        rank_stats,
+        system: final_sys,
+        reduce_operations: thermo_reduce.operations(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_loop(
+    mut st: RankState,
+    comm: RankComm,
+    grid: &DomainGrid,
+    pot: &dyn Potential,
+    masses: &[f64],
+    cell: dp_md::Cell,
+    opts: &ParallelOptions,
+    n_steps: usize,
+    halo: f64,
+    thermo_reduce: &Allreduce,
+    flag_reduce: &Allreduce,
+) -> (RankState, RankStats, Vec<ThermoSample>) {
+    let mut stats = RankStats {
+        rank: st.rank,
+        ..RankStats::default()
+    };
+    let mut thermo = Vec::new();
+    let dt = opts.md.dt;
+
+    // initial exchange + list build + force evaluation
+    let t0 = Instant::now();
+    exchange(&mut st, &comm, grid, halo, &mut stats);
+    stats.comm_time += t0.elapsed();
+    let mut local = build_local_system(&st, cell, masses);
+    let mut nl = NeighborList::build(&local, pot.cutoff() + opts.md.skin);
+    stats.rebuilds += 1;
+    let mut out = {
+        let t = Instant::now();
+        let o = pot.compute(&local, &nl);
+        stats.compute_time += t.elapsed();
+        o
+    };
+    reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
+    st.forces = out.forces[..local.n_local].to_vec();
+    add_reverse_forces(&mut st, &comm, &mut stats);
+
+    let record =
+        |step: usize,
+         st: &RankState,
+         local: &System,
+         pe: f64,
+         virial: &[f64; 6],
+         stats: &mut RankStats,
+         thermo: &mut Vec<ThermoSample>| {
+            // reduce [pe, ke, virial(6), n]
+            let mut ke = 0.0;
+            for k in 0..st.ids.len() {
+                let m = masses[st.types[k]];
+                let v = st.velocities[k];
+                ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
+            }
+            let mut payload = [0.0; 9];
+            payload[0] = pe;
+            payload[1] = ke;
+            payload[2..8].copy_from_slice(virial);
+            payload[8] = st.ids.len() as f64;
+            let t = Instant::now();
+            let tot = thermo_reduce.reduce(&payload);
+            stats.reduce_time += t.elapsed();
+            let n = tot[8];
+            let temp = if n > 0.0 {
+                2.0 * tot[1] / (3.0 * n * units::KB)
+            } else {
+                0.0
+            };
+            let w = (tot[2] + tot[3] + tot[4]) / 3.0;
+            let pressure =
+                (n * units::KB * temp + w) / local.cell.volume() * units::EV_PER_A3_TO_BAR;
+            thermo.push(ThermoSample {
+                step,
+                potential_energy: tot[0],
+                kinetic_energy: tot[1],
+                temperature: temp,
+                pressure,
+            });
+        };
+    record(0, &st, &local, out.energy, &out.virial, &mut stats, &mut thermo);
+
+    for step in 1..=n_steps {
+        // half kick + drift (locals only)
+        for k in 0..st.ids.len() {
+            let inv_m = units::FORCE_TO_ACCEL / masses[st.types[k]];
+            for d in 0..3 {
+                st.velocities[k][d] += 0.5 * dt * st.forces[k][d] * inv_m;
+                st.positions[k][d] += dt * st.velocities[k][d];
+            }
+            st.positions[k] = cell.wrap(st.positions[k]);
+        }
+
+        // collective rebuild decision on the paper's schedule
+        let rebuild = if step % opts.md.rebuild_every == 0 {
+            let moved = needs_rebuild(&st, &nl, cell, opts.md.skin);
+            let t = Instant::now();
+            let any = flag_reduce.reduce(&[if moved { 1.0 } else { 0.0 }])[0] > 0.0;
+            stats.reduce_time += t.elapsed();
+            any
+        } else {
+            false
+        };
+
+        let t_comm = Instant::now();
+        if rebuild {
+            migrate(&mut st, &comm, grid);
+            exchange(&mut st, &comm, grid, halo, &mut stats);
+        } else {
+            forward_comm(&mut st, &comm);
+        }
+        stats.comm_time += t_comm.elapsed();
+
+        if rebuild {
+            local = build_local_system(&st, cell, masses);
+            nl = NeighborList::build(&local, pot.cutoff() + opts.md.skin);
+            stats.rebuilds += 1;
+        } else {
+            update_local_positions(&mut local, &st);
+        }
+
+        let t = Instant::now();
+        out = pot.compute(&local, &nl);
+        stats.compute_time += t.elapsed();
+        reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
+        st.forces = out.forces[..local.n_local].to_vec();
+        add_reverse_forces(&mut st, &comm, &mut stats);
+
+        // second half kick
+        for k in 0..st.ids.len() {
+            let inv_m = units::FORCE_TO_ACCEL / masses[st.types[k]];
+            for d in 0..3 {
+                st.velocities[k][d] += 0.5 * dt * st.forces[k][d] * inv_m;
+            }
+        }
+
+        // global Berendsen thermostat (needs a global temperature)
+        if let Some(b) = opts.md.thermostat {
+            let mut ke = 0.0;
+            for k in 0..st.ids.len() {
+                let m = masses[st.types[k]];
+                let v = st.velocities[k];
+                ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
+            }
+            let t = Instant::now();
+            let tot = thermo_reduce.reduce(&[ke, st.ids.len() as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+            stats.reduce_time += t.elapsed();
+            let n = tot[1];
+            let temp = 2.0 * tot[0] / (3.0 * n * units::KB);
+            if temp > 0.0 {
+                let lambda = (1.0 + dt / b.tau * (b.target_t / temp - 1.0)).sqrt();
+                for v in &mut st.velocities {
+                    for d in 0..3 {
+                        v[d] *= lambda;
+                    }
+                }
+            }
+        }
+
+        // thermodynamic output: every step in blocking mode, else on stride
+        if opts.blocking_reduce || step % opts.md.thermo_every == 0 || step == n_steps {
+            record(step, &st, &local, out.energy, &out.virial, &mut stats, &mut thermo);
+        }
+    }
+
+    stats.final_local = st.ids.len();
+    (st, stats, thermo)
+}
+
+fn build_local_system(st: &RankState, cell: dp_md::Cell, masses: &[f64]) -> System {
+    // ghosts were appended by `exchange`, so positions/types already hold
+    // locals followed by ghosts
+    let mut sys = System::new(cell, st.positions.clone(), st.types.clone(), masses.to_vec());
+    sys.n_local = st.ids.len();
+    sys
+}
+
+fn update_local_positions(local: &mut System, st: &RankState) {
+    local.positions.copy_from_slice(&st.positions);
+}
+
+fn needs_rebuild(st: &RankState, nl: &NeighborList, cell: dp_md::Cell, skin: f64) -> bool {
+    // conservative: rebuild when any LOCAL atom moved > skin/4 since the
+    // list was built (skin/2 shared between the mover and its neighbors,
+    // which may be ghosts whose motion we don't see directly)
+    let _ = nl;
+    let lim2 = (0.25 * skin) * (0.25 * skin);
+    st.positions[..st.ids.len()]
+        .iter()
+        .zip(&st.ref_positions_snapshot)
+        .any(|(&p, &q)| cell.distance2(p, q) > lim2)
+}
+
+// --- the RankState needs a rebuild snapshot; extend it via a secondary
+// impl to keep the struct definition readable ---
+impl RankState {
+    fn snapshot(&mut self) {
+        self.ref_positions_snapshot = self.positions[..self.ids.len()].to_vec();
+    }
+}
+
+/// Migrate atoms whose owner changed to the new owner rank.
+fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
+    let n_local = st.ids.len();
+    let mut keep_ids = Vec::with_capacity(n_local);
+    let mut keep_pos = Vec::with_capacity(n_local);
+    let mut keep_vel = Vec::with_capacity(n_local);
+    let mut keep_ty = Vec::with_capacity(n_local);
+    let mut outbox: Vec<Vec<Migrant>> = vec![Vec::new(); st.partners.len()];
+    for k in 0..n_local {
+        let owner = grid.rank_of_position(st.positions[k]);
+        if owner == st.rank {
+            keep_ids.push(st.ids[k]);
+            keep_pos.push(st.positions[k]);
+            keep_vel.push(st.velocities[k]);
+            keep_ty.push(st.types[k]);
+        } else {
+            let slot = st
+                .partners
+                .iter()
+                .position(|&p| p == owner)
+                .expect("atom migrated beyond halo partners in one interval");
+            outbox[slot].push(Migrant {
+                ty: st.types[k] as u32,
+                position: st.positions[k],
+                velocity: st.velocities[k],
+                id: st.ids[k],
+            });
+        }
+    }
+    for (slot, &dest) in st.partners.iter().enumerate() {
+        comm.send(dest, Msg::Migrants(std::mem::take(&mut outbox[slot])));
+    }
+    st.ids = keep_ids;
+    st.positions = keep_pos;
+    st.velocities = keep_vel;
+    st.types = keep_ty;
+    for &src in &st.partners {
+        match comm.recv(src) {
+            Msg::Migrants(v) => {
+                for m in v {
+                    st.ids.push(m.id);
+                    st.positions.push(m.position);
+                    st.velocities.push(m.velocity);
+                    st.types.push(m.ty as usize);
+                }
+            }
+            other => panic!("expected Migrants, got {other:?}"),
+        }
+    }
+}
+
+/// Full ghost exchange: recompute send lists and ship ghost atoms; append
+/// received ghosts after the locals.
+fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, stats: &mut RankStats) {
+    let n_local = st.ids.len();
+    // truncate any previous ghosts
+    st.positions.truncate(n_local);
+    st.types.truncate(n_local);
+
+    st.send_lists = st
+        .partners
+        .iter()
+        .map(|&dest| {
+            (0..n_local)
+                .filter(|&k| grid.distance_to_domain(st.positions[k], dest) < halo)
+                .map(|k| k as u32)
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+    for (slot, &dest) in st.partners.iter().enumerate() {
+        let ghosts: Vec<GhostAtom> = st.send_lists[slot]
+            .iter()
+            .map(|&k| GhostAtom {
+                owner_index: k,
+                ty: st.types[k as usize] as u32,
+                position: st.positions[k as usize],
+            })
+            .collect();
+        stats.ghost_atoms_sent += ghosts.len() as u64;
+        comm.send(dest, Msg::Ghosts(ghosts));
+    }
+    st.recv_counts = vec![0; st.partners.len()];
+    for (slot, &src) in st.partners.iter().enumerate() {
+        match comm.recv(src) {
+            Msg::Ghosts(v) => {
+                st.recv_counts[slot] = v.len();
+                for g in v {
+                    st.positions.push(g.position);
+                    st.types.push(g.ty as usize);
+                }
+            }
+            other => panic!("expected Ghosts, got {other:?}"),
+        }
+    }
+    let ghosts_now = st.positions.len() - n_local;
+    stats.last_ghosts = ghosts_now;
+    stats.max_ghosts = stats.max_ghosts.max(ghosts_now);
+    st.snapshot();
+}
+
+/// Forward communication between rebuilds: refresh ghost positions.
+fn forward_comm(st: &mut RankState, comm: &RankComm) {
+    for (slot, &dest) in st.partners.iter().enumerate() {
+        let positions: Vec<[f64; 3]> = st.send_lists[slot]
+            .iter()
+            .map(|&k| st.positions[k as usize])
+            .collect();
+        comm.send(dest, Msg::GhostPositions(positions));
+    }
+    let n_local = st.ids.len();
+    let mut offset = n_local;
+    for (slot, &src) in st.partners.iter().enumerate() {
+        match comm.recv(src) {
+            Msg::GhostPositions(v) => {
+                assert_eq!(v.len(), st.recv_counts[slot], "ghost schedule broken");
+                for p in v {
+                    st.positions[offset] = p;
+                    offset += 1;
+                }
+            }
+            other => panic!("expected GhostPositions, got {other:?}"),
+        }
+    }
+}
+
+/// Reverse communication: send forces accumulated on ghosts back to owners.
+fn reverse_comm(
+    st: &mut RankState,
+    comm: &RankComm,
+    forces: &[[f64; 3]],
+    n_local: usize,
+    _stats: &mut RankStats,
+) {
+    let mut offset = n_local;
+    for (slot, &src) in st.partners.iter().enumerate() {
+        let count = st.recv_counts[slot];
+        let payload: Vec<[f64; 3]> = forces[offset..offset + count].to_vec();
+        offset += count;
+        // forces on ghosts owned by `src` go back to `src`
+        comm.send(src, Msg::GhostForces(payload));
+        let _ = slot;
+    }
+}
+
+/// Receive the reverse-communicated forces and add them to local atoms.
+fn add_reverse_forces(st: &mut RankState, comm: &RankComm, _stats: &mut RankStats) {
+    for (slot, &src) in st.partners.iter().enumerate() {
+        match comm.recv(src) {
+            Msg::GhostForces(v) => {
+                assert_eq!(v.len(), st.send_lists[slot].len(), "reverse schedule broken");
+                for (f, &k) in v.iter().zip(&st.send_lists[slot]) {
+                    for d in 0..3 {
+                        st.forces[k as usize][d] += f[d];
+                    }
+                }
+            }
+            other => panic!("expected GhostForces, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_md::integrate::{run_md, MdOptions};
+    use dp_md::potential::pair::LennardJones;
+    use dp_md::lattice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_system() -> System {
+        let mut sys = lattice::fcc(5.26, [4, 4, 4], 39.948);
+        let mut rng = StdRng::seed_from_u64(7);
+        sys.init_velocities(30.0, &mut rng);
+        sys
+    }
+
+    fn lj() -> Arc<LennardJones> {
+        Arc::new(LennardJones::new(0.0104, 3.405, 6.0))
+    }
+
+    #[test]
+    fn zero_step_forces_match_serial() {
+        let sys = test_system();
+        let pot = lj();
+        let nl = NeighborList::build(&sys, pot.cutoff() + 2.0);
+        let serial = pot.compute(&sys, &nl);
+
+        let run = run_parallel_md(&sys, pot.clone(), [2, 2, 2], &ParallelOptions::default(), 0);
+        // thermo[0] carries the reduced energy
+        let pe = run.thermo[0].potential_energy;
+        assert!(
+            (pe - serial.energy).abs() < 1e-9,
+            "parallel {pe} vs serial {}",
+            serial.energy
+        );
+    }
+
+    #[test]
+    fn trajectory_matches_serial() {
+        let pot = lj();
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                rebuild_every: 10,
+                thermo_every: 10,
+                ..MdOptions::default()
+            },
+            blocking_reduce: false,
+        };
+        let steps = 30;
+
+        let mut serial_sys = test_system();
+        run_md(&mut serial_sys, pot.as_ref(), &opts.md, steps, |_| {});
+
+        let par = run_parallel_md(&test_system(), pot.clone(), [2, 2, 1], &opts, steps);
+
+        let mut max_d = 0.0f64;
+        for i in 0..serial_sys.len() {
+            let d2 = serial_sys
+                .cell
+                .distance2(serial_sys.positions[i], par.system.positions[i]);
+            max_d = max_d.max(d2.sqrt());
+        }
+        assert!(max_d < 1e-7, "trajectories diverged: {max_d} Å");
+    }
+
+    #[test]
+    fn parallel_nve_conserves_energy() {
+        let pot = lj();
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                rebuild_every: 20,
+                thermo_every: 20,
+                ..MdOptions::default()
+            },
+            blocking_reduce: false,
+        };
+        let run = run_parallel_md(&test_system(), pot, [2, 2, 2], &opts, 200);
+        let e0 = run.thermo.first().unwrap().total_energy();
+        let e1 = run.thermo.last().unwrap().total_energy();
+        let n = run.system.len() as f64;
+        assert!(
+            ((e1 - e0) / n).abs() < 2e-5,
+            "parallel NVE drift {} eV/atom",
+            (e1 - e0) / n
+        );
+    }
+
+    #[test]
+    fn atoms_conserved_through_migration() {
+        let pot = lj();
+        let mut sys = test_system();
+        let mut rng = StdRng::seed_from_u64(9);
+        sys.init_velocities(120.0, &mut rng); // hot: plenty of migration
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                rebuild_every: 5,
+                ..MdOptions::default()
+            },
+            blocking_reduce: false,
+        };
+        let run = run_parallel_md(&sys, pot, [2, 2, 2], &opts, 100);
+        let total: usize = run.rank_stats.iter().map(|s| s.final_local).sum();
+        assert_eq!(total, sys.len());
+        // migrations definitely happened at 120 K over 100 steps
+        assert!(run.rank_stats.iter().all(|s| s.rebuilds >= 1));
+    }
+
+    #[test]
+    fn deferred_reduce_is_less_chatty() {
+        let pot = lj();
+        let sys = test_system();
+        let mut opts = ParallelOptions {
+            md: MdOptions {
+                thermo_every: 20,
+                ..MdOptions::default()
+            },
+            blocking_reduce: true,
+        };
+        let blocking = run_parallel_md(&sys, pot.clone(), [2, 1, 1], &opts, 40);
+        opts.blocking_reduce = false;
+        let deferred = run_parallel_md(&sys, pot, [2, 1, 1], &opts, 40);
+        assert!(
+            deferred.reduce_operations < blocking.reduce_operations,
+            "deferred {} !< blocking {}",
+            deferred.reduce_operations,
+            blocking.reduce_operations
+        );
+    }
+
+    #[test]
+    fn ghost_counts_scale_with_halo_surface() {
+        let pot = lj();
+        let sys = test_system();
+        let run = run_parallel_md(&sys, pot, [2, 2, 2], &ParallelOptions::default(), 0);
+        for s in &run.rank_stats {
+            assert!(s.max_ghosts > 0, "rank {} saw no ghosts", s.rank);
+            // sub-box is 10.52 Å; halo 8 Å: ghosts can exceed locals but
+            // must stay below the whole rest of the system
+            assert!(s.max_ghosts < sys.len());
+        }
+    }
+}

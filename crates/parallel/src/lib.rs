@@ -1,0 +1,27 @@
+//! Domain-decomposition MD driver: the distributed-memory layer (§5.4).
+//!
+//! On Summit the paper runs 6 MPI ranks per node, each bound to a GPU,
+//! with LAMMPS maintaining the spatial partitioning, ghost-region exchange
+//! and global reductions. Here each MPI rank is an OS thread, messages
+//! travel over `crossbeam` channels, and the same three communication
+//! patterns are reproduced:
+//!
+//! * **forward (ghost) communication** — positions of atoms near domain
+//!   faces are copied to the neighboring ranks before every force
+//!   evaluation ([`driver`]),
+//! * **reverse (force) communication** — forces accumulated on ghost
+//!   copies are sent back and summed into the owners (the DP force
+//!   decomposition makes this identical to LAMMPS `newton on`),
+//! * **global reductions** — energy/virial/temperature allreduces, either
+//!   blocking every step or deferred to the output stride, reproducing the
+//!   paper's `MPI_Iallreduce` + reduced-output-frequency optimizations,
+//! * **parallel setup** (§7.3) — replicated build-and-scatter versus
+//!   rank-local construction ([`setup`]).
+
+pub mod comm;
+pub mod driver;
+pub mod grid;
+pub mod setup;
+
+pub use driver::{run_parallel_md, ParallelOptions, ParallelRun};
+pub use grid::DomainGrid;

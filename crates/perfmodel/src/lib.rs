@@ -1,0 +1,356 @@
+//! Analytic Summit performance model.
+//!
+//! Our substrate is a laptop-scale thread-parallel simulator; the paper's
+//! headline numbers are measured on 4,560 Summit nodes. To regenerate the
+//! *shape* of Fig 5 (strong scaling), Fig 6 (weak scaling), Table 1
+//! (time-to-solution) and Table 4 (per-GPU efficiency decay) at paper
+//! scale, this crate provides a first-principles machine model:
+//!
+//! * **work**: FLOPs/atom of the DP pipeline, taken from the paper's own
+//!   totals (124.83 PFLOP / 501 evaluations / 12,582,912 atoms for water;
+//!   835.53 PFLOP / 501 / 25,739,424 for copper, §6.1) — our measured
+//!   FLOP counters cross-check the same quantity for our network sizes,
+//! * **ghosts**: the halo-shell model `((L+2h)³ − L³)·ρ` with `L` the
+//!   per-GPU subdomain edge — reproducing Table 4's ghost column to a few
+//!   per cent,
+//! * **efficiency**: a saturation curve `eff(a) = p·a/(a+h)` in atoms per
+//!   GPU, calibrated on exactly two published points per system and
+//!   validated against the remaining five (tests below).
+//!
+//! Everything else (PFLOPS, TtS, parallel efficiency, hours per
+//! nanosecond) follows arithmetically.
+
+use serde::{Deserialize, Serialize};
+
+/// Summit hardware constants (§6.2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SummitSpec {
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+    /// V100 double-precision peak, FLOP/s.
+    pub gpu_fp64: f64,
+    /// POWER9 socket double-precision peak, FLOP/s (2 per node).
+    pub cpu_socket_fp64: f64,
+}
+
+impl Default for SummitSpec {
+    fn default() -> Self {
+        Self {
+            nodes: 4608,
+            gpus_per_node: 6,
+            gpu_fp64: 7.0e12,
+            cpu_socket_fp64: 0.515e12,
+        }
+    }
+}
+
+impl SummitSpec {
+    /// Whole-node double-precision peak (the paper's 43 TFLOPS).
+    pub fn node_peak(&self) -> f64 {
+        self.gpus_per_node as f64 * self.gpu_fp64 + 2.0 * self.cpu_socket_fp64
+    }
+}
+
+/// Per-system calibration (see module docs for the derivations).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemModel {
+    pub name: &'static str,
+    /// Number density, atoms/Å³.
+    pub density: f64,
+    /// Halo width: cutoff + neighbor skin, Å.
+    pub halo: f64,
+    /// FLOPs per atom per MD step (double precision).
+    pub flops_per_atom: f64,
+    /// eff(a) = p·a/(a+h) saturation parameters (fraction of GPU peak).
+    pub eff_p: f64,
+    pub eff_h: f64,
+    /// Measured mixed-precision speedup over double (§7.1.3: ~1.5×).
+    pub mixed_speedup: f64,
+    /// MD time step in femtoseconds (for ns/day conversions).
+    pub timestep_fs: f64,
+}
+
+impl SystemModel {
+    /// The paper's water system: ρ from 12,288 atoms in (16·3.104 Å)³,
+    /// halo = 6 Å cutoff + 2 Å skin, work from the published FLOP total,
+    /// efficiency calibrated on Table 4's first and last columns.
+    pub fn water() -> Self {
+        Self {
+            name: "water",
+            density: 12288.0 / (16.0f64 * 3.104).powi(3),
+            halo: 8.0,
+            flops_per_atom: 124.83e15 / (501.0 * 12_582_912.0),
+            eff_p: 0.3982,
+            eff_h: 870.4,
+            mixed_speedup: 1.50,
+            timestep_fs: 0.5,
+        }
+    }
+
+    /// The paper's copper system: fcc density, halo = 8 + 2 Å, work from
+    /// the published FLOP total, efficiency calibrated on the 570-node
+    /// strong-scaling point and the 4,560-node point.
+    pub fn copper() -> Self {
+        Self {
+            name: "copper",
+            density: 4.0 / 3.615f64.powi(3),
+            halo: 10.0,
+            flops_per_atom: 835.53e15 / (501.0 * 25_739_424.0),
+            eff_p: 0.4907,
+            eff_h: 216.3,
+            mixed_speedup: 1.59,
+            timestep_fs: 1.0,
+        }
+    }
+
+    /// GPU efficiency (fraction of fp64 peak) at `a` atoms per GPU.
+    pub fn efficiency(&self, atoms_per_gpu: f64) -> f64 {
+        self.eff_p * atoms_per_gpu / (atoms_per_gpu + self.eff_h)
+    }
+
+    /// Ghost atoms per GPU from the halo-shell model.
+    pub fn ghosts_per_gpu(&self, atoms_per_gpu: f64) -> f64 {
+        let l = (atoms_per_gpu / self.density).powf(1.0 / 3.0);
+        ((l + 2.0 * self.halo).powi(3) - l.powi(3)) * self.density
+    }
+}
+
+/// Precision of a projected run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    Double,
+    Mixed,
+}
+
+/// One projected operating point.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    pub nodes: usize,
+    pub n_atoms: usize,
+    pub precision: Precision,
+    pub atoms_per_gpu: f64,
+    pub ghosts_per_gpu: f64,
+    /// Seconds per MD step.
+    pub step_time: f64,
+    /// Aggregate FLOP/s achieved.
+    pub flops: f64,
+    /// Fraction of aggregate *node* fp64 peak (GPUs + CPU sockets), the
+    /// paper's "43% of the peak" convention.
+    pub fraction_of_peak: f64,
+    /// Seconds / step / atom — the Table 1 metric.
+    pub tts: f64,
+}
+
+impl Projection {
+    /// Wall-clock hours for one nanosecond of simulated time.
+    pub fn hours_per_ns(&self, timestep_fs: f64) -> f64 {
+        let steps = 1.0e6 / timestep_fs;
+        steps * self.step_time / 3600.0
+    }
+}
+
+/// Project one operating point.
+pub fn project(
+    spec: &SummitSpec,
+    model: &SystemModel,
+    n_atoms: usize,
+    nodes: usize,
+    precision: Precision,
+) -> Projection {
+    assert!(nodes >= 1 && nodes <= spec.nodes);
+    let n_gpus = (nodes * spec.gpus_per_node) as f64;
+    let a = n_atoms as f64 / n_gpus;
+    let eff = model.efficiency(a);
+    let flops_double = n_gpus * spec.gpu_fp64 * eff;
+    let total_work = n_atoms as f64 * model.flops_per_atom;
+    let mut step_time = total_work / flops_double;
+    if precision == Precision::Mixed {
+        step_time /= model.mixed_speedup;
+    }
+    let flops = total_work / step_time;
+    Projection {
+        nodes,
+        n_atoms,
+        precision,
+        atoms_per_gpu: a,
+        ghosts_per_gpu: model.ghosts_per_gpu(a),
+        step_time,
+        flops,
+        fraction_of_peak: flops / (nodes as f64 * spec.node_peak()),
+        tts: step_time / n_atoms as f64,
+    }
+}
+
+/// Strong scaling: fixed atoms, sweep node counts (Fig 5).
+pub fn strong_scaling(
+    spec: &SummitSpec,
+    model: &SystemModel,
+    n_atoms: usize,
+    node_counts: &[usize],
+    precision: Precision,
+) -> Vec<Projection> {
+    node_counts
+        .iter()
+        .map(|&n| project(spec, model, n_atoms, n, precision))
+        .collect()
+}
+
+/// Weak scaling: fixed atoms per node, sweep node counts (Fig 6).
+pub fn weak_scaling(
+    spec: &SummitSpec,
+    model: &SystemModel,
+    atoms_per_node: usize,
+    node_counts: &[usize],
+    precision: Precision,
+) -> Vec<Projection> {
+    node_counts
+        .iter()
+        .map(|&n| project(spec, model, atoms_per_node * n, n, precision))
+        .collect()
+}
+
+/// Parallel efficiency of a strong-scaling series relative to its first
+/// point (the paper's definition in §7.2.1).
+pub fn parallel_efficiency(series: &[Projection]) -> Vec<f64> {
+    let base = &series[0];
+    series
+        .iter()
+        .map(|p| (base.step_time * base.nodes as f64) / (p.step_time * p.nodes as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs()
+    }
+
+    #[test]
+    fn node_peak_matches_paper() {
+        assert!(close(SummitSpec::default().node_peak(), 43.0e12, 0.01));
+    }
+
+    #[test]
+    fn water_ghost_model_reproduces_table4() {
+        // Table 4: atoms/GPU -> ghosts/GPU
+        let m = SystemModel::water();
+        for &(a, g) in &[
+            (26214.0, 25566.0),
+            (6553.0, 11548.0),
+            (1638.0, 5467.0),
+            (459.0, 3039.0),
+        ] {
+            let pred = m.ghosts_per_gpu(a);
+            assert!(
+                close(pred, g, 0.10),
+                "a={a}: predicted {pred} vs paper {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn water_efficiency_reproduces_table4() {
+        // calibrated on the end points; validated on the middle ones
+        let m = SystemModel::water();
+        for &(a, pct) in &[
+            (13107.0, 37.76),
+            (6553.0, 35.46),
+            (3276.0, 32.64),
+            (1638.0, 27.85),
+            (819.0, 19.30),
+        ] {
+            let pred = m.efficiency(a) * 100.0;
+            assert!(
+                close(pred, pct, 0.08),
+                "a={a}: predicted {pred}% vs paper {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn water_strong_scaling_endpoints_match_fig5() {
+        let spec = SummitSpec::default();
+        let m = SystemModel::water();
+        // 80 nodes: paper 1.4 PFLOPS, 185 ms
+        let p = project(&spec, &m, 12_582_912, 80, Precision::Double);
+        assert!(close(p.flops, 1.4e15, 0.08), "flops {}", p.flops);
+        assert!(close(p.step_time, 0.185, 0.08), "t {}", p.step_time);
+        // 4560 nodes: paper 27.5 PFLOPS, 9 ms
+        let p = project(&spec, &m, 12_582_912, 4560, Precision::Double);
+        assert!(close(p.flops, 27.5e15, 0.08), "flops {}", p.flops);
+        assert!(close(p.step_time, 0.009, 0.12), "t {}", p.step_time);
+    }
+
+    #[test]
+    fn copper_weak_scaling_endpoint_matches_abstract() {
+        // 113,246,208 atoms on 4560 nodes: 86 PFLOPS double (43% of peak),
+        // TtS 7.3e-10 s/step/atom; mixed 137 PFLOPS
+        let spec = SummitSpec::default();
+        let m = SystemModel::copper();
+        let p = project(&spec, &m, 113_246_208, 4560, Precision::Double);
+        assert!(close(p.flops, 86.0e15, 0.06), "flops {}", p.flops);
+        assert!(close(p.tts, 7.3e-10, 0.06), "tts {}", p.tts);
+        assert!(close(p.fraction_of_peak, 0.43, 0.08));
+        let pm = project(&spec, &m, 113_246_208, 4560, Precision::Mixed);
+        assert!(close(pm.flops, 137.0e15, 0.06), "mixed flops {}", pm.flops);
+        // one nanosecond in ~23 hours double (§7.2.2)
+        assert!(close(p.hours_per_ns(m.timestep_fs), 23.0, 0.08));
+    }
+
+    #[test]
+    fn copper_strong_scaling_efficiency_matches_paper() {
+        // §7.2.1: 81.6% parallel efficiency double from 570 to 4560 nodes
+        let spec = SummitSpec::default();
+        let m = SystemModel::copper();
+        let series = strong_scaling(
+            &spec,
+            &m,
+            25_739_424,
+            &[570, 1140, 2280, 4560],
+            Precision::Double,
+        );
+        let eff = parallel_efficiency(&series);
+        assert!(close(eff[3], 0.816, 0.06), "efficiency {}", eff[3]);
+        // and the 570-node point: 11.7 PFLOPS [142 ms]
+        assert!(close(series[0].flops, 11.7e15, 0.08));
+        assert!(close(series[0].step_time, 0.142, 0.08));
+    }
+
+    #[test]
+    fn weak_scaling_is_linear() {
+        let spec = SummitSpec::default();
+        let m = SystemModel::water();
+        let series = weak_scaling(
+            &spec,
+            &m,
+            88_301, // ≈ 403M / 4560
+            &[285, 570, 1140, 2280, 4560],
+            Precision::Double,
+        );
+        // FLOPS doubles with node count (same atoms/GPU => same efficiency)
+        for w in series.windows(2) {
+            assert!(close(w[1].flops, 2.0 * w[0].flops, 1e-9));
+            assert!(close(w[1].step_time, w[0].step_time, 1e-9));
+        }
+        // 4560-node point: paper 72.6 PFLOPS for the 403M water system
+        assert!(close(series[4].flops, 72.6e15, 0.08), "{}", series[4].flops);
+    }
+
+    #[test]
+    fn copper_is_3_5x_water_work() {
+        // §6.1: copper is ~3.5× water in FLOPs per atom
+        let r = SystemModel::copper().flops_per_atom / SystemModel::water().flops_per_atom;
+        assert!((3.0..4.0).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn mixed_is_about_1_5x_faster() {
+        let spec = SummitSpec::default();
+        let m = SystemModel::water();
+        let d = project(&spec, &m, 25_165_824, 285, Precision::Double);
+        let x = project(&spec, &m, 25_165_824, 285, Precision::Mixed);
+        assert!(close(d.step_time / x.step_time, 1.5, 0.01));
+    }
+}

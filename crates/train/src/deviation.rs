@@ -1,0 +1,127 @@
+//! Ensemble force deviation — the selection signal of the concurrent
+//! learning scheme (DP-GEN) that generated the paper's training sets
+//! (§3.2, ref 68).
+//!
+//! Several models trained from different initializations agree where the
+//! training data covers the configuration space and disagree where it does
+//! not; the maximum per-atom standard deviation of their force predictions
+//! is the canonical "label this configuration" trigger.
+
+use deepmd_core::codec::Codec;
+use deepmd_core::eval::evaluate;
+use deepmd_core::format::format_optimized;
+use deepmd_core::model::DpModel;
+use dp_md::{NeighborList, System};
+
+/// Maximum over atoms of the standard deviation of force predictions
+/// across an ensemble of models (eV/Å).
+pub fn max_force_deviation(models: &[DpModel<f64>], sys: &System) -> f64 {
+    assert!(models.len() >= 2, "need an ensemble");
+    let outs: Vec<Vec<[f64; 3]>> = models
+        .iter()
+        .map(|m| {
+            let nl = NeighborList::build(sys, m.config.rcut);
+            let fmt = format_optimized(sys, &nl, &m.config, Codec::PaperDecimal);
+            evaluate(m, &fmt, &sys.types[..sys.n_local], sys.len(), None).forces
+        })
+        .collect();
+    let n_models = models.len() as f64;
+    let mut max_dev: f64 = 0.0;
+    for i in 0..sys.n_local {
+        let mut mean = [0.0f64; 3];
+        for out in &outs {
+            for k in 0..3 {
+                mean[k] += out[i][k];
+            }
+        }
+        for m in &mut mean {
+            *m /= n_models;
+        }
+        let mut var = 0.0;
+        for out in &outs {
+            for k in 0..3 {
+                var += (out[i][k] - mean[k]).powi(2);
+            }
+        }
+        max_dev = max_dev.max((var / n_models).sqrt());
+    }
+    max_dev
+}
+
+/// Split candidate configurations by deviation thresholds, as DP-GEN does:
+/// below `lo` = accurate (skip), between = candidate (label it), above
+/// `hi` = failed (too far out; discard).
+pub fn select_candidates<'a>(
+    models: &[DpModel<f64>],
+    candidates: &'a [System],
+    lo: f64,
+    hi: f64,
+) -> (Vec<&'a System>, Vec<&'a System>, Vec<&'a System>) {
+    let mut accurate = Vec::new();
+    let mut selected = Vec::new();
+    let mut failed = Vec::new();
+    for sys in candidates {
+        let dev = max_force_deviation(models, sys);
+        if dev < lo {
+            accurate.push(sys);
+        } else if dev < hi {
+            selected.push(sys);
+        } else {
+            failed.push(sys);
+        }
+    }
+    (accurate, selected, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmd_core::config::DpConfig;
+    use dp_md::{lattice, units};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ensemble(n: usize) -> Vec<DpModel<f64>> {
+        let cfg = DpConfig::small(1, 4.0, 14);
+        (0..n)
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(100 + k as u64);
+                DpModel::<f64>::new_random(cfg.clone(), &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_models_have_zero_deviation() {
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DpModel::<f64>::new_random(cfg, &mut rng);
+        let models = vec![m.clone(), m];
+        let mut sys = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+        sys.perturb(0.1, &mut StdRng::seed_from_u64(2));
+        assert!(max_force_deviation(&models, &sys) < 1e-12);
+    }
+
+    #[test]
+    fn random_models_disagree() {
+        let models = ensemble(3);
+        let mut sys = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+        sys.perturb(0.1, &mut StdRng::seed_from_u64(3));
+        assert!(max_force_deviation(&models, &sys) > 1e-6);
+    }
+
+    #[test]
+    fn selection_buckets_partition() {
+        let models = ensemble(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let candidates: Vec<_> = (0..4)
+            .map(|_| {
+                let mut s = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+                s.perturb(0.2, &mut rng);
+                s
+            })
+            .collect();
+        let (a, s, f) = select_candidates(&models, &candidates, 1e-3, 1e3);
+        assert_eq!(a.len() + s.len() + f.len(), candidates.len());
+    }
+}

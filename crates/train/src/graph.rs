@@ -1,0 +1,317 @@
+//! The training graph: Deep Potential energy *and forces* as autodiff
+//! nodes.
+//!
+//! Forces are `-∂E/∂r`, so the force-matching loss needs `∂²E/∂θ∂r`. The
+//! graph here makes that mechanical: the per-atom environment blocks `R̃`
+//! are tape leaves, `∂E/∂R̃` is produced by [`dp_autograd::Tape::grad`]
+//! (which emits differentiable nodes), and the purely geometric chain rule
+//! `∂E/∂R̃ → F` is a constant [`SparseLinear`] contraction. Calling `grad`
+//! once more on the loss then differentiates *through* the force
+//! computation.
+
+use deepmd_core::config::DpConfig;
+use deepmd_core::format::{FormattedEnv, NONE};
+use deepmd_core::model::DpModel;
+use dp_autograd::{SparseLinear, Tape, Var};
+use dp_linalg::Matrix;
+use dp_nn::tape_build::{forward_on_tape, leaves_for_net, NetVars};
+use std::sync::Arc;
+
+/// Tape leaves for all model parameters.
+pub struct ModelVars {
+    pub emb: Vec<NetVars>,
+    pub fit: Vec<NetVars>,
+}
+
+impl ModelVars {
+    /// All parameter vars in the canonical `DpModel::flat_params` order.
+    pub fn param_vars(&self) -> Vec<Var> {
+        self.emb
+            .iter()
+            .chain(self.fit.iter())
+            .flat_map(|nv| nv.param_vars())
+            .collect()
+    }
+}
+
+/// Create parameter leaves holding the model's current values.
+pub fn model_leaves(tape: &mut Tape, model: &DpModel<f64>) -> ModelVars {
+    ModelVars {
+        emb: model
+            .embeddings
+            .iter()
+            .map(|n| leaves_for_net(tape, n))
+            .collect(),
+        fit: model
+            .fittings
+            .iter()
+            .map(|n| leaves_for_net(tape, n))
+            .collect(),
+    }
+}
+
+/// Energy and forces of one frame as tape nodes.
+pub struct FrameGraph {
+    /// Total energy, 1×1.
+    pub energy: Var,
+    /// Forces, `n_atoms × 3`.
+    pub forces: Var,
+}
+
+/// Build the symbolic DP evaluation of one formatted frame.
+pub fn build_frame_graph(
+    tape: &mut Tape,
+    mv: &ModelVars,
+    cfg: &DpConfig,
+    fmt: &FormattedEnv,
+    types: &[usize],
+    e0: &[f64],
+) -> FrameGraph {
+    let n = fmt.n_atoms;
+    let n_types = cfg.n_types();
+    let m_w = cfg.emb_width();
+    let m2 = cfg.axis_neurons;
+    let nm = fmt.nm;
+    let inv_nm = 1.0 / nm as f64;
+
+    let mut block_off = vec![0usize; n_types + 1];
+    for t in 0..n_types {
+        block_off[t + 1] = block_off[t] + cfg.sel[t];
+    }
+
+    let mut energy: Option<Var> = None;
+    // (R̃-block leaf, its force contraction) per (atom, type)
+    let mut r_blocks: Vec<Var> = Vec::with_capacity(n * n_types);
+    let mut force_maps: Vec<Arc<SparseLinear>> = Vec::with_capacity(n * n_types);
+
+    for atom in 0..n {
+        let mut t1: Option<Var> = None;
+        let mut t2: Option<Var> = None;
+        for t in 0..n_types {
+            let sel_t = cfg.sel[t];
+            // R̃ block leaf (sel_t × 4)
+            let r_data = Matrix::from_fn(sel_t, 4, |k, c| {
+                fmt.env[(atom * nm + block_off[t] + k) * 4 + c]
+            });
+            let r = tape.leaf(r_data);
+            r_blocks.push(r);
+
+            // force contraction for this block: (sel_t×4) -> (n×3)
+            let mut map = SparseLinear::new((sel_t, 4), (n, 3));
+            for k in 0..sel_t {
+                let slot = atom * nm + block_off[t] + k;
+                let j = fmt.indices[slot];
+                if j == NONE {
+                    continue;
+                }
+                let j = j as usize;
+                let jac = &fmt.denv[slot * 12..slot * 12 + 12];
+                for m in 0..4 {
+                    for kk in 0..3 {
+                        let c = jac[m * 3 + kk];
+                        if c != 0.0 {
+                            // F_i += gw·jac ; F_j -= gw·jac
+                            map.push((atom, kk), (k, m), c);
+                            map.push((j, kk), (k, m), -c);
+                        }
+                    }
+                }
+            }
+            force_maps.push(Arc::new(map));
+
+            // embedding on the s column
+            let s = tape.slice_cols(r, 0, 1);
+            let g = forward_on_tape(tape, &mv.emb[t], s);
+
+            // T1 += Gᵀ R̃ ; T2 += R̃ᵀ G<
+            let gt = tape.transpose(g);
+            let t1_term = tape.matmul(gt, r);
+            t1 = Some(match t1 {
+                None => t1_term,
+                Some(prev) => tape.add(prev, t1_term),
+            });
+            let g_lt = tape.slice_cols(g, 0, m2);
+            let rt = tape.transpose(r);
+            let t2_term = tape.matmul(rt, g_lt);
+            t2 = Some(match t2 {
+                None => t2_term,
+                Some(prev) => tape.add(prev, t2_term),
+            });
+        }
+        let t1 = tape.scale(t1.unwrap(), inv_nm);
+        let t2 = tape.scale(t2.unwrap(), inv_nm);
+        let d = tape.matmul(t1, t2);
+        let d_row = tape.reshape(d, 1, m_w * m2);
+        let e_net = forward_on_tape(tape, &mv.fit[types[atom]], d_row);
+        let e_shift = tape.scalar(e0[types[atom]]);
+        let e_atom = tape.add(e_net, e_shift);
+        energy = Some(match energy {
+            None => e_atom,
+            Some(prev) => tape.add(prev, e_atom),
+        });
+    }
+    let energy = energy.expect("empty frame");
+
+    // forces: contract ∂E/∂R̃ blocks with the constant geometric maps
+    let dr = tape.grad(energy, &r_blocks);
+    let mut forces: Option<Var> = None;
+    for (g, map) in dr.into_iter().zip(force_maps) {
+        let contrib = tape.sparse_apply(g, map);
+        forces = Some(match forces {
+            None => contrib,
+            Some(prev) => tape.add(prev, contrib),
+        });
+    }
+
+    FrameGraph {
+        energy,
+        forces: forces.expect("empty frame"),
+    }
+}
+
+/// Scalar loss `p_e (ΔE/N)² + p_f Σ|ΔF|²/(3N)` as a tape node.
+pub fn build_loss(
+    tape: &mut Tape,
+    fg: &FrameGraph,
+    energy_ref: f64,
+    forces_ref: &[[f64; 3]],
+    pe: f64,
+    pf: f64,
+) -> Var {
+    let n = forces_ref.len();
+    let e_ref = tape.scalar(energy_ref);
+    let de = tape.sub(fg.energy, e_ref);
+    let de2 = tape.mul(de, de);
+    let term_e = tape.scale(de2, pe / (n as f64 * n as f64));
+
+    let f_ref = tape.leaf(Matrix::from_fn(n, 3, |i, k| forces_ref[i][k]));
+    let df = tape.sub(fg.forces, f_ref);
+    let df2 = tape.sum_squares(df);
+    let term_f = tape.scale(df2, pf / (3.0 * n as f64));
+
+    tape.add(term_e, term_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmd_core::codec::Codec;
+    use deepmd_core::eval::evaluate;
+    use deepmd_core::format::format_optimized;
+    use dp_md::{lattice, units, NeighborList};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DpModel<f64>, dp_md::System, FormattedEnv) {
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(41);
+        let model = DpModel::<f64>::new_random(cfg.clone(), &mut rng);
+        let mut sys = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+        sys.perturb(0.15, &mut rng);
+        let nl = NeighborList::build(&sys, cfg.rcut);
+        let fmt = format_optimized(&sys, &nl, &cfg, Codec::PaperDecimal);
+        (model, sys, fmt)
+    }
+
+    #[test]
+    fn tape_energy_matches_fast_eval() {
+        let (model, sys, fmt) = setup();
+        let fast = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+
+        let mut tape = Tape::new();
+        let mv = model_leaves(&mut tape, &model);
+        let fg = build_frame_graph(&mut tape, &mv, &model.config, &fmt, &sys.types, &model.e0);
+        let e_tape = tape.value(fg.energy)[(0, 0)];
+        assert!(
+            (e_tape - fast.energy).abs() < 1e-9,
+            "tape {e_tape} vs fast {}",
+            fast.energy
+        );
+    }
+
+    #[test]
+    fn tape_forces_match_fast_eval() {
+        let (model, sys, fmt) = setup();
+        let fast = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+
+        let mut tape = Tape::new();
+        let mv = model_leaves(&mut tape, &model);
+        let fg = build_frame_graph(&mut tape, &mv, &model.config, &fmt, &sys.types, &model.e0);
+        let f_tape = tape.value(fg.forces);
+        for i in 0..sys.len() {
+            for k in 0..3 {
+                assert!(
+                    (f_tape[(i, k)] - fast.forces[i][k]).abs() < 1e-9,
+                    "atom {i} dim {k}: {} vs {}",
+                    f_tape[(i, k)],
+                    fast.forces[i][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_is_zero_on_own_labels() {
+        let (model, sys, fmt) = setup();
+        let fast = evaluate(&model, &fmt, &sys.types, sys.len(), None);
+
+        let mut tape = Tape::new();
+        let mv = model_leaves(&mut tape, &model);
+        let fg = build_frame_graph(&mut tape, &mv, &model.config, &fmt, &sys.types, &model.e0);
+        let forces: Vec<[f64; 3]> = fast.forces[..sys.len()].to_vec();
+        let loss = build_loss(&mut tape, &fg, fast.energy, &forces, 1.0, 1.0);
+        assert!(tape.value(loss)[(0, 0)].abs() < 1e-16);
+    }
+
+    #[test]
+    fn loss_gradient_matches_fd_in_params() {
+        // the decisive grad-of-grad test: d(loss)/dθ via tape equals
+        // central differences of the loss (which itself contains forces)
+        let (model, sys, fmt) = setup();
+
+        let loss_value = |m: &DpModel<f64>| -> f64 {
+            let mut tape = Tape::new();
+            let mv = model_leaves(&mut tape, m);
+            let fg = build_frame_graph(&mut tape, &mv, &m.config, &fmt, &sys.types, &m.e0);
+            let forces = vec![[0.0; 3]; sys.len()];
+            let loss = build_loss(&mut tape, &fg, -1.0, &forces, 1.0, 1.0);
+            tape.value(loss)[(0, 0)]
+        };
+
+        let mut tape = Tape::new();
+        let mv = model_leaves(&mut tape, &model);
+        let fg = build_frame_graph(&mut tape, &mv, &model.config, &fmt, &sys.types, &model.e0);
+        let forces = vec![[0.0; 3]; sys.len()];
+        let loss = build_loss(&mut tape, &fg, -1.0, &forces, 1.0, 1.0);
+        let pv = mv.param_vars();
+        let grads = tape.grad(loss, &pv);
+
+        // flatten like the trainer does
+        let mut flat_grad = Vec::new();
+        for &g in &grads {
+            flat_grad.extend_from_slice(tape.value(g).as_slice());
+        }
+        assert_eq!(flat_grad.len(), model.num_params());
+
+        // check a scattered subset of parameters by finite differences
+        let p0 = model.flat_params();
+        let eps = 1e-5;
+        let step = (p0.len() / 7).max(1);
+        for idx in (0..p0.len()).step_by(step) {
+            let mut m = model.clone();
+            let mut p = p0.clone();
+            p[idx] += eps;
+            m.set_flat_params(&p);
+            let lp = loss_value(&m);
+            p[idx] = p0[idx] - eps;
+            m.set_flat_params(&p);
+            let lm = loss_value(&m);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = flat_grad[idx];
+            assert!(
+                (fd - an).abs() < 1e-5 * fd.abs().max(an.abs()).max(1.0),
+                "param {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+}

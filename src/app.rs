@@ -1,0 +1,218 @@
+//! The `dpmd` application layer: run an MD simulation from a JSON input
+//! deck, the way LAMMPS drives DeePMD-kit from a script.
+//!
+//! ```json
+//! {
+//!   "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+//!   "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+//!   "temperature": 40.0,
+//!   "thermostat": null,
+//!   "dt_fs": 2.0,
+//!   "steps": 200,
+//!   "thermo_every": 20,
+//!   "trajectory": "run.xyz",
+//!   "seed": 1
+//! }
+//! ```
+//!
+//! `potential.kind` may also be `"deep_potential"` with a `"model"` path to
+//! a JSON model produced by training (see `DpModelData`), or
+//! `"sutton_chen_cu"` / `"water_reference"`.
+
+use deepmd_core::model::{DpModel, DpModelData};
+use deepmd_core::{DeepPotential, PrecisionMode};
+use dp_md::integrate::{run_md, Berendsen, MdOptions, ThermoSample};
+use dp_md::potential::eam::SuttonChen;
+use dp_md::potential::pair::{LennardJones, PairTable};
+use dp_md::{lattice, Potential, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Deserialize;
+use std::io::Write as _;
+
+/// Which atoms to simulate.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SystemSpec {
+    /// fcc crystal with lattice constant `a0`, `reps` unit cells per axis.
+    Fcc { a0: f64, reps: [usize; 3], mass: f64 },
+    /// Water molecules on a cubic molecular lattice.
+    Water { mols_per_axis: [usize; 3], spacing: f64 },
+}
+
+/// Which potential drives the forces.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PotentialSpec {
+    LennardJones { eps: f64, sigma: f64, rcut: f64 },
+    SuttonChenCu { short: bool },
+    WaterReference { rcut: f64 },
+    /// A trained Deep Potential model file (JSON `DpModelData`).
+    DeepPotential {
+        model: String,
+        #[serde(default)]
+        mixed_precision: bool,
+    },
+}
+
+/// The whole input deck.
+#[derive(Debug, Clone, Deserialize)]
+pub struct AppConfig {
+    pub system: SystemSpec,
+    pub potential: PotentialSpec,
+    /// Initial (and thermostat target) temperature, K.
+    pub temperature: f64,
+    /// `"berendsen"` or null/absent for NVE.
+    #[serde(default)]
+    pub thermostat: Option<String>,
+    /// Time step in femtoseconds.
+    pub dt_fs: f64,
+    pub steps: usize,
+    #[serde(default = "default_thermo_every")]
+    pub thermo_every: usize,
+    /// Optional extended-XYZ trajectory output path.
+    #[serde(default)]
+    pub trajectory: Option<String>,
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_thermo_every() -> usize {
+    20
+}
+
+/// What a run produced.
+pub struct RunSummary {
+    pub thermo: Vec<ThermoSample>,
+    pub final_system: System,
+    pub potential_name: &'static str,
+}
+
+fn build_system(spec: &SystemSpec) -> System {
+    match *spec {
+        SystemSpec::Fcc { a0, reps, mass } => lattice::fcc(a0, reps, mass),
+        SystemSpec::Water {
+            mols_per_axis,
+            spacing,
+        } => lattice::water_box(mols_per_axis, spacing),
+    }
+}
+
+fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, String> {
+    Ok(match spec {
+        PotentialSpec::LennardJones { eps, sigma, rcut } => {
+            Box::new(LennardJones::new(*eps, *sigma, *rcut))
+        }
+        PotentialSpec::SuttonChenCu { short } => Box::new(if *short {
+            SuttonChen::copper_short()
+        } else {
+            SuttonChen::copper()
+        }),
+        PotentialSpec::WaterReference { rcut } => {
+            Box::new(PairTable::water_reference().with_cutoff(*rcut))
+        }
+        PotentialSpec::DeepPotential {
+            model,
+            mixed_precision,
+        } => {
+            let text = std::fs::read_to_string(model)
+                .map_err(|e| format!("cannot read model {model}: {e}"))?;
+            let data: DpModelData =
+                serde_json::from_str(&text).map_err(|e| format!("bad model {model}: {e}"))?;
+            let mode = if *mixed_precision {
+                PrecisionMode::Mixed
+            } else {
+                PrecisionMode::Double
+            };
+            Box::new(DeepPotential::new(DpModel::from_data(&data), mode))
+        }
+    })
+}
+
+/// Species labels for trajectory output.
+fn type_names(spec: &SystemSpec) -> Vec<&'static str> {
+    match spec {
+        SystemSpec::Fcc { .. } => vec!["Cu"],
+        SystemSpec::Water { .. } => vec!["O", "H"],
+    }
+}
+
+/// Run the deck; `log` receives one line per thermo sample.
+pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, String> {
+    let mut sys = build_system(&cfg.system);
+    let pot = build_potential(&cfg.potential)?;
+    let halo_limit = sys.cell.max_cutoff();
+    if pot.cutoff() > halo_limit {
+        return Err(format!(
+            "potential cutoff {} exceeds the minimum-image limit {halo_limit:.3} of this box",
+            pot.cutoff()
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    sys.init_velocities(cfg.temperature, &mut rng);
+
+    let skin = ((halo_limit - pot.cutoff()) * 0.9).clamp(0.0, 2.0);
+    let opts = MdOptions {
+        dt: cfg.dt_fs * 1e-3,
+        skin,
+        thermostat: match cfg.thermostat.as_deref() {
+            None => None,
+            Some("berendsen") => Some(Berendsen {
+                target_t: cfg.temperature,
+                tau: 0.1,
+            }),
+            Some(other) => return Err(format!("unknown thermostat '{other}'")),
+        },
+        thermo_every: cfg.thermo_every,
+        ..MdOptions::default()
+    };
+
+    let mut traj = match &cfg.trajectory {
+        Some(path) => Some(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let names = type_names(&cfg.system);
+
+    log(&format!(
+        "dpmd: {} atoms, potential {}, dt {} fs, {} steps",
+        sys.len(),
+        pot.name(),
+        cfg.dt_fs,
+        cfg.steps
+    ));
+    let mut thermo_lines = Vec::new();
+    let run_result = run_md(&mut sys, pot.as_ref(), &opts, cfg.steps, |s| {
+        thermo_lines.push(*s);
+    });
+    for s in &run_result.thermo {
+        log(&format!(
+            "step {:6}  PE {:+.4} eV  KE {:.4} eV  T {:6.1} K  P {:+.0} bar",
+            s.step, s.potential_energy, s.kinetic_energy, s.temperature, s.pressure
+        ));
+    }
+    if let Some(f) = traj.as_mut() {
+        dp_md::xyz::write_frame(f, &sys, &names, &format!("step={}", cfg.steps))
+            .map_err(|e| format!("trajectory write failed: {e}"))?;
+        f.flush().ok();
+    }
+    log(&format!(
+        "done: {} evaluations, {} neighbor rebuilds, loop {:?} ({:.2e} s/step/atom)",
+        run_result.evaluations,
+        run_result.neighbor_rebuilds,
+        run_result.loop_time,
+        run_result.time_to_solution(sys.len())
+    ));
+
+    Ok(RunSummary {
+        thermo: run_result.thermo,
+        final_system: sys,
+        potential_name: pot.name(),
+    })
+}
+
+/// Parse a JSON input deck.
+pub fn parse_config(text: &str) -> Result<AppConfig, String> {
+    serde_json::from_str(text).map_err(|e| format!("bad input deck: {e}"))
+}

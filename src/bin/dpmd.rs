@@ -1,0 +1,31 @@
+//! `dpmd` — run an MD simulation from a JSON input deck.
+//!
+//! Usage: `dpmd <input.json>`; see `deepmd_repro::app` for the deck format.
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: dpmd <input.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dpmd: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = match deepmd_repro::app::parse_config(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dpmd: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
+        eprintln!("dpmd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Meta-crate re-exporting the DeePMD-rs workspace, plus the `dpmd`
+//! application layer (JSON input decks -> MD runs).
+pub mod app;
+pub use deepmd_core as core;
+pub use dp_autograd as autograd;
+pub use dp_linalg as linalg;
+pub use dp_md as md;
+pub use dp_nn as nn;
+pub use dp_parallel as parallel;
+pub use dp_perfmodel as perfmodel;
+pub use dp_train as train;
