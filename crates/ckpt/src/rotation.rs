@@ -1,0 +1,202 @@
+//! Rotation of the last K checkpoints with corruption-tolerant loading.
+//!
+//! Slot 0 is the base path itself (`run.ckpt`); older generations shift to
+//! `run.ckpt.1`, `run.ckpt.2`, ... On load, slots are tried newest-first
+//! and the first one that passes magic/version/CRC validation wins, so a
+//! checkpoint torn by a crash mid-write (or corrupted on disk) silently
+//! falls back to the previous good generation instead of aborting the
+//! restart.
+
+use crate::format::{CkptReader, CkptWriter};
+use crate::CkptError;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone)]
+pub struct Rotation {
+    base: PathBuf,
+    keep: usize,
+}
+
+impl Rotation {
+    /// `keep` is the number of generations retained (>= 1).
+    pub fn new(base: impl Into<PathBuf>, keep: usize) -> Self {
+        Self {
+            base: base.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Path of generation `i` (0 = newest).
+    pub fn slot_path(&self, i: usize) -> PathBuf {
+        if i == 0 {
+            return self.base.clone();
+        }
+        let mut name = self
+            .base
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".{i}"));
+        self.base.with_file_name(name)
+    }
+
+    /// Shift existing generations one slot older (dropping the oldest) and
+    /// atomically write `w` into slot 0.
+    pub fn save(&self, w: &CkptWriter) -> std::io::Result<PathBuf> {
+        if let Some(dir) = self.base.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        for i in (0..self.keep.saturating_sub(1)).rev() {
+            let from = self.slot_path(i);
+            if from.exists() {
+                std::fs::rename(&from, self.slot_path(i + 1))?;
+            }
+        }
+        let dest = self.slot_path(0);
+        w.write_atomic(&dest)?;
+        Ok(dest)
+    }
+
+    /// Load the newest slot that validates (magic, version, every CRC) and
+    /// declares the expected payload kind. Returns the reader and the path
+    /// it came from; errs only when no retained generation is usable.
+    pub fn load_newest_valid(&self, kind: u32) -> Result<(CkptReader, PathBuf), CkptError> {
+        let mut attempts = Vec::new();
+        for i in 0..self.keep {
+            let path = self.slot_path(i);
+            match CkptReader::load(&path) {
+                Ok(r) => match r.expect_kind(kind) {
+                    Ok(()) => return Ok((r, path)),
+                    Err(e) => attempts.push(format!("{}: {e}", path.display())),
+                },
+                Err(e) => attempts.push(format!("{}: {e}", path.display())),
+            }
+        }
+        Err(CkptError::NoValidCheckpoint {
+            tried: attempts.join("; "),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::KIND_MD;
+
+    fn writer(marker: u8) -> CkptWriter {
+        let mut w = CkptWriter::new(KIND_MD);
+        w.add_section(*b"META", vec![marker; 16]);
+        w
+    }
+
+    fn temp_rotation(name: &str, keep: usize) -> Rotation {
+        let dir = std::env::temp_dir().join("dp-ckpt-rotation-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join(name);
+        // clean slate across test reruns
+        let rot = Rotation::new(&base, keep);
+        for i in 0..keep + 2 {
+            let _ = std::fs::remove_file(rot.slot_path(i));
+        }
+        rot
+    }
+
+    #[test]
+    fn rotation_keeps_last_k() {
+        let rot = temp_rotation("keep.ckpt", 3);
+        for marker in 1..=5u8 {
+            rot.save(&writer(marker)).unwrap();
+        }
+        // newest three generations survive: 5, 4, 3
+        for (slot, marker) in [(0usize, 5u8), (1, 4), (2, 3)] {
+            let r = CkptReader::load(&rot.slot_path(slot)).unwrap();
+            assert_eq!(r.section(*b"META").unwrap(), &[marker; 16]);
+        }
+        assert!(!rot.slot_path(3).exists());
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back() {
+        let rot = temp_rotation("fallback.ckpt", 3);
+        rot.save(&writer(1)).unwrap();
+        rot.save(&writer(2)).unwrap();
+        // corrupt the newest generation in place
+        let newest = rot.slot_path(0);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (r, path) = rot.load_newest_valid(KIND_MD).unwrap();
+        assert_eq!(path, rot.slot_path(1));
+        assert_eq!(r.section(*b"META").unwrap(), &[1u8; 16]);
+    }
+
+    #[test]
+    fn truncated_newest_falls_back() {
+        let rot = temp_rotation("trunc.ckpt", 2);
+        rot.save(&writer(7)).unwrap();
+        rot.save(&writer(8)).unwrap();
+        let newest = rot.slot_path(0);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (r, _) = rot.load_newest_valid(KIND_MD).unwrap();
+        assert_eq!(r.section(*b"META").unwrap(), &[7u8; 16]);
+    }
+
+    #[test]
+    fn wrong_version_header_falls_back() {
+        let rot = temp_rotation("version.ckpt", 2);
+        rot.save(&writer(4)).unwrap();
+        rot.save(&writer(5)).unwrap();
+        // stamp a future format version into the newest header (the CRCs
+        // still pass; the version gate alone must reject it)
+        let newest = rot.slot_path(0);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (r, path) = rot.load_newest_valid(KIND_MD).unwrap();
+        assert_eq!(path, rot.slot_path(1));
+        assert_eq!(r.section(*b"META").unwrap(), &[4u8; 16]);
+    }
+
+    #[test]
+    fn all_bad_is_a_clean_error() {
+        let rot = temp_rotation("allbad.ckpt", 2);
+        assert!(matches!(
+            rot.load_newest_valid(KIND_MD),
+            Err(CkptError::NoValidCheckpoint { .. })
+        ));
+        rot.save(&writer(1)).unwrap();
+        std::fs::write(rot.slot_path(0), b"garbage").unwrap();
+        assert!(matches!(
+            rot.load_newest_valid(KIND_MD),
+            Err(CkptError::NoValidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_skipped() {
+        let rot = temp_rotation("kind.ckpt", 2);
+        rot.save(&writer(3)).unwrap(); // KIND_MD, shifts to slot 1 next
+        let mut w = CkptWriter::new(crate::format::KIND_TRAIN);
+        w.add_section(*b"META", vec![9; 16]);
+        rot.save(&w).unwrap();
+        // newest is a training checkpoint; MD load falls back to slot 1
+        let (r, path) = rot.load_newest_valid(KIND_MD).unwrap();
+        assert_eq!(path, rot.slot_path(1));
+        assert_eq!(r.section(*b"META").unwrap(), &[3u8; 16]);
+    }
+}

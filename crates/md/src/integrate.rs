@@ -6,10 +6,10 @@
 
 use crate::neighbor::NeighborList;
 use crate::potential::Potential;
+use crate::rng::CounterRng;
 use crate::system::System;
 use crate::units;
 use rand::Rng;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Berendsen weak-coupling thermostat.
@@ -115,6 +115,32 @@ impl MdRun {
     }
 }
 
+/// Resumable MD trajectory state beyond the `System` itself: what a
+/// checkpoint must carry so a restarted run continues the identical
+/// floating-point path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MdProgress {
+    /// Completed steps since the trajectory began (0 = fresh start).
+    pub step: usize,
+    /// Langevin RNG draws consumed so far (see [`CounterRng`]).
+    pub rng_draws: u64,
+}
+
+/// Periodic checkpoint sink invoked from inside the MD loop.
+///
+/// At every `every`-step boundary the integrator rebuilds the neighbor
+/// list *before* calling `save`, so the straight-through run and a run
+/// resumed from that checkpoint continue from an identical, freshly built
+/// list — force summation order, and therefore the trajectory, stays
+/// bit-exact across the restart.
+pub struct CheckpointSink<'a> {
+    /// Steps between checkpoints (0 disables).
+    pub every: usize,
+    /// Called with the post-step state; local atoms carry current
+    /// positions, velocities and forces.
+    pub save: &'a mut dyn FnMut(&System, MdProgress),
+}
+
 /// Run `n_steps` of Velocity–Verlet, mutating the system in place.
 ///
 /// An optional `observer` is called at every thermo sample; pass `|_|{}` to
@@ -124,24 +150,61 @@ pub fn run_md(
     pot: &dyn Potential,
     opts: &MdOptions,
     n_steps: usize,
+    observer: impl FnMut(&ThermoSample),
+) -> MdRun {
+    run_md_resumable(sys, pot, opts, n_steps, MdProgress::default(), observer, None)
+}
+
+/// Velocity–Verlet from `resume.step` up to `end_step` (absolute step
+/// numbers), with optional periodic checkpointing.
+///
+/// Fresh runs pass `MdProgress::default()`. Resumed runs pass the progress
+/// restored from a checkpoint, with `sys` carrying the restored positions,
+/// velocities **and forces**: the first half-kick reuses the stored forces
+/// instead of recomputing them, because a recomputation over a freshly
+/// built neighbor list could reorder the force summation and change the
+/// low-order bits. Thermo samples are only recorded for steps executed in
+/// this session (a resume does not re-emit the checkpoint step).
+pub fn run_md_resumable(
+    sys: &mut System,
+    pot: &dyn Potential,
+    opts: &MdOptions,
+    end_step: usize,
+    resume: MdProgress,
     mut observer: impl FnMut(&ThermoSample),
+    mut checkpoint: Option<CheckpointSink<'_>>,
 ) -> MdRun {
     assert!(opts.dt > 0.0, "time step must be positive");
     assert!(
         !(opts.thermostat.is_some() && opts.langevin.is_some()),
         "pick one thermostat"
     );
+    assert!(
+        resume.step <= end_step,
+        "resume step {} is beyond end step {end_step}",
+        resume.step
+    );
+    let resuming = resume.step > 0;
     let start = Instant::now();
     let mut langevin_rng = opts
         .langevin
-        .map(|l| rand::rngs::StdRng::seed_from_u64(l.seed));
+        .map(|l| CounterRng::with_draws(l.seed, resume.rng_draws));
     let cutoff = pot.cutoff() + opts.skin;
     let mut nl = NeighborList::build(sys, cutoff);
     let mut rebuilds = 1usize;
-    let mut out = pot.compute(sys, &nl);
-    sys.forces.clone_from(&out.forces);
-    let mut evaluations = 1usize;
+    let mut evaluations = 0usize;
+    let mut out;
+    if resuming {
+        // The checkpoint stored the forces; reuse them (see above).
+        out = crate::potential::PotentialOutput::zeros(sys.len());
+        out.forces.clone_from(&sys.forces);
+    } else {
+        out = pot.compute(sys, &nl);
+        sys.forces.clone_from(&out.forces);
+        evaluations += 1;
+    }
 
+    let n_steps = end_step - resume.step;
     let mut thermo = Vec::with_capacity(n_steps / opts.thermo_every.max(1) + 1);
     let record =
         |step: usize, sys: &System, out: &crate::potential::PotentialOutput,
@@ -157,10 +220,12 @@ pub fn run_md(
             observer(&s);
             thermo.push(s);
         };
-    record(0, sys, &out, &mut thermo, &mut observer);
+    if !resuming {
+        record(0, sys, &out, &mut thermo, &mut observer);
+    }
 
     let dt = opts.dt;
-    for step in 1..=n_steps {
+    for step in resume.step + 1..=end_step {
         // half kick + drift
         for i in 0..sys.n_local {
             let inv_m = units::FORCE_TO_ACCEL / sys.masses[sys.types[i]];
@@ -232,8 +297,23 @@ pub fn run_md(
             }
         }
 
-        if step % opts.thermo_every == 0 || step == n_steps {
+        if step % opts.thermo_every == 0 || step == end_step {
             record(step, sys, &out, &mut thermo, &mut observer);
+        }
+
+        if let Some(ck) = checkpoint.as_mut() {
+            if ck.every > 0 && step % ck.every == 0 {
+                // Rebuild the list so that this run and any run resumed
+                // from the checkpoint continue from identical state (the
+                // resumed run necessarily starts with a fresh list).
+                nl = NeighborList::build(sys, cutoff);
+                rebuilds += 1;
+                let progress = MdProgress {
+                    step,
+                    rng_draws: langevin_rng.as_ref().map_or(0, |r| r.draws()),
+                };
+                (ck.save)(sys, progress);
+            }
         }
     }
 
@@ -418,6 +498,139 @@ mod tests {
             ..Default::default()
         };
         run_md(&mut sys, &lj, &opts, 1, |_| {});
+    }
+
+    /// 2N straight vs N + checkpoint + resume + N must agree bitwise.
+    fn assert_resume_bit_exact(opts: &MdOptions, half: usize) {
+        let lj = argon_lj();
+        let init = || {
+            let mut sys = argon_crystal();
+            let mut rng = crate::rng::CounterRng::new(314);
+            sys.init_velocities(40.0, &mut rng);
+            sys
+        };
+
+        // Straight run, capturing the mid-point checkpoint in memory.
+        let mut straight = init();
+        let mut snap: Option<(System, MdProgress)> = None;
+        let mut save = |sys: &System, p: MdProgress| {
+            if p.step == half {
+                snap = Some((sys.clone(), p));
+            }
+        };
+        let straight_run = run_md_resumable(
+            &mut straight,
+            &lj,
+            opts,
+            2 * half,
+            MdProgress::default(),
+            |_| {},
+            Some(CheckpointSink {
+                every: half,
+                save: &mut save,
+            }),
+        );
+        let (snap_sys, progress) = snap.expect("checkpoint captured");
+        assert_eq!(progress.step, half);
+
+        // Resume the second half from the snapshot.
+        let mut resumed = snap_sys;
+        let resumed_run = run_md_resumable(
+            &mut resumed,
+            &lj,
+            opts,
+            2 * half,
+            progress,
+            |_| {},
+            None,
+        );
+        assert_eq!(resumed_run.steps, half);
+
+        for i in 0..straight.len() {
+            for d in 0..3 {
+                assert_eq!(
+                    straight.positions[i][d].to_bits(),
+                    resumed.positions[i][d].to_bits(),
+                    "position [{i}][{d}] diverged"
+                );
+                assert_eq!(
+                    straight.velocities[i][d].to_bits(),
+                    resumed.velocities[i][d].to_bits(),
+                    "velocity [{i}][{d}] diverged"
+                );
+            }
+        }
+        // Overlapping thermo samples (steps > half) must also agree bitwise.
+        for s in &resumed_run.thermo {
+            let o = straight_run
+                .thermo
+                .iter()
+                .find(|t| t.step == s.step)
+                .expect("matching straight-run sample");
+            assert_eq!(o.potential_energy.to_bits(), s.potential_energy.to_bits());
+            assert_eq!(o.kinetic_energy.to_bits(), s.kinetic_energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_exact_nve() {
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermo_every: 10,
+            ..Default::default()
+        };
+        assert_resume_bit_exact(&opts, 30);
+    }
+
+    #[test]
+    fn resume_is_bit_exact_berendsen() {
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermo_every: 10,
+            thermostat: Some(Berendsen {
+                target_t: 60.0,
+                tau: 0.05,
+            }),
+            ..Default::default()
+        };
+        assert_resume_bit_exact(&opts, 30);
+    }
+
+    #[test]
+    fn resume_is_bit_exact_langevin() {
+        // Exercises the (seed, draws) RNG resume: the second half must
+        // replay the identical random-kick stream.
+        let opts = MdOptions {
+            dt: 2.0e-3,
+            thermo_every: 10,
+            langevin: Some(Langevin {
+                target_t: 50.0,
+                gamma: 2.0,
+                seed: 23,
+            }),
+            ..Default::default()
+        };
+        assert_resume_bit_exact(&opts, 30);
+    }
+
+    #[test]
+    fn run_md_matches_resumable_with_no_resume() {
+        let lj = argon_lj();
+        let mut a = argon_crystal();
+        let mut b = argon_crystal();
+        let opts = MdOptions::default();
+        let ra = run_md(&mut a, &lj, &opts, 40, |_| {});
+        let rb = run_md_resumable(
+            &mut b,
+            &lj,
+            &opts,
+            40,
+            MdProgress::default(),
+            |_| {},
+            None,
+        );
+        assert_eq!(ra.evaluations, rb.evaluations);
+        assert_eq!(a.positions, b.positions);
     }
 
     #[test]

@@ -17,21 +17,28 @@
 //!   (fcc crystals, water boxes, Voronoi polycrystals) and tensile strain,
 //! * [`analysis`] — radial distribution functions, common neighbor
 //!   analysis and mean-squared displacement (Fig 4, Fig 7),
-//! * [`xyz`] — extended-XYZ trajectory I/O.
+//! * [`xyz`] — extended-XYZ trajectory I/O,
+//! * [`checkpoint`] / [`rng`] — LAMMPS-restart-style snapshots and the
+//!   counter-addressed RNG that makes resumed trajectories bit-exact.
 
 pub mod analysis;
 pub mod cell;
+pub mod checkpoint;
 pub mod deform;
 pub mod integrate;
 pub mod lattice;
 pub mod neighbor;
 pub mod polycrystal;
 pub mod potential;
+pub mod rng;
 pub mod system;
 pub mod units;
 pub mod xyz;
 
 pub use cell::Cell;
+pub use checkpoint::MdCheckpoint;
+pub use integrate::{CheckpointSink, MdProgress};
 pub use neighbor::NeighborList;
 pub use potential::{Potential, PotentialOutput};
+pub use rng::CounterRng;
 pub use system::System;

@@ -21,6 +21,6 @@ pub mod layer;
 pub mod net;
 pub mod tape_build;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use layer::{Layer, LayerKind};
 pub use net::Net;

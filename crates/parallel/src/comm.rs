@@ -22,6 +22,18 @@ pub struct Migrant {
     pub velocity: [f64; 3],
 }
 
+/// One locally-owned atom's full state, shipped to rank 0 when a global
+/// checkpoint is gathered (the MPI_Gather of a LAMMPS `write_restart`).
+#[derive(Debug, Clone, Copy)]
+pub struct CkptAtom {
+    /// Global atom id (stable across the run).
+    pub id: u64,
+    pub ty: u32,
+    pub position: [f64; 3],
+    pub velocity: [f64; 3],
+    pub force: [f64; 3],
+}
+
 /// Messages between ranks.
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -34,6 +46,8 @@ pub enum Msg {
     GhostForces(Vec<[f64; 3]>),
     /// Atoms whose owner changed.
     Migrants(Vec<Migrant>),
+    /// Local atoms gathered to rank 0 for a global checkpoint.
+    CkptAtoms(Vec<CkptAtom>),
 }
 
 /// Per-rank endpoints of a full point-to-point mesh.

@@ -6,15 +6,31 @@
 //! global reductions. Neighbor-list rebuild decisions are collective, so
 //! the message schedule is identical on every rank.
 
-use crate::comm::{Allreduce, GhostAtom, Migrant, Msg, RankComm};
+use crate::comm::{Allreduce, CkptAtom, GhostAtom, Migrant, Msg, RankComm};
 use crate::grid::DomainGrid;
-use dp_md::integrate::{MdOptions, ThermoSample};
+use dp_ckpt::Rotation;
+use dp_md::checkpoint::MdCheckpoint;
+use dp_md::integrate::{MdOptions, MdProgress, ThermoSample};
 use dp_md::{units, NeighborList, Potential, System};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Periodic global checkpointing for a parallel run. Every `every` steps
+/// each rank ships its locally-owned atoms to rank 0, which assembles the
+/// global state in original atom order and writes it into the rotation —
+/// the thread-mesh analogue of LAMMPS `restart N file` (§5.4). Because the
+/// checkpoint is global and owner-order-free, a run restarted from it may
+/// use a different rank grid than the one that wrote it.
+#[derive(Debug, Clone)]
+pub struct ParallelCkpt {
+    /// Steps between checkpoints (0 disables).
+    pub every: usize,
+    /// Rotation the gathered snapshots are written into (by rank 0).
+    pub rotation: Rotation,
+}
+
 /// Options for a parallel run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelOptions {
     pub md: MdOptions,
     /// `true`: allreduce thermodynamic output every step (the baseline
@@ -22,6 +38,12 @@ pub struct ParallelOptions {
     /// `false`: reduce only on output steps (reduced output frequency +
     /// `MPI_Iallreduce`, §5.4).
     pub blocking_reduce: bool,
+    /// Absolute step number of the input state. Thermo samples and
+    /// checkpoints are labelled `start_step + step`, so a resumed run
+    /// continues the original numbering instead of restarting at zero.
+    pub start_step: usize,
+    /// Optional periodic global checkpointing.
+    pub checkpoint: Option<ParallelCkpt>,
 }
 
 impl Default for ParallelOptions {
@@ -29,6 +51,8 @@ impl Default for ParallelOptions {
         Self {
             md: MdOptions::default(),
             blocking_reduce: false,
+            start_step: 0,
+            checkpoint: None,
         }
     }
 }
@@ -273,7 +297,15 @@ fn rank_loop(
                 pressure,
             });
         };
-    record(0, &st, &local, out.energy, &out.virial, &mut stats, &mut thermo);
+    record(
+        opts.start_step,
+        &st,
+        &local,
+        out.energy,
+        &out.virial,
+        &mut stats,
+        &mut thermo,
+    );
 
     for step in 1..=n_steps {
         // half kick + drift (locals only)
@@ -354,7 +386,25 @@ fn rank_loop(
 
         // thermodynamic output: every step in blocking mode, else on stride
         if opts.blocking_reduce || step % opts.md.thermo_every == 0 || step == n_steps {
-            record(step, &st, &local, out.energy, &out.virial, &mut stats, &mut thermo);
+            record(
+                opts.start_step + step,
+                &st,
+                &local,
+                out.energy,
+                &out.virial,
+                &mut stats,
+                &mut thermo,
+            );
+        }
+
+        // global checkpoint gather: the schedule is step-determined, so
+        // every rank participates without any extra synchronization
+        if let Some(ck) = &opts.checkpoint {
+            if ck.every > 0 && step % ck.every == 0 {
+                let t = Instant::now();
+                gather_checkpoint(&st, &comm, cell, masses, opts.start_step + step, ck);
+                stats.comm_time += t.elapsed();
+            }
         }
     }
 
@@ -555,6 +605,68 @@ fn add_reverse_forces(st: &mut RankState, comm: &RankComm, _stats: &mut RankStat
     }
 }
 
+/// Gather every rank's local atoms to rank 0 and write one global
+/// checkpoint. Non-zero ranks send and return immediately; rank 0 scatters
+/// the atoms back into original id order (the order `run_parallel_md`
+/// accepts as input, so restarts may re-decompose onto any grid). Write
+/// failures are reported but never abort the run — losing one checkpoint
+/// generation is strictly better than losing the trajectory.
+fn gather_checkpoint(
+    st: &RankState,
+    comm: &RankComm,
+    cell: dp_md::Cell,
+    masses: &[f64],
+    step: usize,
+    ck: &ParallelCkpt,
+) {
+    let mine: Vec<CkptAtom> = (0..st.ids.len())
+        .map(|k| CkptAtom {
+            id: st.ids[k],
+            ty: st.types[k] as u32,
+            position: st.positions[k],
+            velocity: st.velocities[k],
+            force: st.forces[k],
+        })
+        .collect();
+    if st.rank != 0 {
+        comm.send(0, Msg::CkptAtoms(mine));
+        return;
+    }
+    let n_ranks = comm.to.len();
+    let mut atoms = mine;
+    for src in 1..n_ranks {
+        match comm.recv(src) {
+            Msg::CkptAtoms(v) => atoms.extend(v),
+            other => panic!("expected CkptAtoms, got {other:?}"),
+        }
+    }
+    let n = atoms.len();
+    let mut positions = vec![[0.0; 3]; n];
+    let mut velocities = vec![[0.0; 3]; n];
+    let mut forces = vec![[0.0; 3]; n];
+    let mut types = vec![0usize; n];
+    for a in &atoms {
+        let id = a.id as usize;
+        assert!(id < n, "atom id {id} out of range for {n} gathered atoms");
+        positions[id] = a.position;
+        velocities[id] = a.velocity;
+        forces[id] = a.force;
+        types[id] = a.ty as usize;
+    }
+    let snap = MdCheckpoint {
+        progress: MdProgress { step, rng_draws: 0 },
+        cell,
+        positions,
+        velocities,
+        forces,
+        types,
+        masses: masses.to_vec(),
+    };
+    if let Err(e) = snap.save(&ck.rotation) {
+        eprintln!("warning: checkpoint write at step {step} failed ({e}); run continues");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +715,7 @@ mod tests {
                 ..MdOptions::default()
             },
             blocking_reduce: false,
+            ..ParallelOptions::default()
         };
         let steps = 30;
 
@@ -632,6 +745,7 @@ mod tests {
                 ..MdOptions::default()
             },
             blocking_reduce: false,
+            ..ParallelOptions::default()
         };
         let run = run_parallel_md(&test_system(), pot, [2, 2, 2], &opts, 200);
         let e0 = run.thermo.first().unwrap().total_energy();
@@ -657,6 +771,7 @@ mod tests {
                 ..MdOptions::default()
             },
             blocking_reduce: false,
+            ..ParallelOptions::default()
         };
         let run = run_parallel_md(&sys, pot, [2, 2, 2], &opts, 100);
         let total: usize = run.rank_stats.iter().map(|s| s.final_local).sum();
@@ -675,6 +790,7 @@ mod tests {
                 ..MdOptions::default()
             },
             blocking_reduce: true,
+            ..ParallelOptions::default()
         };
         let blocking = run_parallel_md(&sys, pot.clone(), [2, 1, 1], &opts, 40);
         opts.blocking_reduce = false;
@@ -685,6 +801,96 @@ mod tests {
             deferred.reduce_operations,
             blocking.reduce_operations
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_with_different_grid_agrees() {
+        let dir = std::env::temp_dir().join("dp-parallel-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rot = Rotation::new(dir.join("par.ckpt"), 2);
+        for i in 0..2 {
+            let _ = std::fs::remove_file(rot.slot_path(i));
+        }
+
+        let pot = lj();
+        let md = MdOptions {
+            dt: 2.0e-3,
+            rebuild_every: 10,
+            thermo_every: 10,
+            ..MdOptions::default()
+        };
+
+        // Straight 40 steps on a 2x2x1 grid.
+        let straight = run_parallel_md(
+            &test_system(),
+            pot.clone(),
+            [2, 2, 1],
+            &ParallelOptions {
+                md,
+                ..ParallelOptions::default()
+            },
+            40,
+        );
+
+        // Same ICs, 20 steps, checkpointing at step 20.
+        let first = run_parallel_md(
+            &test_system(),
+            pot.clone(),
+            [2, 2, 1],
+            &ParallelOptions {
+                md,
+                checkpoint: Some(ParallelCkpt {
+                    every: 20,
+                    rotation: rot.clone(),
+                }),
+                ..ParallelOptions::default()
+            },
+            20,
+        );
+        drop(first);
+
+        // Resume on a DIFFERENT grid: the checkpoint is global, so the
+        // restart re-decomposes onto 1x2x2.
+        let (snap, _) = MdCheckpoint::load(&rot).unwrap();
+        assert_eq!(snap.progress.step, 20);
+        let (restored, progress) = snap.restore();
+        let resumed = run_parallel_md(
+            &restored,
+            pot,
+            [1, 2, 2],
+            &ParallelOptions {
+                md,
+                start_step: progress.step,
+                ..ParallelOptions::default()
+            },
+            20,
+        );
+
+        // Step numbering continues from the checkpoint.
+        assert_eq!(resumed.thermo.last().unwrap().step, 40);
+
+        // Decomposition changes reorder force summation, so agreement is
+        // tolerance-based, not bitwise.
+        let n = straight.system.len() as f64;
+        let e_straight = straight.thermo.last().unwrap().total_energy();
+        let e_resumed = resumed.thermo.last().unwrap().total_energy();
+        assert!(
+            ((e_straight - e_resumed) / n).abs() < 1e-6,
+            "energy diverged after resume: {e_straight} vs {e_resumed}"
+        );
+        let mut max_d = 0.0f64;
+        for i in 0..straight.system.len() {
+            let d2 = straight.system.cell.distance2(
+                straight.system.positions[i],
+                resumed.system.positions[i],
+            );
+            max_d = max_d.max(d2.sqrt());
+        }
+        assert!(max_d < 1e-6, "positions diverged after resume: {max_d} Å");
+
+        for i in 0..2 {
+            let _ = std::fs::remove_file(rot.slot_path(i));
+        }
     }
 
     #[test]

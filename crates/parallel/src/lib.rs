@@ -23,5 +23,5 @@ pub mod driver;
 pub mod grid;
 pub mod setup;
 
-pub use driver::{run_parallel_md, ParallelOptions, ParallelRun};
+pub use driver::{run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun};
 pub use grid::DomainGrid;

@@ -19,11 +19,13 @@
 //!   explore with MD → flag disagreements → label with the reference →
 //!   retrain.
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod deviation;
 pub mod dpgen;
 pub mod graph;
 pub mod trainer;
 
+pub use checkpoint::TrainCheckpoint;
 pub use dataset::Frame;
 pub use trainer::{LossWeights, TrainReport, Trainer};

@@ -156,6 +156,36 @@ impl Trainer {
         (0..n).map(|_| self.step()).collect()
     }
 
+    /// Optimizer steps completed so far (monotone across restores).
+    pub fn steps_taken(&self) -> usize {
+        self.steps
+    }
+
+    /// Snapshot the complete training state: model weights, Adam moments
+    /// and the step counter. Restoring it (into a trainer over the same
+    /// dataset and hyperparameters) continues the loss curve where this
+    /// trainer left off.
+    pub fn checkpoint(&self) -> crate::checkpoint::TrainCheckpoint {
+        crate::checkpoint::TrainCheckpoint::capture(&self.model, self.adam.state(), self.steps)
+    }
+
+    /// Restore a checkpoint taken by [`Trainer::checkpoint`]. Replaces the
+    /// model (including the `e0` shifts captured at save time — the dataset
+    /// mean computed by [`Trainer::new`] is overwritten, not re-derived)
+    /// and the optimizer moments; the prepared frames are kept, since they
+    /// depend only on geometry.
+    pub fn restore(&mut self, ckpt: &crate::checkpoint::TrainCheckpoint) {
+        let model = DpModel::from_data(&ckpt.model);
+        assert_eq!(
+            model.num_params(),
+            self.model.num_params(),
+            "checkpoint is for a different architecture"
+        );
+        self.model = model;
+        self.adam.restore_state(ckpt.adam.clone());
+        self.steps = ckpt.steps;
+    }
+
     /// Energy/force RMSE of the current model on the training frames.
     pub fn rmse(&self) -> Rmse {
         rmse_of(&self.model, &self.prepared)
@@ -258,6 +288,45 @@ mod tests {
             after.force
         );
         assert!(after.energy_per_atom < before.energy_per_atom);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_loss_continuous() {
+        let frames = tiny_dataset();
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(55);
+        let model = DpModel::<f64>::new_random(cfg.clone(), &mut rng);
+
+        // Straight run: 20 steps.
+        let mut straight = Trainer::new(model.clone(), &frames, 0.01, LossWeights::default());
+        let straight_losses: Vec<f64> = straight.run(20).iter().map(|r| r.loss).collect();
+
+        // Interrupted run: 10 steps, checkpoint, fresh trainer, restore,
+        // 10 more steps.
+        let mut first = Trainer::new(model.clone(), &frames, 0.01, LossWeights::default());
+        first.run(10);
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.steps, 10);
+
+        let mut resumed = Trainer::new(model, &frames, 0.01, LossWeights::default());
+        resumed.restore(&ckpt);
+        assert_eq!(resumed.steps_taken(), 10);
+        let tail = resumed.run(10);
+        assert_eq!(tail.first().unwrap().step, 11);
+
+        // rayon's gradient reduction is not order-deterministic, so the
+        // comparison is tolerance-based, not bitwise: the resumed loss
+        // curve must track the straight one closely (no restart spike).
+        for (r, s) in tail.iter().zip(&straight_losses[10..]) {
+            let rel = (r.loss - s).abs() / s.abs().max(1e-12);
+            assert!(
+                rel < 1e-6,
+                "loss diverged after resume: {} vs {s} (rel {rel})",
+                r.loss
+            );
+        }
+        // And the learning-rate schedule must continue, not reset.
+        assert!((tail.last().unwrap().lr - straight.adam.lr()).abs() < 1e-15);
     }
 
     #[test]

@@ -11,12 +11,11 @@ use deepmd_repro::core::{DeepPotential, DpConfig, DpModel, PrecisionMode};
 use deepmd_repro::md::integrate::MdOptions;
 use deepmd_repro::md::lattice;
 use deepmd_repro::parallel::{run_parallel_md, ParallelOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use deepmd_repro::md::rng::CounterRng;
 use std::sync::Arc;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = CounterRng::new(12);
     // Untrained small network — parallel mechanics are weight-agnostic,
     // and a smooth random PES still conserves energy under NVE.
     let cfg = DpConfig {
@@ -42,6 +41,7 @@ fn main() {
             ..MdOptions::default()
         },
         blocking_reduce: false,
+        ..ParallelOptions::default()
     };
     println!("running 100 parallel MD steps on a 2x2x2 rank grid...");
     let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 100);

@@ -11,11 +11,10 @@ use deepmd_repro::md::integrate::{run_md, Berendsen, MdOptions};
 use deepmd_repro::md::polycrystal::voronoi_fcc;
 use deepmd_repro::md::potential::eam::SuttonChen;
 use deepmd_repro::md::NeighborList;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use deepmd_repro::md::rng::CounterRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2718);
+    let mut rng = CounterRng::new(2718);
     let mut sys = voronoi_fcc(32.0, 4, 3.615, 2.0, &mut rng);
     println!("polycrystal: {} atoms, 4 grains, 32 Å box", sys.len());
 

@@ -16,11 +16,10 @@ use deepmd_repro::md::{lattice, Potential};
 use deepmd_repro::train::dataset::perturbed_frames;
 use deepmd_repro::train::trainer::rmse_on_frames;
 use deepmd_repro::train::{LossWeights, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use deepmd_repro::md::rng::CounterRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = CounterRng::new(1);
 
     // --- 1. training data from the reference potential ("the DFT") ---
     let reference = LennardJones::new(0.0104, 3.405, 5.0);

@@ -13,12 +13,11 @@ use deepmd_repro::md::potential::pair::PairTable;
 use deepmd_repro::md::{lattice, NeighborList, Potential, System};
 use deepmd_repro::train::dataset::{md_frames, perturbed_frames};
 use deepmd_repro::train::{LossWeights, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use deepmd_repro::md::rng::CounterRng;
 
 fn rdf_oo(pot: &dyn Potential, label: &str) -> Vec<(f64, f64)> {
     let mut sys: System = lattice::water_box([5, 5, 5], 3.104);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = CounterRng::new(9);
     sys.init_velocities(330.0, &mut rng);
     let opts = MdOptions {
         dt: 5.0e-4,
@@ -41,7 +40,7 @@ fn rdf_oo(pot: &dyn Potential, label: &str) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = CounterRng::new(3);
     let reference = PairTable::water_reference().with_cutoff(4.5);
 
     // train a small two-species model (O and H embeddings + fitting nets)

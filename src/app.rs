@@ -21,12 +21,15 @@
 
 use deepmd_core::model::{DpModel, DpModelData};
 use deepmd_core::{DeepPotential, PrecisionMode};
-use dp_md::integrate::{run_md, Berendsen, MdOptions, ThermoSample};
+use dp_ckpt::Rotation;
+use dp_md::checkpoint::MdCheckpoint;
+use dp_md::integrate::{
+    run_md_resumable, Berendsen, CheckpointSink, MdOptions, MdProgress, ThermoSample,
+};
 use dp_md::potential::eam::SuttonChen;
 use dp_md::potential::pair::{LennardJones, PairTable};
+use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Deserialize;
 use std::io::Write as _;
 
@@ -75,10 +78,29 @@ pub struct AppConfig {
     pub trajectory: Option<String>,
     #[serde(default)]
     pub seed: u64,
+    /// Steps between checkpoints (0 = no checkpointing).
+    #[serde(default)]
+    pub checkpoint_every: usize,
+    /// Rotation base path the checkpoints are written to (older
+    /// generations get `.1`, `.2`, ... suffixes).
+    #[serde(default)]
+    pub checkpoint_path: Option<String>,
+    /// Checkpoint generations retained.
+    #[serde(default = "default_checkpoint_keep")]
+    pub checkpoint_keep: usize,
+    /// Resume from this checkpoint (rotation base path) instead of
+    /// building a fresh system; corrupt generations fall back to older
+    /// ones. Also settable as `dpmd --resume <file>`.
+    #[serde(default)]
+    pub resume: Option<String>,
 }
 
 fn default_thermo_every() -> usize {
     20
+}
+
+fn default_checkpoint_keep() -> usize {
+    3
 }
 
 /// What a run produced.
@@ -137,10 +159,56 @@ fn type_names(spec: &SystemSpec) -> Vec<&'static str> {
     }
 }
 
+/// Scan an existing extended-XYZ trajectory for the highest `step=N`
+/// comment, so an appending resume never duplicates a frame.
+fn last_trajectory_step(path: &str) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(|line| {
+            let at = line.rfind("step=")?;
+            line[at + "step=".len()..]
+                .split_whitespace()
+                .next()?
+                .parse::<usize>()
+                .ok()
+        })
+        .max()
+}
+
 /// Run the deck; `log` receives one line per thermo sample.
 pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, String> {
-    let mut sys = build_system(&cfg.system);
     let pot = build_potential(&cfg.potential)?;
+
+    // Fresh start, or restore atoms + step counter + RNG position from the
+    // newest valid checkpoint generation.
+    let (mut sys, progress) = match &cfg.resume {
+        Some(path) => {
+            let rot = Rotation::new(path, cfg.checkpoint_keep);
+            let (snap, from) = MdCheckpoint::load(&rot)
+                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+            log(&format!(
+                "resuming from {} (step {}, {} atoms)",
+                from.display(),
+                snap.progress.step,
+                snap.positions.len()
+            ));
+            snap.restore()
+        }
+        None => {
+            let mut sys = build_system(&cfg.system);
+            let mut rng = CounterRng::new(cfg.seed);
+            sys.init_velocities(cfg.temperature, &mut rng);
+            (sys, MdProgress::default())
+        }
+    };
+    if progress.step > cfg.steps {
+        return Err(format!(
+            "checkpoint is at step {}, but the deck only runs to step {}",
+            progress.step, cfg.steps
+        ));
+    }
+    let resuming = cfg.resume.is_some();
+
     let halo_limit = sys.cell.max_cutoff();
     if pot.cutoff() > halo_limit {
         return Err(format!(
@@ -148,8 +216,6 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
             pot.cutoff()
         ));
     }
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    sys.init_velocities(cfg.temperature, &mut rng);
 
     let skin = ((halo_limit - pot.cutoff()) * 0.9).clamp(0.0, 2.0);
     let opts = MdOptions {
@@ -167,25 +233,101 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         ..MdOptions::default()
     };
 
+    // A resume APPENDS to an existing trajectory instead of truncating it,
+    // and a step-number guard skips any frame the interrupted run already
+    // wrote (the newest checkpoint can be older than the newest frame).
+    let mut last_frame_step: Option<usize> = None;
     let mut traj = match &cfg.trajectory {
-        Some(path) => Some(
-            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-        ),
+        Some(path) => {
+            let file = if resuming {
+                last_frame_step = last_trajectory_step(path);
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+            } else {
+                std::fs::File::create(path)
+            };
+            Some(file.map_err(|e| format!("cannot open {path}: {e}"))?)
+        }
         None => None,
     };
     let names = type_names(&cfg.system);
 
+    // Checkpoints write to `checkpoint_path`, or continue the rotation
+    // being resumed from when only `resume` is given.
+    let ckpt_base = cfg.checkpoint_path.clone().or_else(|| cfg.resume.clone());
+    let rotation = match (&ckpt_base, cfg.checkpoint_every) {
+        (_, 0) => None,
+        (None, _) => {
+            return Err(
+                "checkpoint_every is set but there is no checkpoint_path to write to".into(),
+            )
+        }
+        (Some(base), _) => Some(Rotation::new(base, cfg.checkpoint_keep)),
+    };
+
     log(&format!(
-        "dpmd: {} atoms, potential {}, dt {} fs, {} steps",
+        "dpmd: {} atoms, potential {}, dt {} fs, steps {}..{}",
         sys.len(),
         pot.name(),
         cfg.dt_fs,
+        progress.step,
         cfg.steps
     ));
-    let mut thermo_lines = Vec::new();
-    let run_result = run_md(&mut sys, pot.as_ref(), &opts, cfg.steps, |s| {
-        thermo_lines.push(*s);
+
+    let mut ckpt_error: Option<String> = None;
+    let mut write_frame_dedup = |f: &mut std::fs::File,
+                                 sys: &System,
+                                 step: usize,
+                                 last: &mut Option<usize>|
+     -> std::io::Result<()> {
+        if last.map_or(false, |l| step <= l) {
+            return Ok(());
+        }
+        dp_md::xyz::write_frame(f, sys, &names, &format!("step={step}"))?;
+        f.flush().ok();
+        *last = Some(step);
+        Ok(())
+    };
+
+    let mut save = |sys: &System, p: MdProgress| {
+        if let Some(rot) = &rotation {
+            let snap = MdCheckpoint::capture(sys, p);
+            if let Err(e) = snap.save(rot) {
+                eprintln!(
+                    "warning: checkpoint write at step {} failed ({e}); run continues",
+                    p.step
+                );
+            }
+        }
+        if let Some(f) = traj.as_mut() {
+            if let Err(e) = write_frame_dedup(f, sys, p.step, &mut last_frame_step) {
+                ckpt_error.get_or_insert(format!("trajectory write failed: {e}"));
+            }
+        }
+    };
+    let sink = (cfg.checkpoint_every > 0).then_some(CheckpointSink {
+        every: cfg.checkpoint_every,
+        save: &mut save,
     });
+
+    let mut thermo_lines = Vec::new();
+    let run_result = run_md_resumable(
+        &mut sys,
+        pot.as_ref(),
+        &opts,
+        cfg.steps,
+        progress,
+        |s| {
+            thermo_lines.push(*s);
+        },
+        sink,
+    );
+    drop(save);
+    if let Some(e) = ckpt_error {
+        return Err(e);
+    }
     for s in &run_result.thermo {
         log(&format!(
             "step {:6}  PE {:+.4} eV  KE {:.4} eV  T {:6.1} K  P {:+.0} bar",
@@ -193,9 +335,8 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         ));
     }
     if let Some(f) = traj.as_mut() {
-        dp_md::xyz::write_frame(f, &sys, &names, &format!("step={}", cfg.steps))
+        write_frame_dedup(f, &sys, cfg.steps, &mut last_frame_step)
             .map_err(|e| format!("trajectory write failed: {e}"))?;
-        f.flush().ok();
     }
     log(&format!(
         "done: {} evaluations, {} neighbor rebuilds, loop {:?} ({:.2e} s/step/atom)",

@@ -1,14 +1,40 @@
 //! `dpmd` — run an MD simulation from a JSON input deck.
 //!
-//! Usage: `dpmd <input.json>`; see `deepmd_repro::app` for the deck format.
+//! Usage: `dpmd <input.json> [--resume <checkpoint>]`; see
+//! `deepmd_repro::app` for the deck format. `--resume` restarts from the
+//! newest valid generation of the given checkpoint rotation (overriding
+//! any `resume` key in the deck) and appends to the deck's trajectory
+//! instead of truncating it.
+
+fn usage() -> ! {
+    eprintln!("usage: dpmd <input.json> [--resume <checkpoint>]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: dpmd <input.json>");
-            std::process::exit(2);
+    let mut deck: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => match args.next() {
+                Some(path) => resume = Some(path),
+                None => {
+                    eprintln!("dpmd: --resume needs a checkpoint path");
+                    usage();
+                }
+            },
+            "-h" | "--help" => usage(),
+            _ if deck.is_none() => deck = Some(arg),
+            other => {
+                eprintln!("dpmd: unexpected argument '{other}'");
+                usage();
+            }
         }
+    }
+    let path = match deck {
+        Some(p) => p,
+        None => usage(),
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -17,13 +43,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let cfg = match deepmd_repro::app::parse_config(&text) {
+    let mut cfg = match deepmd_repro::app::parse_config(&text) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("dpmd: {e}");
             std::process::exit(2);
         }
     };
+    if resume.is_some() {
+        cfg.resume = resume;
+    }
     if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
         eprintln!("dpmd: {e}");
         std::process::exit(1);

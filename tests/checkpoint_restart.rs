@@ -1,0 +1,187 @@
+//! End-to-end checkpoint/restart: a `dpmd` deck killed at step N and
+//! resumed reproduces the uninterrupted run bit-exactly (NVE and
+//! Berendsen), a corrupted newest checkpoint falls back to the previous
+//! rotation slot, and a resumed run appends to — never truncates or
+//! duplicates — the trajectory.
+
+use deepmd_repro::app::{parse_config, run, RunSummary};
+
+fn test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn lj_deck(steps: usize, thermostat: &str, ckpt: &str, resume: &str, traj: &str) -> String {
+    format!(
+        r#"{{
+            "system": {{"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948}},
+            "potential": {{"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0}},
+            "temperature": 40.0,
+            {thermostat}
+            "dt_fs": 2.0,
+            "steps": {steps},
+            "thermo_every": 10,
+            "checkpoint_every": 20,
+            {ckpt}
+            {resume}
+            {traj}
+            "seed": 7
+        }}"#
+    )
+}
+
+fn run_deck(deck: &str) -> (RunSummary, Vec<String>) {
+    let cfg = parse_config(deck).unwrap();
+    let mut lines = Vec::new();
+    let summary = run(&cfg, |l| lines.push(l.to_string())).unwrap();
+    (summary, lines)
+}
+
+/// Thermo samples recorded strictly after `step`, the overlap window a
+/// resumed run shares with the uninterrupted one.
+fn tail(s: &RunSummary, step: usize) -> Vec<(usize, f64, f64, f64, f64)> {
+    s.thermo
+        .iter()
+        .filter(|t| t.step > step)
+        .map(|t| {
+            (
+                t.step,
+                t.potential_energy,
+                t.kinetic_energy,
+                t.temperature,
+                t.pressure,
+            )
+        })
+        .collect()
+}
+
+fn assert_resume_matches_straight(thermostat: &str, name: &str) {
+    let dir = test_dir(name);
+    let ckpt_a = dir.join("straight.ckpt").display().to_string();
+    let ckpt_b = dir.join("killed.ckpt").display().to_string();
+
+    // The uninterrupted run: 80 steps with the same checkpoint stride (the
+    // stride fixes the neighbor-rebuild schedule, so it must match).
+    let (straight, _) = run_deck(&lj_deck(
+        80,
+        thermostat,
+        &format!(r#""checkpoint_path": "{ckpt_a}","#),
+        "",
+        "",
+    ));
+
+    // The "killed at step 40" run, then a resume of the same deck to 80.
+    let (_, _) = run_deck(&lj_deck(
+        40,
+        thermostat,
+        &format!(r#""checkpoint_path": "{ckpt_b}","#),
+        "",
+        "",
+    ));
+    let (resumed, lines) = run_deck(&lj_deck(
+        80,
+        thermostat,
+        &format!(r#""checkpoint_path": "{ckpt_b}","#),
+        &format!(r#""resume": "{ckpt_b}","#),
+        "",
+    ));
+
+    assert!(
+        lines.iter().any(|l| l.contains("resuming from")),
+        "no resume log line in {lines:?}"
+    );
+    let want = tail(&straight, 40);
+    let got = tail(&resumed, 40);
+    assert_eq!(want.len(), 4, "expected samples at 50..=80, got {want:?}");
+    assert_eq!(want, got, "resumed thermo is not bit-exact ({name})");
+}
+
+#[test]
+fn dpmd_resume_is_bit_exact_nve() {
+    assert_resume_matches_straight("", "dpmd-ckpt-nve");
+}
+
+#[test]
+fn dpmd_resume_is_bit_exact_berendsen() {
+    assert_resume_matches_straight(r#""thermostat": "berendsen","#, "dpmd-ckpt-berendsen");
+}
+
+#[test]
+fn corrupted_newest_checkpoint_falls_back_to_previous_slot() {
+    let dir = test_dir("dpmd-ckpt-corrupt");
+    let base = dir.join("run.ckpt").display().to_string();
+    let ckpt = format!(r#""checkpoint_path": "{base}","#);
+
+    // 80 steps, checkpoints at 20/40/60/80 → rotation holds 80, .1 = 60,
+    // .2 = 40 (keep defaults to 3).
+    let (straight, _) = run_deck(&lj_deck(80, "", &ckpt, "", ""));
+
+    // Flip bytes in the middle of the newest generation: CRC must reject
+    // it and the loader must fall back to the step-60 slot.
+    let mut bytes = std::fs::read(&base).unwrap();
+    let mid = bytes.len() / 2;
+    for b in &mut bytes[mid..mid + 8] {
+        *b ^= 0xff;
+    }
+    std::fs::write(&base, &bytes).unwrap();
+
+    let resume = format!(r#""resume": "{base}","#);
+    let (resumed, lines) = run_deck(&lj_deck(80, "", &ckpt, &resume, ""));
+    let from = lines
+        .iter()
+        .find(|l| l.contains("resuming from"))
+        .expect("resume log line");
+    assert!(
+        from.contains("run.ckpt.1") && from.contains("step 60"),
+        "expected fallback to the .1 slot at step 60, got: {from}"
+    );
+    assert_eq!(
+        tail(&straight, 60),
+        tail(&resumed, 60),
+        "post-fallback thermo should still be bit-exact"
+    );
+}
+
+#[test]
+fn resumed_run_appends_to_trajectory_without_duplicates() {
+    let dir = test_dir("dpmd-ckpt-traj");
+    let base = dir.join("run.ckpt").display().to_string();
+    let traj_path = dir.join("run.xyz");
+    let ckpt = format!(r#""checkpoint_path": "{base}","#);
+    let traj = format!(r#""trajectory": "{}","#, traj_path.display());
+
+    run_deck(&lj_deck(40, "", &ckpt, "", &traj));
+    let resume = format!(r#""resume": "{base}","#);
+    run_deck(&lj_deck(80, "", &ckpt, &resume, &traj));
+
+    let text = std::fs::read_to_string(&traj_path).unwrap();
+    let mut steps: Vec<usize> = text
+        .lines()
+        .filter_map(|l| {
+            let at = l.rfind("step=")?;
+            l[at + 5..].split_whitespace().next()?.parse().ok()
+        })
+        .collect();
+    assert_eq!(
+        steps,
+        vec![20, 40, 60, 80],
+        "frames must appear once each, in order"
+    );
+    steps.dedup();
+    assert_eq!(steps.len(), 4, "resume duplicated a frame");
+}
+
+#[test]
+fn checkpoint_beyond_deck_steps_is_a_clean_error() {
+    let dir = test_dir("dpmd-ckpt-overrun");
+    let base = dir.join("run.ckpt").display().to_string();
+    let ckpt = format!(r#""checkpoint_path": "{base}","#);
+    run_deck(&lj_deck(40, "", &ckpt, "", ""));
+
+    let resume = format!(r#""resume": "{base}","#);
+    let cfg = parse_config(&lj_deck(20, "", &ckpt, &resume, "")).unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert!(err.contains("step 40"), "unexpected error: {err}");
+}

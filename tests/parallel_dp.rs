@@ -53,6 +53,7 @@ fn parallel_dp_trajectory_matches_serial() {
             ..MdOptions::default()
         },
         blocking_reduce: false,
+        ..ParallelOptions::default()
     };
     let steps = 20;
 
@@ -84,6 +85,7 @@ fn parallel_dp_nve_is_stable() {
             ..MdOptions::default()
         },
         blocking_reduce: false,
+        ..ParallelOptions::default()
     };
     let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 80);
     let drift = (run.thermo.last().unwrap().total_energy()

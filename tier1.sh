@@ -1,0 +1,49 @@
+#!/bin/sh
+# Tier-1 smoke target (ROADMAP.md): build + full test suite, then exercise
+# the checkpoint subsystem end-to-end *outside* `cargo test` — a tiny dpmd
+# deck run to completion, the same deck "killed" at the midpoint, resumed
+# with `dpmd --resume`, and the overlapping thermo lines required to match
+# the uninterrupted run byte-for-byte.
+set -e
+
+cargo build --release --workspace
+cargo test -q --workspace
+
+DPMD=target/release/dpmd
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# deck <steps> <deck-path> <checkpoint-base>
+deck() {
+  cat > "$2" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": $1,
+  "thermo_every": 10,
+  "checkpoint_every": 20,
+  "checkpoint_path": "$3",
+  "seed": 7
+}
+EOF
+}
+
+# Uninterrupted 80-step run (same checkpoint stride, so the
+# neighbor-rebuild schedule matches the resumed run).
+deck 80 "$DIR/straight.json" "$DIR/straight.ckpt"
+"$DPMD" "$DIR/straight.json" | grep '^step' > "$DIR/straight.thermo"
+
+# Same deck stopped at step 40, then resumed to 80.
+deck 40 "$DIR/first.json" "$DIR/killed.ckpt"
+"$DPMD" "$DIR/first.json" > /dev/null
+deck 80 "$DIR/second.json" "$DIR/killed.ckpt"
+"$DPMD" "$DIR/second.json" --resume "$DIR/killed.ckpt" \
+  | grep '^step' > "$DIR/resumed.thermo"
+
+# The resumed run re-emits exactly the post-midpoint samples; they must be
+# bit-identical to the straight run's.
+awk '$2 > 40' "$DIR/straight.thermo" > "$DIR/straight.tail"
+diff -u "$DIR/straight.tail" "$DIR/resumed.thermo"
+echo "tier1: dpmd --resume round trip is bit-exact"
