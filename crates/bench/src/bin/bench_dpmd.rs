@@ -1,0 +1,75 @@
+//! `bench_dpmd` — machine-readable headline benchmark (`BENCH_dpmd.json`).
+//!
+//! Runs a short Deep Potential MD loop on the two paper workloads (water
+//! and copper, scaled down to finish in seconds) and emits one
+//! `dpmd-bench/1` row per workload: time-to-solution (s/step/atom, the
+//! Table 1 metric) and achieved GFLOPS (FLOPs / MD-loop time, §6.3).
+//! Untrained models: weights don't change the arithmetic being timed.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin bench_dpmd [out.json]`
+
+use deepmd_core::model::DpModel;
+use deepmd_core::{DeepPotential, PrecisionMode};
+use dp_bench::workloads;
+use dp_linalg::flops::FlopCounter;
+use dp_md::integrate::{run_md, MdOptions};
+use dp_md::Potential;
+use dp_obs::report::{BenchReport, BenchRow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 5;
+
+fn bench_workload(
+    name: &str,
+    cfg: deepmd_core::DpConfig,
+    mut sys: dp_md::System,
+    seed: u64,
+) -> BenchRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = DpModel::<f64>::new_random(cfg, &mut rng);
+    let pot = DeepPotential::new(model, PrecisionMode::Mixed);
+    sys.init_velocities(300.0, &mut rng);
+    let opts = MdOptions {
+        dt: 1e-4, // tiny step: timing only, no physics claims
+        skin: ((sys.cell.max_cutoff() - pot.cutoff()) * 0.9).clamp(0.0, 1.0),
+        ..MdOptions::default()
+    };
+    let flops = FlopCounter::start();
+    let run = run_md(&mut sys, &pot, &opts, STEPS, |_| {});
+    BenchRow::from_run(name, sys.len(), run.steps, run.loop_time, flops.elapsed())
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dpmd.json".into());
+
+    let mut report = BenchReport::new();
+    eprintln!("[bench_dpmd] water ({STEPS} steps)...");
+    report.push(bench_workload(
+        "water",
+        workloads::water_config_small(),
+        workloads::water_training_base(),
+        71,
+    ));
+    eprintln!("[bench_dpmd] copper ({STEPS} steps)...");
+    report.push(bench_workload(
+        "copper",
+        workloads::copper_config_small(),
+        workloads::copper_training_base(),
+        72,
+    ));
+
+    for r in &report.rows {
+        println!(
+            "{:>8}: {} atoms, {} steps, {:.3e} s/step/atom, {:.2} GFLOPS",
+            r.workload, r.n_atoms, r.steps, r.s_per_step_per_atom, r.gflops
+        );
+    }
+    if let Err(e) = report.write(&out) {
+        eprintln!("bench_dpmd: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

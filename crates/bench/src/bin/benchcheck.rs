@@ -1,0 +1,125 @@
+//! `benchcheck` — validate (and produce) `BENCH_*.json` documents.
+//!
+//! Two modes:
+//!
+//! * `benchcheck <BENCH.json>...` — parse each file and enforce the
+//!   `dpmd-bench/1` schema contract: `schema` starts with `"dpmd-bench"`,
+//!   `rows` is a non-empty array, and every row carries a positive finite
+//!   `s_per_step_per_atom`. Exits non-zero on the first violation — this
+//!   is the tier-1 bench-smoke gate.
+//! * `benchcheck --from-metrics <metrics.jsonl> --workload <name> --out
+//!   <BENCH.json>` — aggregate a per-step JSONL metrics file (as written
+//!   by `dpmd --metrics`) into a single-row benchmark document, then
+//!   validate nothing further (run the first mode on the output for that).
+
+use dp_obs::report::{BenchReport, BenchRow};
+use serde_json::Value;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("benchcheck: {msg}");
+    std::process::exit(1);
+}
+
+fn validate(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail(&format!("{path}: missing \"schema\" string")));
+    if !schema.starts_with("dpmd-bench") {
+        fail(&format!("{path}: unknown schema \"{schema}\""));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: missing \"rows\" array")));
+    if rows.is_empty() {
+        fail(&format!("{path}: \"rows\" is empty"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let workload = row.get("workload").and_then(Value::as_str).unwrap_or("?");
+        let tts = row
+            .get("s_per_step_per_atom")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| {
+                fail(&format!("{path}: row {i} has no numeric s_per_step_per_atom"))
+            });
+        if !tts.is_finite() || tts <= 0.0 {
+            fail(&format!(
+                "{path}: row {i} ({workload}) has non-positive s_per_step_per_atom {tts}"
+            ));
+        }
+    }
+    println!("{path}: OK ({} rows, schema {schema})", rows.len());
+}
+
+fn aggregate(metrics: &str, workload: &str, out: &str) {
+    let text = std::fs::read_to_string(metrics)
+        .unwrap_or_else(|e| fail(&format!("cannot read {metrics}: {e}")));
+    let mut steps = 0usize;
+    let mut n_atoms = 0usize;
+    let mut loop_secs = 0.0f64;
+    let mut flops = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| fail(&format!("{metrics}:{}: bad JSON line: {e}", lineno + 1)));
+        steps += 1;
+        n_atoms = v.get("n_atoms").and_then(Value::as_u64).unwrap_or(0) as usize;
+        loop_secs += v.get("step_time_s").and_then(Value::as_f64).unwrap_or(0.0);
+        flops += v.get("flops").and_then(Value::as_u64).unwrap_or(0);
+    }
+    if steps == 0 {
+        fail(&format!("{metrics}: no step lines to aggregate"));
+    }
+    let mut report = BenchReport::new();
+    report.push(BenchRow::from_run(
+        workload,
+        n_atoms,
+        steps,
+        Duration::from_secs_f64(loop_secs),
+        flops,
+    ));
+    report
+        .write(out)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!("{out}: aggregated {steps} steps from {metrics}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail(
+            "usage: benchcheck <BENCH.json>... | benchcheck --from-metrics <metrics.jsonl> \
+             --workload <name> --out <BENCH.json>",
+        );
+    }
+    if args[0] == "--from-metrics" {
+        let mut metrics = None;
+        let mut workload = None;
+        let mut out = None;
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--from-metrics" => metrics = it.next(),
+                "--workload" => workload = it.next(),
+                "--out" => out = it.next(),
+                other => fail(&format!("unexpected argument '{other}'")),
+            }
+        }
+        let (Some(metrics), Some(workload), Some(out)) = (metrics, workload, out) else {
+            fail("--from-metrics needs --workload <name> and --out <path>");
+        };
+        aggregate(&metrics, &workload, &out);
+    } else {
+        for path in &args {
+            validate(path);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Round-trip of the `dpmd-bench/1` schema: the dependency-free emitter in
+//! `dp_obs::report` must produce JSON that a real parser reads back with
+//! the same values — this is the contract `benchcheck` and downstream
+//! diff tooling rely on.
+
+use dp_obs::report::{BenchReport, BenchRow, BENCH_SCHEMA};
+use serde_json::Value;
+use std::time::Duration;
+
+#[test]
+fn bench_report_round_trips_through_serde_json() {
+    let mut rep = BenchReport::new();
+    rep.push(BenchRow::from_run(
+        "water",
+        243,
+        5,
+        Duration::from_millis(120),
+        4_000_000_000,
+    ));
+    rep.push(BenchRow::from_run(
+        "copper",
+        108,
+        5,
+        Duration::from_millis(90),
+        2_500_000_000,
+    ));
+
+    let doc: Value = serde_json::from_str(&rep.to_json()).expect("emitted JSON parses");
+    assert_eq!(doc["schema"], BENCH_SCHEMA);
+    let rows = doc["rows"].as_array().expect("rows array");
+    assert_eq!(rows.len(), 2);
+
+    for (parsed, orig) in rows.iter().zip(&rep.rows) {
+        assert_eq!(parsed["workload"].as_str().unwrap(), orig.workload);
+        assert_eq!(parsed["n_atoms"].as_u64().unwrap() as usize, orig.n_atoms);
+        assert_eq!(parsed["steps"].as_u64().unwrap() as usize, orig.steps);
+        assert_eq!(parsed["flops"].as_u64().unwrap(), orig.flops);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(parsed["loop_time_s"].as_f64().unwrap(), orig.loop_time_s) < 1e-12);
+        assert!(
+            rel(
+                parsed["s_per_step_per_atom"].as_f64().unwrap(),
+                orig.s_per_step_per_atom
+            ) < 1e-12
+        );
+        assert!(rel(parsed["gflops"].as_f64().unwrap(), orig.gflops) < 1e-12);
+    }
+
+    // the Table-1 / §6.3 derivations hold in the parsed document too
+    let water = &rows[0];
+    let tts = water["loop_time_s"].as_f64().unwrap()
+        / water["steps"].as_f64().unwrap()
+        / water["n_atoms"].as_f64().unwrap();
+    assert!((tts - water["s_per_step_per_atom"].as_f64().unwrap()).abs() < 1e-15);
+}
+
+#[test]
+fn escaped_workload_names_survive() {
+    let mut rep = BenchReport::new();
+    rep.push(BenchRow::from_run(
+        "odd \"name\"\\with\tescapes",
+        1,
+        1,
+        Duration::from_millis(1),
+        1,
+    ));
+    let doc: Value = serde_json::from_str(&rep.to_json()).expect("escaped JSON parses");
+    assert_eq!(
+        doc["rows"][0]["workload"].as_str().unwrap(),
+        "odd \"name\"\\with\tescapes"
+    );
+}

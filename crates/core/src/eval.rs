@@ -173,6 +173,7 @@ pub fn evaluate<T: Real>(
         // ---- 1. batched embedding per neighbor type ----
         let mut g_mats: Vec<Matrix<T>> = Vec::with_capacity(n_types);
         let mut g_caches: Vec<Vec<LayerCache<T>>> = Vec::with_capacity(n_types);
+        let emb_span = dp_obs::span("embedding_gemm");
         for t in 0..n_types {
             let rows = nc * cfg.sel[t];
             let s_col = maybe_time(prof, Kernel::Slice, || {
@@ -190,6 +191,7 @@ pub fn evaluate<T: Real>(
             g_mats.push(g);
             g_caches.push(caches);
         }
+        drop(emb_span);
 
         // ---- 2. descriptor contraction (custom op) ----
         // per atom in chunk: T1 (m_w x 4), T2 (4 x m2), D = T1*T2
@@ -197,6 +199,7 @@ pub fn evaluate<T: Real>(
             t1: Vec<T>,
             t2: Vec<T>,
         }
+        let desc_span = dp_obs::span("descriptor");
         let (descriptors, atom_ctx): (Vec<Vec<T>>, Vec<AtomCtx<T>>) =
             maybe_time(prof, Kernel::Custom, || {
                 (0..nc)
@@ -253,8 +256,10 @@ pub fn evaluate<T: Real>(
                     })
                     .unzip()
             });
+        drop(desc_span);
 
         // ---- 3. batched fitting per center type ----
+        let fit_span = dp_obs::span("fitting_net");
         // gather chunk atoms by type
         let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); n_types];
         for a in 0..nc {
@@ -288,8 +293,10 @@ pub fn evaluate<T: Real>(
                 }
             });
         }
+        drop(fit_span);
 
         // ---- 5. descriptor backward (custom op) ----
+        let desc_bwd_span = dp_obs::span("descriptor_backward");
         // produces dG rows (per neighbor type, batched) and dE/dR̃ rows
         let mut dg_mats: Vec<Matrix<T>> = (0..n_types)
             .map(|t| Matrix::<T>::zeros(nc * cfg.sel[t], m_w))
@@ -378,17 +385,21 @@ pub fn evaluate<T: Real>(
                     });
             }
         });
+        drop(desc_bwd_span);
 
         // ---- 6. embedding backward: dE/ds per slot ----
+        let emb_bwd_span = dp_obs::span("embedding_backward");
         let mut ds_cols: Vec<Matrix<T>> = Vec::with_capacity(n_types);
         for t in 0..n_types {
             let ds = net_backward_profiled(&model.embeddings[t], &g_caches[t], &dg_mats[t], prof);
             ds_cols.push(ds);
         }
+        drop(emb_bwd_span);
 
         // ---- 7/8. ProdForce + ProdVirial (custom ops, f64) ----
         maybe_time(prof, Kernel::Custom, || {
             // per-slot total gradient dE/dd (parallel), then scatter (serial)
+            let force_span = dp_obs::span("prod_force");
             let slot_grads: Vec<[f64; 3]> = (0..nc * nm)
                 .into_par_iter()
                 .map(|local_slot| {
@@ -425,6 +436,8 @@ pub fn evaluate<T: Real>(
                     g
                 })
                 .collect();
+            drop(force_span);
+            let _virial_span = dp_obs::span("prod_virial");
             for (local_slot, g) in slot_grads.iter().enumerate() {
                 let atom = chunk_start + local_slot / nm;
                 let slot = atom * nm + local_slot % nm;

@@ -76,9 +76,12 @@ impl DeepPotential {
 impl Potential for DeepPotential {
     fn compute(&self, sys: &System, nl: &NeighborList) -> PotentialOutput {
         let prof = self.profiler.as_deref();
-        let fmt = crate::profile::maybe_time(prof, crate::profile::Kernel::Custom, || {
-            format_optimized(sys, nl, &self.model64.config, self.codec(sys))
-        });
+        let fmt = {
+            let _span = dp_obs::span("environment");
+            crate::profile::maybe_time(prof, crate::profile::Kernel::Custom, || {
+                format_optimized(sys, nl, &self.model64.config, self.codec(sys))
+            })
+        };
         let types = &sys.types[..sys.n_local];
         let out = match self.mode {
             PrecisionMode::Double => evaluate(&self.model64, &fmt, types, sys.len(), prof),

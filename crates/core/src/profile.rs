@@ -1,11 +1,17 @@
-//! Per-kernel-category wall-time accounting (Fig 3).
+//! Per-kernel-category wall-time accounting (Fig 3) — a thin shim over
+//! [`dp_obs`].
 //!
 //! The paper's Fig 3 is a stacked bar chart of GPU execution time per
 //! TensorFlow operator class: GEMM, TANH, SLICE, CUSTOM (environment /
-//! force / virial), and Others. We reproduce the same taxonomy with scoped
-//! wall-clock timers around the corresponding CPU kernels.
+//! force / virial), and Others. We keep the same taxonomy and the same
+//! public API as before, but every timed closure now also opens a dp-obs
+//! span (named `gemm` / `tanh` / `slice` / `custom` / `other`), so the
+//! kernel categories show up in chrome traces and the global span
+//! aggregates whenever the observability subsystem is enabled. The
+//! per-instance totals that Fig 3's percentages are computed from are
+//! plain relaxed atomics — no lock on the timing path.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Kernel categories matching Fig 3's legend.
@@ -24,22 +30,45 @@ pub enum Kernel {
     Other,
 }
 
+impl Kernel {
+    /// dp-obs span name for this category.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Kernel::Gemm => "gemm",
+            Kernel::Tanh => "tanh",
+            Kernel::Slice => "slice",
+            Kernel::Custom => "custom",
+            Kernel::Other => "other",
+        }
+    }
+}
+
 const N_KERNELS: usize = 5;
 
 /// Accumulates wall time per kernel category. Cheap enough to keep on in
 /// benches; pass `None` in hot production paths.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
-    totals: Mutex<[Duration; N_KERNELS]>,
+    totals_ns: [AtomicU64; N_KERNELS],
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Profiler {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            totals_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 
-    /// Time a closure, attributing it to `kernel`.
+    /// Time a closure, attributing it to `kernel` (and to the matching
+    /// dp-obs span when the subsystem is enabled).
     pub fn time<R>(&self, kernel: Kernel, f: impl FnOnce() -> R) -> R {
+        let _span = dp_obs::span(kernel.span_name());
         let start = Instant::now();
         let out = f();
         self.add(kernel, start.elapsed());
@@ -47,35 +76,41 @@ impl Profiler {
     }
 
     pub fn add(&self, kernel: Kernel, d: Duration) {
-        self.totals.lock()[kernel as usize] += d;
+        self.totals_ns[kernel as usize].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub fn total(&self, kernel: Kernel) -> Duration {
-        self.totals.lock()[kernel as usize]
+        Duration::from_nanos(self.totals_ns[kernel as usize].load(Ordering::Relaxed))
     }
 
     pub fn grand_total(&self) -> Duration {
-        self.totals.lock().iter().sum()
+        self.totals_ns
+            .iter()
+            .map(|t| Duration::from_nanos(t.load(Ordering::Relaxed)))
+            .sum()
     }
 
     /// Percentages in Fig 3 order: (GEMM, TANH, SLICE, CUSTOM, Others).
     pub fn percentages(&self) -> [f64; N_KERNELS] {
-        let t = self.totals.lock();
-        let total: f64 = t.iter().map(|d| d.as_secs_f64()).sum();
+        let t: [f64; N_KERNELS] =
+            std::array::from_fn(|k| self.totals_ns[k].load(Ordering::Relaxed) as f64);
+        let total: f64 = t.iter().sum();
         if total == 0.0 {
             return [0.0; N_KERNELS];
         }
         [
-            t[Kernel::Gemm as usize].as_secs_f64() / total * 100.0,
-            t[Kernel::Tanh as usize].as_secs_f64() / total * 100.0,
-            t[Kernel::Slice as usize].as_secs_f64() / total * 100.0,
-            t[Kernel::Custom as usize].as_secs_f64() / total * 100.0,
-            t[Kernel::Other as usize].as_secs_f64() / total * 100.0,
+            t[Kernel::Gemm as usize] / total * 100.0,
+            t[Kernel::Tanh as usize] / total * 100.0,
+            t[Kernel::Slice as usize] / total * 100.0,
+            t[Kernel::Custom as usize] / total * 100.0,
+            t[Kernel::Other as usize] / total * 100.0,
         ]
     }
 
     pub fn reset(&self) {
-        *self.totals.lock() = [Duration::ZERO; N_KERNELS];
+        for t in &self.totals_ns {
+            t.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -120,5 +155,15 @@ mod tests {
         p.reset();
         assert_eq!(p.grand_total(), Duration::ZERO);
         assert_eq!(p.percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn kernel_time_feeds_obs_spans_when_enabled() {
+        dp_obs::enable();
+        let p = Profiler::new();
+        p.time(Kernel::Gemm, || std::hint::black_box(1u64));
+        dp_obs::disable();
+        let s = dp_obs::stat("gemm").expect("gemm span aggregated");
+        assert!(s.count >= 1);
     }
 }

@@ -1,37 +1,64 @@
-//! Global floating-point-operation accounting.
+//! Floating-point-operation accounting, fed into the dp-obs counter
+//! registry.
 //!
 //! The paper counts FLOPs with NVPROF on the GPU and reports
 //! `peak = total FLOPs / MD loop time` and
 //! `sustained = total FLOPs / total wall time` (§6.3). We do the equivalent
 //! in software: every GEMM and fused activation kernel adds its operation
-//! count to a process-wide atomic counter, and the bench harnesses read and
-//! reset it around the MD loop.
+//! count to the process-wide `"flops"` counter in the [`dp_obs`] registry,
+//! which the bench harnesses and the per-step metrics sink read.
+//!
+//! # Ordering semantics
+//!
+//! All accesses are `Relaxed`: the counter is a statistic, not a
+//! synchronization point, so it never orders other memory accesses. A read
+//! taken while worker threads are mid-kernel may miss in-flight additions;
+//! exact totals require the reader to join its workers first, which the
+//! benches do.
+//!
+//! # Scoping
+//!
+//! [`reset`] is a process-global swap — two benches resetting concurrently
+//! (as `cargo test`'s parallel harness will) steal each other's counts.
+//! Concurrent measurement must use the delta-based [`FlopCounter`], which
+//! reads a snapshot at construction and reports the difference without
+//! ever writing the shared counter.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dp_obs::Counter;
+use std::sync::OnceLock;
 
-static GLOBAL_FLOPS: AtomicU64 = AtomicU64::new(0);
+/// Registry name of the FLOP counter (`dp_obs::counter(FLOPS_COUNTER)`).
+pub const FLOPS_COUNTER: &str = "flops";
+
+/// The interned dp-obs counter handle. Cached so the hot path is a single
+/// relaxed `fetch_add`, not a registry lookup.
+pub fn handle() -> &'static Counter {
+    static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| dp_obs::counter(FLOPS_COUNTER))
+}
 
 /// Add `n` floating-point operations to the global counter.
 #[inline(always)]
 pub fn add(n: u64) {
-    // Relaxed is enough: the counter is a statistic, not a synchronization
-    // point, and the benches only read it after joining all workers.
-    GLOBAL_FLOPS.fetch_add(n, Ordering::Relaxed);
+    handle().add(n);
 }
 
-/// Read the global counter.
+/// Read the global counter (`Relaxed`; see module docs).
 pub fn read() -> u64 {
-    GLOBAL_FLOPS.load(Ordering::Relaxed)
+    handle().get()
 }
 
 /// Reset the global counter to zero, returning the previous value.
+///
+/// Process-global: prefer [`FlopCounter`] wherever another thread might be
+/// measuring at the same time.
 pub fn reset() -> u64 {
-    GLOBAL_FLOPS.swap(0, Ordering::Relaxed)
+    handle().reset()
 }
 
 /// Scoped FLOP counter: records the global counter at construction and
-/// reports the delta, so nested regions can be measured without resets
-/// interfering with each other.
+/// reports the delta, so nested or concurrent regions can be measured
+/// without resets interfering with each other.
 pub struct FlopCounter {
     start: u64,
 }
@@ -92,5 +119,14 @@ mod tests {
             }
         });
         assert!(c.elapsed() >= 8000);
+    }
+
+    #[test]
+    fn feeds_the_obs_registry() {
+        add(10);
+        let snap = dp_obs::counters();
+        let flops = snap.iter().find(|&&(n, _)| n == FLOPS_COUNTER);
+        assert!(flops.map_or(false, |&(_, v)| v >= 10), "{snap:?}");
+        assert!(std::ptr::eq(handle(), dp_obs::counter(FLOPS_COUNTER)));
     }
 }

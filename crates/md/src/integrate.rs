@@ -190,7 +190,10 @@ pub fn run_md_resumable(
         .langevin
         .map(|l| CounterRng::with_draws(l.seed, resume.rng_draws));
     let cutoff = pot.cutoff() + opts.skin;
-    let mut nl = NeighborList::build(sys, cutoff);
+    let mut nl = {
+        let _span = dp_obs::span("neighbor_rebuild");
+        NeighborList::build(sys, cutoff)
+    };
     let mut rebuilds = 1usize;
     let mut evaluations = 0usize;
     let mut out;
@@ -199,6 +202,7 @@ pub fn run_md_resumable(
         out = crate::potential::PotentialOutput::zeros(sys.len());
         out.forces.clone_from(&sys.forces);
     } else {
+        let _span = dp_obs::span("force_eval");
         out = pot.compute(sys, &nl);
         sys.forces.clone_from(&out.forces);
         evaluations += 1;
@@ -226,7 +230,11 @@ pub fn run_md_resumable(
 
     let dt = opts.dt;
     for step in resume.step + 1..=end_step {
+        // per-step metrics (s/step/atom, GFLOPS) when a sink is installed
+        let step_start = dp_obs::metrics::active().then(Instant::now);
+
         // half kick + drift
+        let drift_span = dp_obs::span("integrate");
         for i in 0..sys.n_local {
             let inv_m = units::FORCE_TO_ACCEL / sys.masses[sys.types[i]];
             for d in 0..3 {
@@ -235,18 +243,25 @@ pub fn run_md_resumable(
             }
         }
         sys.wrap_positions();
+        drop(drift_span);
 
         // neighbor maintenance on the paper's schedule
         if step % opts.rebuild_every == 0 && nl.needs_rebuild(sys, opts.skin) {
+            let _span = dp_obs::span("neighbor_rebuild");
             nl = NeighborList::build(sys, cutoff);
             rebuilds += 1;
+            dp_obs::counter("neighbor_rebuilds").add(1);
         }
 
-        out = pot.compute(sys, &nl);
+        out = {
+            let _span = dp_obs::span("force_eval");
+            pot.compute(sys, &nl)
+        };
         evaluations += 1;
         sys.forces.clone_from(&out.forces);
 
         // second half kick
+        let kick_span = dp_obs::span("integrate");
         for i in 0..sys.n_local {
             let inv_m = units::FORCE_TO_ACCEL / sys.masses[sys.types[i]];
             for d in 0..3 {
@@ -296,6 +311,7 @@ pub fn run_md_resumable(
                 }
             }
         }
+        drop(kick_span);
 
         if step % opts.thermo_every == 0 || step == end_step {
             record(step, sys, &out, &mut thermo, &mut observer);
@@ -303,6 +319,7 @@ pub fn run_md_resumable(
 
         if let Some(ck) = checkpoint.as_mut() {
             if ck.every > 0 && step % ck.every == 0 {
+                let _span = dp_obs::span("io");
                 // Rebuild the list so that this run and any run resumed
                 // from the checkpoint continue from identical state (the
                 // resumed run necessarily starts with a fresh list).
@@ -314,6 +331,10 @@ pub fn run_md_resumable(
                 };
                 (ck.save)(sys, progress);
             }
+        }
+
+        if let Some(t0) = step_start {
+            dp_obs::metrics::record_step(step as u64, sys.n_local, t0.elapsed());
         }
     }
 

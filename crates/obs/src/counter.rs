@@ -1,0 +1,132 @@
+//! Named process-wide counters and gauges.
+//!
+//! Counters are *always on* — a [`Counter::add`] is a single `Relaxed`
+//! `fetch_add`, cheaper than the branch that would gate it — and they are
+//! statistics, not synchronization points: `Relaxed` ordering means reads
+//! taken while other threads are mid-flight may miss in-progress
+//! increments, which is fine for accounting. Readers wanting an exact
+//! total must join their workers first (the benches do).
+//!
+//! Handles are interned: [`counter`] returns a `&'static Counter` for a
+//! name, creating it on first use. Hot call sites should cache the handle
+//! (e.g. in a `OnceLock`) instead of re-resolving the name per event —
+//! resolution takes the registry lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// A named monotonic counter (or gauge, via [`Counter::set`]).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n`. `Relaxed`: the counter never orders other memory accesses.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (`Relaxed`; see module docs for what that implies).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Gauge-style overwrite.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Reset to zero, returning the previous value. This is a
+    /// process-global swap: two concurrent scopes resetting the same
+    /// counter race each other. Prefer delta reads against a snapshot
+    /// (as `dp_linalg::FlopCounter` does) in code that may run under
+    /// `cargo test`'s parallel harness.
+    #[inline]
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+fn registry() -> MutexGuard<'static, Vec<(&'static str, &'static Counter)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, &'static Counter)>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Look up (or create) the counter registered under `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    if let Some(&(_, c)) = reg.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    // Counters live for the process; the registry is a bounded set of
+    // names, so leaking one allocation per name is the intended design.
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    reg.push((name, c));
+    c
+}
+
+/// Snapshot of every registered counter, in registration order.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    registry().iter().map(|&(n, c)| (n, c.get())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interned_by_name() {
+        let a = counter("obs_test_intern");
+        let b = counter("obs_test_intern");
+        assert!(std::ptr::eq(a, b));
+        a.add(5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn add_reset_set() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.reset(), 7);
+        assert_eq!(c.get(), 0);
+        c.set(42);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn concurrent_adds_all_land() {
+        let c = counter("obs_test_concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert!(c.get() >= 8000);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names() {
+        counter("obs_test_snapshot").add(1);
+        let snap = counters();
+        assert!(snap.iter().any(|&(n, v)| n == "obs_test_snapshot" && v >= 1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Minimal JSON *emission* helpers (no parser — dp-obs only writes).
+//!
+//! Hand-rolled so the crate stays dependency-free; the workspace's tests
+//! round-trip the output through serde_json to prove it parses.
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number. Exponent form (`1.23e-7`) keeps tiny
+/// time-per-atom values compact; non-finite values (which JSON cannot
+/// represent) degrade to 0 rather than corrupting the document.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "0e0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_legal() {
+        assert_eq!(num(0.0), "0e0");
+        assert_eq!(num(f64::NAN), "0e0");
+        assert_eq!(num(f64::INFINITY), "0e0");
+        let s = num(2.7e-10);
+        assert!(s.contains('e'), "{s}");
+        let back: f64 = s.parse().unwrap();
+        assert!((back - 2.7e-10).abs() < 1e-20);
+    }
+}

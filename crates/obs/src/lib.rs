@@ -1,0 +1,60 @@
+//! `dp-obs` — the unified observability subsystem.
+//!
+//! The paper's performance story rests on fine-grained measurement:
+//! per-operator wall-time breakdowns (Fig 3), NVPROF FLOP accounting with
+//! `peak = FLOPs / MD-loop time` (§6.3), and step-phase timing justifying
+//! each optimization. This crate is the software analogue, shared by every
+//! layer of the workspace:
+//!
+//! * [`span`] — scoped hierarchical wall-time spans with a thread-local
+//!   depth stack, aggregated per name ("neighbor_rebuild",
+//!   "ghost_exchange", "embedding_gemm", "fitting_net", "prod_force",
+//!   "prod_virial", "integrate", "comm", "io", ...),
+//! * [`counter`] — named process-wide counters/gauges (FLOPs, neighbor
+//!   counts, ghost atoms, bytes exchanged),
+//! * [`trace`] — a bounded ring-buffer event recorder exporting
+//!   chrome://tracing-loadable JSON,
+//! * [`metrics`] — per-step JSONL snapshots deriving the paper's headline
+//!   figures (s/step/atom, achieved GFLOPS) exactly as §6.3 defines them,
+//! * [`report`] — the stable `BENCH_*.json` schema seeding the repo's
+//!   machine-readable performance trajectory.
+//!
+//! # Cost model
+//!
+//! The subsystem is off by default. A disabled [`span`] performs a single
+//! `Relaxed` atomic load and constructs `None` — no clock read, no lock,
+//! no allocation (an overhead test guards this). [`counter`]s are always
+//! on: they are single `Relaxed` `fetch_add`s, cheaper than the branch
+//! that would gate them, and the benches need FLOP totals even in
+//! un-instrumented runs.
+
+pub mod counter;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use counter::{counter, counters, Counter};
+pub use span::{current_depth, reset_stats, span, stat, stats, time, timed, Span, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span collection on. Counters are unaffected (always on).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn span collection off (the default).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is span collection on? Single `Relaxed` load — this is the only cost a
+/// disabled span pays.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,154 @@
+//! The machine-readable benchmark schema (`BENCH_*.json`).
+//!
+//! Every perf harness in the workspace emits the same stable document so
+//! future PRs can diff s/step/atom and achieved-GFLOPS trajectories
+//! mechanically instead of hand-copying table text:
+//!
+//! ```json
+//! {
+//!   "schema": "dpmd-bench/1",
+//!   "rows": [
+//!     {"workload": "water", "n_atoms": 243, "steps": 5,
+//!      "loop_time_s": 1.2e-1, "s_per_step_per_atom": 9.9e-5,
+//!      "flops": 123456789, "gflops": 1.03}
+//!   ]
+//! }
+//! ```
+//!
+//! Schema contract (checked by `benchcheck` and the tier-1 smoke step):
+//! `schema` starts with `"dpmd-bench/"`, `rows` is a non-empty array, and
+//! every row carries a positive finite `s_per_step_per_atom`.
+
+use crate::json;
+use std::time::Duration;
+
+/// Current schema identifier. Bump the suffix on breaking changes only;
+/// adding fields is non-breaking.
+pub const BENCH_SCHEMA: &str = "dpmd-bench/1";
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload label ("water", "copper", "tier1", ...).
+    pub workload: String,
+    pub n_atoms: usize,
+    /// MD steps timed.
+    pub steps: usize,
+    /// Wall time of the MD loop (§6.3's denominator).
+    pub loop_time_s: f64,
+    /// Time-to-solution: `loop_time_s / steps / n_atoms` (Table 1 metric).
+    pub s_per_step_per_atom: f64,
+    /// FLOPs performed inside the loop (the `"flops"` counter delta).
+    pub flops: u64,
+    /// Achieved GFLOPS: `flops / loop_time_s / 1e9` (§6.3's `peak`).
+    pub gflops: f64,
+}
+
+impl BenchRow {
+    /// Derive the paper metrics from raw measurements.
+    pub fn from_run(
+        workload: impl Into<String>,
+        n_atoms: usize,
+        steps: usize,
+        loop_time: Duration,
+        flops: u64,
+    ) -> Self {
+        let secs = loop_time.as_secs_f64();
+        let denom = (steps.max(1) * n_atoms.max(1)) as f64;
+        Self {
+            workload: workload.into(),
+            n_atoms,
+            steps,
+            loop_time_s: secs,
+            s_per_step_per_atom: secs / denom,
+            flops,
+            gflops: if secs > 0.0 {
+                flops as f64 / secs / 1e9
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"n_atoms\":{},\"steps\":{},\"loop_time_s\":{},\"s_per_step_per_atom\":{},\"flops\":{},\"gflops\":{}}}",
+            json::esc(&self.workload),
+            self.n_atoms,
+            self.steps,
+            json::num(self.loop_time_s),
+            json::num(self.s_per_step_per_atom),
+            self.flops,
+            json::num(self.gflops)
+        )
+    }
+}
+
+/// A full `BENCH_*.json` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&row.to_json());
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_derives_paper_metrics() {
+        let r = BenchRow::from_run("water", 100, 10, Duration::from_secs(2), 4_000_000_000);
+        assert!((r.s_per_step_per_atom - 2e-3).abs() < 1e-12);
+        assert!((r.gflops - 2.0).abs() < 1e-12);
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn json_has_schema_and_rows() {
+        let mut rep = BenchReport::new();
+        rep.push(BenchRow::from_run("water", 3, 2, Duration::from_millis(6), 600));
+        rep.push(BenchRow::from_run("copper", 4, 2, Duration::from_millis(8), 800));
+        let s = rep.to_json();
+        assert!(s.contains("\"schema\": \"dpmd-bench/1\""));
+        assert!(s.contains("\"workload\":\"water\""));
+        assert!(s.contains("\"workload\":\"copper\""));
+        assert!(s.contains("\"s_per_step_per_atom\":"));
+        // balanced braces/brackets (cheap well-formedness check; real JSON
+        // parsing is exercised by the dp-bench round-trip test)
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = BenchRow::from_run("empty", 0, 0, Duration::ZERO, 0);
+        assert_eq!(r.gflops, 0.0);
+        assert!(r.s_per_step_per_atom.is_finite());
+    }
+}

@@ -241,16 +241,19 @@ fn rank_loop(
     let dt = opts.md.dt;
 
     // initial exchange + list build + force evaluation
-    let t0 = Instant::now();
-    exchange(&mut st, &comm, grid, halo, &mut stats);
-    stats.comm_time += t0.elapsed();
+    let ((), d) = dp_obs::timed("ghost_exchange", || {
+        exchange(&mut st, &comm, grid, halo, &mut stats)
+    });
+    stats.comm_time += d;
     let mut local = build_local_system(&st, cell, masses);
-    let mut nl = NeighborList::build(&local, pot.cutoff() + opts.md.skin);
+    let mut nl = {
+        let _span = dp_obs::span("neighbor_rebuild");
+        NeighborList::build(&local, pot.cutoff() + opts.md.skin)
+    };
     stats.rebuilds += 1;
     let mut out = {
-        let t = Instant::now();
-        let o = pot.compute(&local, &nl);
-        stats.compute_time += t.elapsed();
+        let (o, d) = dp_obs::timed("force_eval", || pot.compute(&local, &nl));
+        stats.compute_time += d;
         o
     };
     reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
@@ -277,9 +280,8 @@ fn rank_loop(
             payload[1] = ke;
             payload[2..8].copy_from_slice(virial);
             payload[8] = st.ids.len() as f64;
-            let t = Instant::now();
-            let tot = thermo_reduce.reduce(&payload);
-            stats.reduce_time += t.elapsed();
+            let (tot, d) = dp_obs::timed("reduce", || thermo_reduce.reduce(&payload));
+            stats.reduce_time += d;
             let n = tot[8];
             let temp = if n > 0.0 {
                 2.0 * tot[1] / (3.0 * n * units::KB)
@@ -309,6 +311,7 @@ fn rank_loop(
 
     for step in 1..=n_steps {
         // half kick + drift (locals only)
+        let drift_span = dp_obs::span("integrate");
         for k in 0..st.ids.len() {
             let inv_m = units::FORCE_TO_ACCEL / masses[st.types[k]];
             for d in 0..3 {
@@ -317,49 +320,53 @@ fn rank_loop(
             }
             st.positions[k] = cell.wrap(st.positions[k]);
         }
+        drop(drift_span);
 
         // collective rebuild decision on the paper's schedule
         let rebuild = if step % opts.md.rebuild_every == 0 {
             let moved = needs_rebuild(&st, &nl, cell, opts.md.skin);
-            let t = Instant::now();
-            let any = flag_reduce.reduce(&[if moved { 1.0 } else { 0.0 }])[0] > 0.0;
-            stats.reduce_time += t.elapsed();
-            any
+            let (flag, d) =
+                dp_obs::timed("reduce", || flag_reduce.reduce(&[if moved { 1.0 } else { 0.0 }]));
+            stats.reduce_time += d;
+            flag[0] > 0.0
         } else {
             false
         };
 
-        let t_comm = Instant::now();
         if rebuild {
-            migrate(&mut st, &comm, grid);
-            exchange(&mut st, &comm, grid, halo, &mut stats);
-        } else {
-            forward_comm(&mut st, &comm);
-        }
-        stats.comm_time += t_comm.elapsed();
-
-        if rebuild {
+            let ((), d) = dp_obs::timed("ghost_exchange", || {
+                migrate(&mut st, &comm, grid);
+                exchange(&mut st, &comm, grid, halo, &mut stats);
+            });
+            stats.comm_time += d;
+            let _span = dp_obs::span("neighbor_rebuild");
             local = build_local_system(&st, cell, masses);
             nl = NeighborList::build(&local, pot.cutoff() + opts.md.skin);
             stats.rebuilds += 1;
         } else {
+            let ((), d) = dp_obs::timed("comm", || forward_comm(&mut st, &comm));
+            stats.comm_time += d;
             update_local_positions(&mut local, &st);
         }
 
-        let t = Instant::now();
-        out = pot.compute(&local, &nl);
-        stats.compute_time += t.elapsed();
+        out = {
+            let (o, d) = dp_obs::timed("force_eval", || pot.compute(&local, &nl));
+            stats.compute_time += d;
+            o
+        };
         reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
         st.forces = out.forces[..local.n_local].to_vec();
         add_reverse_forces(&mut st, &comm, &mut stats);
 
         // second half kick
+        let kick_span = dp_obs::span("integrate");
         for k in 0..st.ids.len() {
             let inv_m = units::FORCE_TO_ACCEL / masses[st.types[k]];
             for d in 0..3 {
                 st.velocities[k][d] += 0.5 * dt * st.forces[k][d] * inv_m;
             }
         }
+        drop(kick_span);
 
         // global Berendsen thermostat (needs a global temperature)
         if let Some(b) = opts.md.thermostat {
@@ -369,9 +376,10 @@ fn rank_loop(
                 let v = st.velocities[k];
                 ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
             }
-            let t = Instant::now();
-            let tot = thermo_reduce.reduce(&[ke, st.ids.len() as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
-            stats.reduce_time += t.elapsed();
+            let (tot, d) = dp_obs::timed("reduce", || {
+                thermo_reduce.reduce(&[ke, st.ids.len() as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            });
+            stats.reduce_time += d;
             let n = tot[1];
             let temp = 2.0 * tot[0] / (3.0 * n * units::KB);
             if temp > 0.0 {
@@ -401,9 +409,10 @@ fn rank_loop(
         // every rank participates without any extra synchronization
         if let Some(ck) = &opts.checkpoint {
             if ck.every > 0 && step % ck.every == 0 {
-                let t = Instant::now();
-                gather_checkpoint(&st, &comm, cell, masses, opts.start_step + step, ck);
-                stats.comm_time += t.elapsed();
+                let ((), d) = dp_obs::timed("io", || {
+                    gather_checkpoint(&st, &comm, cell, masses, opts.start_step + step, ck)
+                });
+                stats.comm_time += d;
             }
         }
     }
@@ -523,6 +532,7 @@ fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, s
             })
             .collect();
         stats.ghost_atoms_sent += ghosts.len() as u64;
+        dp_obs::counter("ghost_atoms_sent").add(ghosts.len() as u64);
         comm.send(dest, Msg::Ghosts(ghosts));
     }
     st.recv_counts = vec![0; st.partners.len()];

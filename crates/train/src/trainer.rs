@@ -10,6 +10,7 @@ use dp_autograd::Tape;
 use dp_md::System;
 use dp_nn::Adam;
 use rayon::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Loss prefactors. DeePMD-kit ramps the energy prefactor up and the force
 /// prefactor down over training; constants work fine at our scale.
@@ -31,6 +32,8 @@ pub struct TrainReport {
     pub step: usize,
     pub loss: f64,
     pub lr: f64,
+    /// Wall time of this step (gradient pass + optimizer update).
+    pub wall: Duration,
 }
 
 /// RMSE of a model against labelled frames.
@@ -97,6 +100,8 @@ impl Trainer {
 
     /// One full-batch Adam step; returns the mean loss before the update.
     pub fn step(&mut self) -> TrainReport {
+        let span = dp_obs::span("train_step");
+        let start = Instant::now();
         let (total_loss, grad_sum) = self
             .prepared
             .par_iter()
@@ -144,10 +149,12 @@ impl Trainer {
         self.adam.step(&mut params, &grads);
         self.model.set_flat_params(&params);
         self.steps += 1;
+        drop(span);
         TrainReport {
             step: self.steps,
             loss: mean_loss,
             lr: self.adam.lr(),
+            wall: start.elapsed(),
         }
     }
 

@@ -93,6 +93,14 @@ pub struct AppConfig {
     /// ones. Also settable as `dpmd --resume <file>`.
     #[serde(default)]
     pub resume: Option<String>,
+    /// Write a chrome://tracing JSON trace of the run here. Also settable
+    /// as `dpmd --trace <file>`.
+    #[serde(default)]
+    pub trace_path: Option<String>,
+    /// Write per-step JSONL metrics (s/step/atom, achieved GFLOPS) here.
+    /// Also settable as `dpmd --metrics <file>`.
+    #[serde(default)]
+    pub metrics_path: Option<String>,
 }
 
 fn default_thermo_every() -> usize {
@@ -312,6 +320,20 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         save: &mut save,
     });
 
+    // Observability: enable spans/metrics only when the deck asks for them,
+    // so plain runs keep the near-free disabled path.
+    let obs_on = cfg.trace_path.is_some() || cfg.metrics_path.is_some();
+    if obs_on {
+        if let Some(path) = &cfg.metrics_path {
+            dp_obs::metrics::install(path)
+                .map_err(|e| format!("cannot open metrics file {path}: {e}"))?;
+        }
+        if cfg.trace_path.is_some() {
+            dp_obs::trace::start_recording(dp_obs::trace::DEFAULT_CAPACITY);
+        }
+        dp_obs::enable();
+    }
+
     let mut thermo_lines = Vec::new();
     let run_result = run_md_resumable(
         &mut sys,
@@ -325,6 +347,31 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         sink,
     );
     drop(save);
+
+    if obs_on {
+        dp_obs::disable();
+        if let Some(path) = &cfg.trace_path {
+            let dropped = dp_obs::trace::dropped_events();
+            let events = dp_obs::trace::stop_recording();
+            dp_obs::trace::write_chrome_trace(path, &events)
+                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            log(&format!(
+                "trace: {} events -> {path}{}",
+                events.len(),
+                if dropped > 0 {
+                    format!(" ({dropped} oldest dropped)")
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        if cfg.metrics_path.is_some() {
+            if let Some(res) = dp_obs::metrics::uninstall() {
+                res.map_err(|e| format!("metrics write failed: {e}"))?;
+            }
+        }
+    }
+
     if let Some(e) = ckpt_error {
         return Err(e);
     }

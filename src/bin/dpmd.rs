@@ -1,19 +1,26 @@
 //! `dpmd` — run an MD simulation from a JSON input deck.
 //!
-//! Usage: `dpmd <input.json> [--resume <checkpoint>]`; see
-//! `deepmd_repro::app` for the deck format. `--resume` restarts from the
-//! newest valid generation of the given checkpoint rotation (overriding
-//! any `resume` key in the deck) and appends to the deck's trajectory
-//! instead of truncating it.
+//! Usage: `dpmd <input.json> [--resume <checkpoint>] [--trace <file>]
+//! [--metrics <file>]`; see `deepmd_repro::app` for the deck format.
+//! `--resume` restarts from the newest valid generation of the given
+//! checkpoint rotation (overriding any `resume` key in the deck) and
+//! appends to the deck's trajectory instead of truncating it. `--trace`
+//! writes a chrome://tracing JSON of the run's spans; `--metrics` writes
+//! per-step JSONL metrics (s/step/atom, achieved GFLOPS). Both override
+//! the corresponding `trace_path` / `metrics_path` deck keys.
 
 fn usage() -> ! {
-    eprintln!("usage: dpmd <input.json> [--resume <checkpoint>]");
+    eprintln!(
+        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut deck: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,6 +28,20 @@ fn main() {
                 Some(path) => resume = Some(path),
                 None => {
                     eprintln!("dpmd: --resume needs a checkpoint path");
+                    usage();
+                }
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace = Some(path),
+                None => {
+                    eprintln!("dpmd: --trace needs an output path");
+                    usage();
+                }
+            },
+            "--metrics" => match args.next() {
+                Some(path) => metrics = Some(path),
+                None => {
+                    eprintln!("dpmd: --metrics needs an output path");
                     usage();
                 }
             },
@@ -52,6 +73,12 @@ fn main() {
     };
     if resume.is_some() {
         cfg.resume = resume;
+    }
+    if trace.is_some() {
+        cfg.trace_path = trace;
+    }
+    if metrics.is_some() {
+        cfg.metrics_path = metrics;
     }
     if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
         eprintln!("dpmd: {e}");

@@ -2,6 +2,7 @@
 //! application layer (JSON input decks -> MD runs).
 pub mod app;
 pub use deepmd_core as core;
+pub use dp_obs as obs;
 pub use dp_autograd as autograd;
 pub use dp_linalg as linalg;
 pub use dp_md as md;

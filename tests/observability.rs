@@ -1,0 +1,86 @@
+//! Integration: the observability subsystem end-to-end through `app::run`.
+//!
+//! The obs state (enable flag, trace recorder, metrics sink) is process
+//! global, so the trace and metrics checks run inside a single test —
+//! cargo's parallel harness would otherwise race two runs on the shared
+//! sink.
+
+use deepmd_repro::app::{parse_config, run};
+use deepmd_repro::core::{DpConfig, DpModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+#[test]
+fn dp_deck_with_trace_and_metrics_produces_valid_artifacts() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let model = DpModel::<f64>::new_random(DpConfig::small(1, 4.5, 16), &mut rng);
+    let dir = std::env::temp_dir().join("dpmd-obs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, serde_json::to_string(&model.to_data()).unwrap()).unwrap();
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.jsonl");
+
+    let deck = format!(
+        r#"{{
+        "system": {{"kind": "fcc", "a0": 3.615, "reps": [3,3,3], "mass": 63.546}},
+        "potential": {{"kind": "deep_potential", "model": {model:?}, "mixed_precision": true}},
+        "temperature": 100.0,
+        "dt_fs": 1.0,
+        "steps": 12,
+        "thermo_every": 6,
+        "trace_path": {trace:?},
+        "metrics_path": {metrics:?},
+        "seed": 9
+    }}"#,
+        model = model_path.to_str().unwrap(),
+        trace = trace_path.to_str().unwrap(),
+        metrics = metrics_path.to_str().unwrap()
+    );
+    let cfg = parse_config(&deck).unwrap();
+    let summary = run(&cfg, |_| {}).unwrap();
+    assert!(summary.thermo.last().unwrap().total_energy().is_finite());
+
+    // ---- chrome trace: a loadable JSON array of complete events ----
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+    let events: Value = serde_json::from_str(&trace_text).expect("trace is valid JSON");
+    let events = events.as_array().expect("trace is a JSON array");
+    assert!(!events.is_empty(), "trace recorded no events");
+    for e in events.iter() {
+        assert!(e["name"].is_string(), "event missing name: {e}");
+        assert_eq!(e["ph"].as_str(), Some("X"), "event not a complete event: {e}");
+        assert!(e["ts"].as_f64().is_some(), "event missing ts: {e}");
+        assert!(e["dur"].as_f64().is_some(), "event missing dur: {e}");
+        assert!(e["tid"].as_u64().is_some(), "event missing tid: {e}");
+    }
+    // the MD-loop phase taxonomy shows up
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for expected in ["integrate", "force_eval", "environment", "embedding_gemm"] {
+        assert!(names.contains(&expected), "no '{expected}' span in trace");
+    }
+
+    // ---- per-step metrics: §6.3 headline figures on every line ----
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
+    let lines: Vec<Value> = metrics_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("metrics line is valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), 12, "one metrics line per step");
+    for v in &lines {
+        let tts = v["s_per_step_per_atom"].as_f64().expect("tts present");
+        assert!(tts > 0.0 && tts.is_finite(), "bad s_per_step_per_atom {tts}");
+        assert_eq!(v["n_atoms"].as_u64(), Some(108));
+        assert!(v["gflops"].as_f64().is_some(), "gflops missing");
+        assert!(v["flops"].as_u64().is_some(), "flops missing");
+    }
+    // a DP step does real GEMM work, so the flops counter must move
+    assert!(
+        lines.iter().any(|v| v["flops"].as_u64().unwrap_or(0) > 0),
+        "no step recorded any FLOPs"
+    );
+
+    // a second run without obs keys leaves the subsystem disabled
+    assert!(!deepmd_repro::obs::enabled());
+}

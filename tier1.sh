@@ -47,3 +47,24 @@ deck 80 "$DIR/second.json" "$DIR/killed.ckpt"
 awk '$2 > 40' "$DIR/straight.thermo" > "$DIR/straight.tail"
 diff -u "$DIR/straight.tail" "$DIR/resumed.thermo"
 echo "tier1: dpmd --resume round trip is bit-exact"
+
+# Bench smoke: a tiny run with --metrics must yield per-step JSONL that
+# aggregates into a parseable BENCH document with a positive s/step/atom
+# (benchcheck exits non-zero otherwise).
+cat > "$DIR/bench.json" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 20,
+  "thermo_every": 10,
+  "seed": 7
+}
+EOF
+"$DPMD" "$DIR/bench.json" --metrics "$DIR/metrics.jsonl" > /dev/null
+test -s "$DIR/metrics.jsonl"
+target/release/benchcheck --from-metrics "$DIR/metrics.jsonl" \
+  --workload tier1 --out "$DIR/BENCH_tier1.json"
+target/release/benchcheck "$DIR/BENCH_tier1.json"
+echo "tier1: bench smoke produced a valid BENCH_tier1.json"
