@@ -28,10 +28,11 @@
 use crate::format::{FormattedEnv, NONE};
 use crate::model::DpModel;
 use crate::profile::{maybe_time, Kernel, Profiler};
-use dp_linalg::fused::{dup_sum_fused, tanh_fused};
-use dp_linalg::gemm::{gemm_bias, matmul_nt};
+use crate::workspace::{reuse_uninit, reuse_zeroed, EvalWorkspace, NetPass};
+use dp_linalg::fused::{dup_sum_fused_into, tanh_fused_into};
+use dp_linalg::gemm::{gemm_bias_into, matmul_nt_into};
 use dp_linalg::{Matrix, Real};
-use dp_nn::layer::{LayerCache, LayerKind};
+use dp_nn::layer::LayerKind;
 use dp_nn::net::Net;
 use rayon::prelude::*;
 
@@ -54,83 +55,108 @@ pub fn chunk_size(max_sel: usize) -> usize {
     (32_768 / max_sel.max(1)).clamp(16, CHUNK)
 }
 
-/// Profiled re-implementation of `Net::forward_cached`, attributing GEMM
-/// and activation time to their Fig 3 categories. Kept in lockstep with
-/// `dp_nn::Layer::forward` (equivalence is tested).
-fn net_forward_profiled<T: Real>(
+/// Profiled re-implementation of `Net::forward_cached` writing into the
+/// workspace's [`NetPass`] buffers (no allocation in steady state),
+/// attributing GEMM and activation time to their Fig 3 categories. Kept in
+/// lockstep with `dp_nn::Layer::forward` (equivalence is tested). The final
+/// activation lands in `pass.out`; cached tanh gradients in `pass.tgrads`.
+fn net_forward_into<T: Real>(
     net: &Net<T>,
     x: &Matrix<T>,
+    pass: &mut NetPass<T>,
     prof: Option<&Profiler>,
-) -> (Matrix<T>, Vec<LayerCache<T>>) {
-    let mut caches = Vec::with_capacity(net.layers.len());
-    let mut h = x.clone();
-    for l in &net.layers {
-        let pre = maybe_time(prof, Kernel::Gemm, || gemm_bias(&h, &l.w, &l.b));
-        h = match l.kind {
+) {
+    pass.ensure_layers(net.layers.len());
+    let NetPass {
+        out,
+        tgrads,
+        pre,
+        act,
+        skip,
+    } = pass;
+    out.copy_from(x);
+    for (li, l) in net.layers.iter().enumerate() {
+        maybe_time(prof, Kernel::Gemm, || gemm_bias_into(out, &l.w, &l.b, pre));
+        match l.kind {
             LayerKind::Linear => {
-                caches.push(LayerCache {
-                    tgrad: Matrix::zeros(0, 0),
-                });
-                pre
+                tgrads[li].reuse_shape(0, 0);
+                std::mem::swap(out, pre);
             }
             LayerKind::Plain => {
-                let (t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
-                caches.push(LayerCache { tgrad: g });
-                t
+                maybe_time(prof, Kernel::Tanh, || {
+                    tanh_fused_into(pre, act, &mut tgrads[li])
+                });
+                std::mem::swap(out, act);
             }
             LayerKind::Growth => {
-                let (t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
-                caches.push(LayerCache { tgrad: g });
-                maybe_time(prof, Kernel::Other, || dup_sum_fused(&h, &t))
+                maybe_time(prof, Kernel::Tanh, || {
+                    tanh_fused_into(pre, act, &mut tgrads[li])
+                });
+                maybe_time(prof, Kernel::Other, || dup_sum_fused_into(out, act, skip));
+                std::mem::swap(out, skip);
             }
             LayerKind::Residual => {
-                let (mut t, g) = maybe_time(prof, Kernel::Tanh, || tanh_fused(&pre));
-                caches.push(LayerCache { tgrad: g });
-                t.axpy(T::ONE, &h);
-                t
+                maybe_time(prof, Kernel::Tanh, || {
+                    tanh_fused_into(pre, act, &mut tgrads[li])
+                });
+                act.axpy(T::ONE, out);
+                std::mem::swap(out, act);
             }
-        };
+        }
     }
-    (h, caches)
 }
 
-/// Profiled `Net::backward_input` (same taxonomy).
-fn net_backward_profiled<T: Real>(
+/// Profiled `Net::backward_input` (same taxonomy) using the tanh gradients
+/// cached by [`net_forward_into`]. The input gradient lands in `g`; `sa`
+/// and `sb` are ping-pong scratch.
+fn net_backward_into<T: Real>(
     net: &Net<T>,
-    caches: &[LayerCache<T>],
+    tgrads: &[Matrix<T>],
     dy: &Matrix<T>,
+    g: &mut Matrix<T>,
+    sa: &mut Matrix<T>,
+    sb: &mut Matrix<T>,
     prof: Option<&Profiler>,
-) -> Matrix<T> {
-    let mut g = dy.clone();
-    for (l, c) in net.layers.iter().zip(caches.iter()).rev() {
-        g = match l.kind {
-            LayerKind::Linear => maybe_time(prof, Kernel::Gemm, || matmul_nt(&g, &l.w)),
+) {
+    g.copy_from(dy);
+    for (l, c) in net.layers.iter().zip(&tgrads[..net.layers.len()]).rev() {
+        match l.kind {
+            LayerKind::Linear => {
+                maybe_time(prof, Kernel::Gemm, || matmul_nt_into(g, &l.w, sa));
+                std::mem::swap(g, sa);
+            }
             LayerKind::Plain => {
-                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
-                maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w))
+                maybe_time(prof, Kernel::Tanh, || g.hadamard_assign(c));
+                maybe_time(prof, Kernel::Gemm, || matmul_nt_into(g, &l.w, sa));
+                std::mem::swap(g, sa);
             }
             LayerKind::Residual => {
-                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
-                let mut dx = maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w));
-                dx.axpy(T::ONE, &g);
-                dx
+                maybe_time(prof, Kernel::Tanh, || {
+                    sa.copy_from(g);
+                    sa.hadamard_assign(c);
+                });
+                maybe_time(prof, Kernel::Gemm, || matmul_nt_into(sa, &l.w, sb));
+                sb.axpy(T::ONE, g);
+                std::mem::swap(g, sb);
             }
             LayerKind::Growth => {
-                let dpre = maybe_time(prof, Kernel::Tanh, || g.hadamard(&c.tgrad));
-                let mut dx = maybe_time(prof, Kernel::Gemm, || matmul_nt(&dpre, &l.w));
+                maybe_time(prof, Kernel::Tanh, || {
+                    sa.copy_from(g);
+                    sa.hadamard_assign(c);
+                });
+                maybe_time(prof, Kernel::Gemm, || matmul_nt_into(sa, &l.w, sb));
                 let k = l.w.rows();
                 for i in 0..g.rows() {
                     let g_row = g.row(i);
-                    let dx_row = dx.row_mut(i);
+                    let dx_row = sb.row_mut(i);
                     for j in 0..k {
                         dx_row[j] += g_row[j] + g_row[j + k];
                     }
                 }
-                dx
+                std::mem::swap(g, sb);
             }
-        };
+        }
     }
-    g
 }
 
 /// Evaluate energy, forces and virial for the formatted environment.
@@ -138,6 +164,9 @@ fn net_backward_profiled<T: Real>(
 /// `types` are the species of the `fmt.n_atoms` local atoms; `n_total`
 /// includes ghosts (forces on ghosts are accumulated for the reverse
 /// communication pass of the parallel driver).
+///
+/// Convenience wrapper over [`evaluate_into`] that allocates a fresh
+/// workspace and output per call.
 pub fn evaluate<T: Real>(
     model: &DpModel<T>,
     fmt: &FormattedEnv,
@@ -145,21 +174,93 @@ pub fn evaluate<T: Real>(
     n_total: usize,
     prof: Option<&Profiler>,
 ) -> EvalOutput {
+    let mut ws = EvalWorkspace::new(&model.config);
+    let mut out = EvalOutput {
+        energy: 0.0,
+        per_atom_energy: Vec::new(),
+        forces: Vec::new(),
+        virial: [0.0; 6],
+    };
+    evaluate_into(model, fmt, types, n_total, prof, &mut ws, &mut out);
+    out
+}
+
+/// [`evaluate`] into caller-provided workspace and output buffers — the
+/// §5.2.2 "trunk of memory" hot path. After a few warm-up calls at a fixed
+/// problem size this performs zero heap allocations; results are identical
+/// to [`evaluate`] regardless of what the workspace previously held.
+pub fn evaluate_into<T: Real>(
+    model: &DpModel<T>,
+    fmt: &FormattedEnv,
+    types: &[usize],
+    n_total: usize,
+    prof: Option<&Profiler>,
+    ws: &mut EvalWorkspace<T>,
+    out: &mut EvalOutput,
+) {
     assert_eq!(types.len(), fmt.n_atoms);
     assert!(n_total >= fmt.n_atoms);
     let cfg = &model.config;
     let n_types = cfg.n_types();
     let m_w = cfg.emb_width();
     let m2 = cfg.axis_neurons;
+    let d_in = cfg.descriptor_dim();
     let nm = fmt.nm;
     let inv_nm = T::from_f64(1.0 / nm as f64);
 
-    let mut per_atom_energy = vec![0.0f64; fmt.n_atoms];
-    let mut forces = vec![[0.0f64; 3]; n_total];
-    let mut virial = [0.0f64; 6];
+    // Grow per-type slots if the workspace was built for a smaller model.
+    while ws.emb_passes.len() < n_types {
+        ws.emb_passes.push(NetPass::default());
+    }
+    while ws.dg_mats.len() < n_types {
+        ws.dg_mats.push(Matrix::zeros(0, 0));
+    }
+    while ws.ds_cols.len() < n_types {
+        ws.ds_cols.push(Matrix::zeros(0, 0));
+    }
+    while ws.denv_blocks.len() < n_types {
+        ws.denv_blocks.push(Vec::new());
+    }
+    while ws.by_type.len() < n_types {
+        ws.by_type.push(Vec::new());
+    }
+
+    let EvalWorkspace {
+        emb_passes,
+        fit_pass,
+        bwd_g,
+        bwd_a,
+        bwd_b,
+        s_col,
+        fit_x,
+        ones,
+        dg_mats,
+        ds_cols,
+        denv_blocks,
+        desc,
+        t1,
+        t2,
+        dt1,
+        dt2,
+        d_desc,
+        by_type,
+        block_off,
+        slot_grads,
+    } = ws;
+
+    let EvalOutput {
+        energy,
+        per_atom_energy,
+        forces,
+        virial,
+    } = out;
+    reuse_zeroed(per_atom_energy, fmt.n_atoms, 0.0);
+    reuse_zeroed(forces, n_total, [0.0; 3]);
+    *virial = [0.0; 6];
 
     // type-block offsets within an atom's slot range
-    let mut block_off = vec![0usize; n_types + 1];
+    reuse_uninit(block_off, n_types + 1, 0);
+    block_off[0] = 0;
     for t in 0..n_types {
         block_off[t + 1] = block_off[t] + cfg.sel[t];
     }
@@ -171,45 +272,42 @@ pub fn evaluate<T: Real>(
         let nc = chunk_end - chunk_start;
 
         // ---- 1. batched embedding per neighbor type ----
-        let mut g_mats: Vec<Matrix<T>> = Vec::with_capacity(n_types);
-        let mut g_caches: Vec<Vec<LayerCache<T>>> = Vec::with_capacity(n_types);
         let emb_span = dp_obs::span("embedding_gemm");
         for t in 0..n_types {
             let rows = nc * cfg.sel[t];
-            let s_col = maybe_time(prof, Kernel::Slice, || {
-                let mut s = Matrix::<T>::zeros(rows, 1);
-                let data = s.as_mut_slice();
+            maybe_time(prof, Kernel::Slice, || {
+                s_col.reuse_shape(rows, 1);
+                let data = s_col.as_mut_slice();
                 for a in 0..nc {
                     let slot0 = (chunk_start + a) * nm + block_off[t];
                     for k in 0..cfg.sel[t] {
                         data[a * cfg.sel[t] + k] = T::from_f64(fmt.env[(slot0 + k) * 4]);
                     }
                 }
-                s
             });
-            let (g, caches) = net_forward_profiled(&model.embeddings[t], &s_col, prof);
-            g_mats.push(g);
-            g_caches.push(caches);
+            net_forward_into(&model.embeddings[t], s_col, &mut emb_passes[t], prof);
         }
         drop(emb_span);
 
         // ---- 2. descriptor contraction (custom op) ----
-        // per atom in chunk: T1 (m_w x 4), T2 (4 x m2), D = T1*T2
-        struct AtomCtx<T> {
-            t1: Vec<T>,
-            t2: Vec<T>,
-        }
+        // per atom in chunk: T1 (m_w x 4), T2 (4 x m2), D = T1*T2, all in
+        // flat per-atom workspace blocks
         let desc_span = dp_obs::span("descriptor");
-        let (descriptors, atom_ctx): (Vec<Vec<T>>, Vec<AtomCtx<T>>) =
+        reuse_zeroed(desc, nc * m_w * m2, T::ZERO);
+        reuse_zeroed(t1, nc * m_w * 4, T::ZERO);
+        reuse_zeroed(t2, nc * 4 * m2, T::ZERO);
+        {
+            let emb_passes = &*emb_passes;
+            let block_off = &*block_off;
             maybe_time(prof, Kernel::Custom, || {
-                (0..nc)
-                    .into_par_iter()
-                    .map(|a| {
+                desc.par_chunks_mut(m_w * m2)
+                    .zip(t1.par_chunks_mut(m_w * 4))
+                    .zip(t2.par_chunks_mut(4 * m2))
+                    .enumerate()
+                    .for_each(|(a, ((d, t1a), t2a))| {
                         let atom = chunk_start + a;
-                        let mut t1 = vec![T::ZERO; m_w * 4];
-                        let mut t2 = vec![T::ZERO; 4 * m2];
                         for t in 0..n_types {
-                            let g = &g_mats[t];
+                            let g = &emb_passes[t].out;
                             for k in 0..cfg.sel[t] {
                                 let slot = atom * nm + block_off[t] + k;
                                 if fmt.indices[slot] == NONE {
@@ -226,70 +324,80 @@ pub fn evaluate<T: Real>(
                                 let g_row = g.row(a * cfg.sel[t] + k);
                                 for (mi, &gm) in g_row.iter().enumerate() {
                                     for c in 0..4 {
-                                        t1[mi * 4 + c] += gm * w[c];
+                                        t1a[mi * 4 + c] += gm * w[c];
                                     }
                                 }
                                 for c in 0..4 {
                                     for (ai, &ga) in g_row[..m2].iter().enumerate() {
-                                        t2[c * m2 + ai] += w[c] * ga;
+                                        t2a[c * m2 + ai] += w[c] * ga;
                                     }
                                 }
                             }
                         }
-                        for x in &mut t1 {
+                        for x in t1a.iter_mut() {
                             *x *= inv_nm;
                         }
-                        for x in &mut t2 {
+                        for x in t2a.iter_mut() {
                             *x *= inv_nm;
                         }
                         // D = T1 (m_w x 4) * T2 (4 x m2)
-                        let mut d = vec![T::ZERO; m_w * m2];
                         for mi in 0..m_w {
                             for c in 0..4 {
-                                let t1v = t1[mi * 4 + c];
+                                let t1v = t1a[mi * 4 + c];
                                 for ai in 0..m2 {
-                                    d[mi * m2 + ai] += t1v * t2[c * m2 + ai];
+                                    d[mi * m2 + ai] += t1v * t2a[c * m2 + ai];
                                 }
                             }
                         }
-                        (d, AtomCtx { t1, t2 })
-                    })
-                    .unzip()
+                    });
             });
+        }
         drop(desc_span);
 
         // ---- 3. batched fitting per center type ----
         let fit_span = dp_obs::span("fitting_net");
         // gather chunk atoms by type
-        let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); n_types];
+        for v in by_type.iter_mut() {
+            v.clear();
+        }
         for a in 0..nc {
             by_type[types[chunk_start + a]].push(a);
         }
-        // dE/dD per atom (filled from fitting backward)
-        let mut d_desc: Vec<Vec<T>> = vec![Vec::new(); nc];
+        // dE/dD per atom (filled from fitting backward; every chunk atom
+        // belongs to exactly one center type, so every row is written)
+        reuse_uninit(d_desc, nc * d_in, T::ZERO);
         for t in 0..n_types {
             if by_type[t].is_empty() {
                 continue;
             }
             let rows = by_type[t].len();
-            let d_in = cfg.descriptor_dim();
-            let x = maybe_time(prof, Kernel::Slice, || {
-                let mut x = Matrix::<T>::zeros(rows, d_in);
+            maybe_time(prof, Kernel::Slice, || {
+                fit_x.reuse_shape(rows, d_in);
                 for (r, &a) in by_type[t].iter().enumerate() {
-                    x.row_mut(r).copy_from_slice(&descriptors[a]);
+                    fit_x
+                        .row_mut(r)
+                        .copy_from_slice(&desc[a * d_in..(a + 1) * d_in]);
                 }
-                x
             });
-            let (e_col, caches) = net_forward_profiled(&model.fittings[t], &x, prof);
+            net_forward_into(&model.fittings[t], fit_x, fit_pass, prof);
             for (r, &a) in by_type[t].iter().enumerate() {
-                per_atom_energy[chunk_start + a] = e_col[(r, 0)].to_f64() + model.e0[t];
+                per_atom_energy[chunk_start + a] = fit_pass.out[(r, 0)].to_f64() + model.e0[t];
             }
             // ---- 4. fitting backward: dE/dD ----
-            let ones = Matrix::<T>::full(rows, 1, T::ONE);
-            let dx = net_backward_profiled(&model.fittings[t], &caches, &ones, prof);
+            ones.reuse_shape(rows, 1);
+            ones.as_mut_slice().fill(T::ONE);
+            net_backward_into(
+                &model.fittings[t],
+                &fit_pass.tgrads,
+                ones,
+                bwd_g,
+                bwd_a,
+                bwd_b,
+                prof,
+            );
             maybe_time(prof, Kernel::Slice, || {
                 for (r, &a) in by_type[t].iter().enumerate() {
-                    d_desc[a] = dx.row(r).to_vec();
+                    d_desc[a * d_in..(a + 1) * d_in].copy_from_slice(bwd_g.row(r));
                 }
             });
         }
@@ -297,37 +405,43 @@ pub fn evaluate<T: Real>(
 
         // ---- 5. descriptor backward (custom op) ----
         let desc_bwd_span = dp_obs::span("descriptor_backward");
-        // produces dG rows (per neighbor type, batched) and dE/dR̃ rows
-        let mut dg_mats: Vec<Matrix<T>> = (0..n_types)
-            .map(|t| Matrix::<T>::zeros(nc * cfg.sel[t], m_w))
-            .collect();
-        // dE/dR̃ per type block: 4 per slot, f64 for the f64 ProdForce below
-        let mut denv_blocks: Vec<Vec<f64>> = (0..n_types)
-            .map(|t| vec![0.0f64; nc * cfg.sel[t] * 4])
-            .collect();
+        // produces dG rows (per neighbor type, batched) and dE/dR̃ rows;
+        // zeroed so padded slots stay zero as with fresh allocation
+        for t in 0..n_types {
+            let sel_t = cfg.sel[t];
+            dg_mats[t].reuse_shape(nc * sel_t, m_w);
+            dg_mats[t].fill_zero();
+            // dE/dR̃ per type block: 4 per slot, f64 for the f64 ProdForce
+            reuse_zeroed(&mut denv_blocks[t], nc * sel_t * 4, 0.0);
+        }
+        reuse_uninit(dt1, nc * m_w * 4, T::ZERO);
+        reuse_uninit(dt2, nc * 4 * m2, T::ZERO);
         maybe_time(prof, Kernel::Custom, || {
             for t in 0..n_types {
                 let sel_t = cfg.sel[t];
-                let g = &g_mats[t];
+                let g = &emb_passes[t].out;
                 let block = block_off[t];
                 let (dg, denv_t) = (&mut dg_mats[t], &mut denv_blocks[t]);
+                let d_desc = &*d_desc;
+                let (t1s, t2s) = (&*t1, &*t2);
                 dg.as_mut_slice()
                     .par_chunks_mut(sel_t * m_w)
                     .zip(denv_t.par_chunks_mut(sel_t * 4))
+                    .zip(dt1.par_chunks_mut(m_w * 4))
+                    .zip(dt2.par_chunks_mut(4 * m2))
                     .enumerate()
-                    .for_each(|(a, (dg_atom, denv_atom))| {
+                    .for_each(|(a, (((dg_atom, denv_atom), dt1), dt2))| {
                         let atom = chunk_start + a;
-                        let dd = &d_desc[a];
-                        let ctx = &atom_ctx[a];
+                        let dd = &d_desc[a * d_in..(a + 1) * d_in];
+                        let ctx_t1 = &t1s[a * m_w * 4..(a + 1) * m_w * 4];
+                        let ctx_t2 = &t2s[a * 4 * m2..(a + 1) * 4 * m2];
                         // dT1[mi][c] = Σ_ai dd[mi*m2+ai] * t2[c*m2+ai]
                         // dT2[c][ai] = Σ_mi t1[mi*4+c] * dd[mi*m2+ai]
-                        let mut dt1 = vec![T::ZERO; m_w * 4];
-                        let mut dt2 = vec![T::ZERO; 4 * m2];
                         for mi in 0..m_w {
                             for c in 0..4 {
                                 let mut acc = T::ZERO;
                                 for ai in 0..m2 {
-                                    acc += dd[mi * m2 + ai] * ctx.t2[c * m2 + ai];
+                                    acc += dd[mi * m2 + ai] * ctx_t2[c * m2 + ai];
                                 }
                                 dt1[mi * 4 + c] = acc;
                             }
@@ -336,7 +450,7 @@ pub fn evaluate<T: Real>(
                             for ai in 0..m2 {
                                 let mut acc = T::ZERO;
                                 for mi in 0..m_w {
-                                    acc += ctx.t1[mi * 4 + c] * dd[mi * m2 + ai];
+                                    acc += ctx_t1[mi * 4 + c] * dd[mi * m2 + ai];
                                 }
                                 dt2[c * m2 + ai] = acc;
                             }
@@ -389,26 +503,35 @@ pub fn evaluate<T: Real>(
 
         // ---- 6. embedding backward: dE/ds per slot ----
         let emb_bwd_span = dp_obs::span("embedding_backward");
-        let mut ds_cols: Vec<Matrix<T>> = Vec::with_capacity(n_types);
         for t in 0..n_types {
-            let ds = net_backward_profiled(&model.embeddings[t], &g_caches[t], &dg_mats[t], prof);
-            ds_cols.push(ds);
+            net_backward_into(
+                &model.embeddings[t],
+                &emb_passes[t].tgrads,
+                &dg_mats[t],
+                bwd_g,
+                bwd_a,
+                bwd_b,
+                prof,
+            );
+            std::mem::swap(bwd_g, &mut ds_cols[t]);
         }
         drop(emb_bwd_span);
 
         // ---- 7/8. ProdForce + ProdVirial (custom ops, f64) ----
+        reuse_uninit(slot_grads, nc * nm, [0.0; 3]);
         maybe_time(prof, Kernel::Custom, || {
             // per-slot total gradient dE/dd (parallel), then scatter (serial)
             let force_span = dp_obs::span("prod_force");
-            let slot_grads: Vec<[f64; 3]> = (0..nc * nm)
-                .into_par_iter()
-                .map(|local_slot| {
-                    let a = local_slot / nm;
-                    let within = local_slot % nm;
-                    let atom = chunk_start + a;
+            let ds_cols = &*ds_cols;
+            let denv_blocks = &*denv_blocks;
+            let block_off = &*block_off;
+            slot_grads.par_chunks_mut(nm).enumerate().for_each(|(a, sg)| {
+                let atom = chunk_start + a;
+                for (within, out_g) in sg.iter_mut().enumerate() {
                     let slot = atom * nm + within;
                     if fmt.indices[slot] == NONE {
-                        return [0.0; 3];
+                        *out_g = [0.0; 3];
+                        continue;
                     }
                     // which type block is this slot in?
                     let t = block_off[1..=n_types]
@@ -433,9 +556,9 @@ pub fn evaluate<T: Real>(
                             + gw[2] * jac[6 + kk]
                             + gw[3] * jac[9 + kk];
                     }
-                    g
-                })
-                .collect();
+                    *out_g = g;
+                }
+            });
             drop(force_span);
             let _virial_span = dp_obs::span("prod_virial");
             for (local_slot, g) in slot_grads.iter().enumerate() {
@@ -463,13 +586,7 @@ pub fn evaluate<T: Real>(
         chunk_start = chunk_end;
     }
 
-    let energy = per_atom_energy.iter().sum();
-    EvalOutput {
-        energy,
-        per_atom_energy,
-        forces,
-        virial,
-    }
+    *energy = per_atom_energy.iter().sum();
 }
 
 #[cfg(test)]

@@ -47,7 +47,9 @@ pub struct FormattedEnv {
 }
 
 impl FormattedEnv {
-    fn alloc(n_atoms: usize, cfg: &DpConfig) -> Self {
+    /// Allocate a table for `n_atoms` local atoms — the workspace that
+    /// [`format_optimized_into`] reuses across MD steps (§5.2.2).
+    pub fn alloc(n_atoms: usize, cfg: &DpConfig) -> Self {
         let nm = cfg.nm();
         Self {
             n_atoms,
@@ -89,6 +91,23 @@ struct RawNeighbor {
     d: [f64; 3],
 }
 
+/// Per-thread formatter scratch (raw neighbors, sort keys, type cursors),
+/// reused across atoms and steps so the per-atom formatting closure is
+/// allocation-free in steady state (§5.2.2).
+#[derive(Default)]
+struct FmtScratch {
+    raw: Vec<RawNeighbor>,
+    keys: Vec<u64>,
+    sorted: Vec<RawNeighbor>,
+    cursor: Vec<usize>,
+    limit: Vec<usize>,
+}
+
+thread_local! {
+    static FMT_SCRATCH: std::cell::RefCell<FmtScratch> =
+        std::cell::RefCell::new(FmtScratch::default());
+}
+
 fn fill_atom_slots(
     out_indices: &mut [i32],
     out_env: &mut [f64],
@@ -97,16 +116,19 @@ fn fill_atom_slots(
     sel: &[usize],
     sorted: &[RawNeighbor],
     cfg: &DpConfig,
+    cursor: &mut Vec<usize>,
+    limit: &mut Vec<usize>,
 ) -> usize {
     let mut overflow = 0usize;
-    // type-block cursors
-    let mut cursor: Vec<usize> = Vec::with_capacity(sel.len());
+    // type-block cursors; cursor[t] runs from block start to limit[t]
+    cursor.clear();
+    limit.clear();
     let mut start = 0usize;
     for &s in sel {
         cursor.push(start);
         start += s;
+        limit.push(start);
     }
-    let mut limit: Vec<usize> = cursor.iter().zip(sel).map(|(&c, &s)| c + s).collect();
     for n in sorted {
         let t = n.ty as usize;
         if cursor[t] >= limit[t] {
@@ -124,13 +146,18 @@ fn fill_atom_slots(
         }
         out_disp[slot * 3..slot * 3 + 3].copy_from_slice(&n.d);
     }
-    let _ = &mut limit;
     overflow
 }
 
-fn gather_raw(sys: &System, nl: &NeighborList, cfg: &DpConfig, i: usize) -> Vec<RawNeighbor> {
+fn gather_raw_into(
+    raw: &mut Vec<RawNeighbor>,
+    sys: &System,
+    nl: &NeighborList,
+    cfg: &DpConfig,
+    i: usize,
+) {
     let c2 = cfg.rcut * cfg.rcut;
-    let mut raw = Vec::with_capacity(nl.neighbors_of(i).len());
+    raw.clear();
     for &j in nl.neighbors_of(i) {
         let j = j as usize;
         let d = sys.cell.displacement(sys.positions[i], sys.positions[j]);
@@ -145,7 +172,6 @@ fn gather_raw(sys: &System, nl: &NeighborList, cfg: &DpConfig, i: usize) -> Vec<
             d,
         });
     }
-    raw
 }
 
 /// Optimized formatter: u64-compress, scalar sort, decode (§5.2.2).
@@ -157,8 +183,9 @@ pub fn format_optimized(sys: &System, nl: &NeighborList, cfg: &DpConfig, codec: 
 
 /// In-place variant reusing an existing [`FormattedEnv`]'s buffers — the
 /// paper's "allocate a trunk of GPU memory at the initialization stage and
-/// re-use it throughout the MD simulation" (§5.2.2). The target must have
-/// been allocated for the same atom count and config.
+/// re-use it throughout the MD simulation" (§5.2.2). If the atom count
+/// changed (migration between domains), the buffers resize in place; in the
+/// steady state (same count, same config) no heap allocation occurs.
 pub fn format_optimized_into(
     out: &mut FormattedEnv,
     sys: &System,
@@ -167,42 +194,71 @@ pub fn format_optimized_into(
     codec: Codec,
 ) {
     assert!(sys.num_types() <= cfg.n_types(), "model has too few types");
-    assert_eq!(out.n_atoms, sys.n_local, "workspace sized for another system");
     assert_eq!(out.nm, cfg.nm(), "workspace sized for another config");
-    out.indices.fill(NONE);
-    out.env.fill(0.0);
-    out.denv.fill(0.0);
-    out.disp.fill(0.0);
     let nm = out.nm;
-    let sel = out.sel.clone();
+    if out.n_atoms != sys.n_local {
+        out.n_atoms = sys.n_local;
+        out.indices.resize(sys.n_local * nm, NONE);
+        out.env.resize(sys.n_local * nm * 4, 0.0);
+        out.denv.resize(sys.n_local * nm * 12, 0.0);
+        out.disp.resize(sys.n_local * nm * 3, 0.0);
+    }
+    out.sel.clone_from(&cfg.sel);
+    let FormattedEnv {
+        sel,
+        indices,
+        env,
+        denv,
+        disp,
+        overflowed,
+        ..
+    } = out;
+    indices.fill(NONE);
+    env.fill(0.0);
+    denv.fill(0.0);
+    disp.fill(0.0);
+    let sel: &[usize] = sel;
 
-    let overflow: usize = out
-        .indices
+    let overflow: usize = indices
         .par_chunks_mut(nm)
-        .zip(out.env.par_chunks_mut(nm * 4))
-        .zip(out.denv.par_chunks_mut(nm * 12))
-        .zip(out.disp.par_chunks_mut(nm * 3))
+        .zip(env.par_chunks_mut(nm * 4))
+        .zip(denv.par_chunks_mut(nm * 12))
+        .zip(disp.par_chunks_mut(nm * 3))
         .enumerate()
         .map(|(i, (((idx, env), denv), disp))| {
-            let raw = gather_raw(sys, nl, cfg, i);
-            // compress -> sort scalars -> decode
-            let mut keys: Vec<u64> = raw
-                .iter()
-                .enumerate()
-                .map(|(k, n)| codec.encode(n.ty as usize, n.r, k))
-                .collect();
-            keys.sort_unstable();
-            let sorted: Vec<RawNeighbor> = keys
-                .iter()
-                .map(|&key| {
+            FMT_SCRATCH.with(|cell| {
+                let s = &mut *cell.borrow_mut();
+                gather_raw_into(&mut s.raw, sys, nl, cfg, i);
+                // compress -> sort scalars -> decode
+                s.keys.clear();
+                s.keys.extend(
+                    s.raw
+                        .iter()
+                        .enumerate()
+                        .map(|(k, n)| codec.encode(n.ty as usize, n.r, k)),
+                );
+                s.keys.sort_unstable();
+                s.sorted.clear();
+                let raw = &s.raw;
+                s.sorted.extend(s.keys.iter().map(|&key| {
                     let (_, _, k) = codec.decode(key);
                     raw[k]
-                })
-                .collect();
-            fill_atom_slots(idx, env, denv, disp, &sel, &sorted, cfg)
+                }));
+                fill_atom_slots(
+                    idx,
+                    env,
+                    denv,
+                    disp,
+                    sel,
+                    &s.sorted,
+                    cfg,
+                    &mut s.cursor,
+                    &mut s.limit,
+                )
+            })
         })
         .sum();
-    out.overflowed = overflow;
+    *overflowed = overflow;
 }
 
 /// Baseline formatter: sort an array of structs with a three-field
@@ -214,8 +270,11 @@ pub fn format_baseline(sys: &System, nl: &NeighborList, cfg: &DpConfig) -> Forma
     let nm = out.nm;
     let sel = out.sel.clone();
     let mut overflow = 0usize;
+    let mut raw: Vec<RawNeighbor> = Vec::new();
+    let mut cursor: Vec<usize> = Vec::new();
+    let mut limit: Vec<usize> = Vec::new();
     for i in 0..sys.n_local {
-        let mut raw = gather_raw(sys, nl, cfg, i);
+        gather_raw_into(&mut raw, sys, nl, cfg, i);
         raw.sort_by(|a, b| {
             a.ty.cmp(&b.ty)
                 .then(a.r.partial_cmp(&b.r).unwrap())
@@ -225,7 +284,7 @@ pub fn format_baseline(sys: &System, nl: &NeighborList, cfg: &DpConfig) -> Forma
         let env = &mut out.env[i * nm * 4..(i + 1) * nm * 4];
         let denv = &mut out.denv[i * nm * 12..(i + 1) * nm * 12];
         let disp = &mut out.disp[i * nm * 3..(i + 1) * nm * 3];
-        overflow += fill_atom_slots(idx, env, denv, disp, &sel, &raw, cfg);
+        overflow += fill_atom_slots(idx, env, denv, disp, &sel, &raw, cfg, &mut cursor, &mut limit);
     }
     out.overflowed = overflow;
     out

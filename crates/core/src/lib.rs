@@ -37,7 +37,9 @@ pub mod format;
 pub mod model;
 pub mod potential_impl;
 pub mod profile;
+pub mod workspace;
 
 pub use config::DpConfig;
 pub use model::DpModel;
+pub use workspace::EvalWorkspace;
 pub use potential_impl::{DeepPotential, PrecisionMode};

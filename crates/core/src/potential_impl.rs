@@ -2,13 +2,14 @@
 //! paper's precision modes (§5.2.3).
 
 use crate::codec::Codec;
-use crate::eval::evaluate;
-use crate::format::format_optimized;
+use crate::eval::{evaluate_into, EvalOutput};
+use crate::format::{format_optimized_into, FormattedEnv};
 use crate::model::DpModel;
 use crate::profile::Profiler;
+use crate::workspace::EvalWorkspace;
 use dp_linalg::real::truncate_to_f16;
 use dp_md::{NeighborList, Potential, PotentialOutput, System};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Numerical precision of the network evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +25,16 @@ pub enum PrecisionMode {
     HalfEmulated,
 }
 
+/// One caller's complete evaluation arena (§5.2.2 "trunk of memory"):
+/// the formatted environment, the precision-specific eval workspaces, and
+/// the raw evaluation output. Boxed so pool pushes move a pointer.
+struct DpScratch {
+    fmt: FormattedEnv,
+    ws64: EvalWorkspace<f64>,
+    ws32: EvalWorkspace<f32>,
+    out: EvalOutput,
+}
+
 /// A trained Deep Potential usable as an interatomic potential in MD.
 pub struct DeepPotential {
     model64: DpModel<f64>,
@@ -32,6 +43,11 @@ pub struct DeepPotential {
     pub mode: PrecisionMode,
     /// Optional Fig 3 profiler shared with the caller.
     pub profiler: Option<Arc<Profiler>>,
+    /// Pool of evaluation arenas, popped per `compute` call so `&self`
+    /// stays shared while the buffers mutate; concurrent callers each get
+    /// (and warm up) their own arena. The lock is held only for the
+    /// pop/push, never during evaluation.
+    scratch: Mutex<Vec<Box<DpScratch>>>,
 }
 
 impl DeepPotential {
@@ -51,6 +67,7 @@ impl DeepPotential {
             model16,
             mode,
             profiler: None,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -75,31 +92,62 @@ impl DeepPotential {
 
 impl Potential for DeepPotential {
     fn compute(&self, sys: &System, nl: &NeighborList) -> PotentialOutput {
+        let mut out = PotentialOutput::zeros(0);
+        self.compute_into(sys, nl, &mut out);
+        out
+    }
+
+    fn compute_into(&self, sys: &System, nl: &NeighborList, out: &mut PotentialOutput) {
         let prof = self.profiler.as_deref();
-        let fmt = {
+        // Pop an arena; keep the lock only for the pop so concurrent
+        // callers never serialize on the evaluation itself.
+        let mut sc = self.scratch.lock().unwrap().pop().unwrap_or_else(|| {
+            Box::new(DpScratch {
+                fmt: FormattedEnv::alloc(0, &self.model64.config),
+                ws64: EvalWorkspace::new(&self.model64.config),
+                ws32: EvalWorkspace::new(&self.model32.config),
+                out: EvalOutput {
+                    energy: 0.0,
+                    per_atom_energy: Vec::new(),
+                    forces: Vec::new(),
+                    virial: [0.0; 6],
+                },
+            })
+        });
+        {
             let _span = dp_obs::span("environment");
             crate::profile::maybe_time(prof, crate::profile::Kernel::Custom, || {
-                format_optimized(sys, nl, &self.model64.config, self.codec(sys))
-            })
-        };
+                format_optimized_into(&mut sc.fmt, sys, nl, &self.model64.config, self.codec(sys));
+            });
+        }
         let types = &sys.types[..sys.n_local];
-        let out = match self.mode {
-            PrecisionMode::Double => evaluate(&self.model64, &fmt, types, sys.len(), prof),
-            PrecisionMode::Mixed => evaluate(&self.model32, &fmt, types, sys.len(), prof),
+        let DpScratch {
+            fmt,
+            ws64,
+            ws32,
+            out: eval_out,
+        } = &mut *sc;
+        match self.mode {
+            PrecisionMode::Double => {
+                evaluate_into(&self.model64, fmt, types, sys.len(), prof, ws64, eval_out)
+            }
+            PrecisionMode::Mixed => {
+                evaluate_into(&self.model32, fmt, types, sys.len(), prof, ws32, eval_out)
+            }
             PrecisionMode::HalfEmulated => {
-                // emulate fp16 storage of the environment matrix as well
-                let mut fmt16 = fmt;
-                for x in &mut fmt16.env {
+                // emulate fp16 storage of the environment matrix as well;
+                // truncate in place (the arena env is rebuilt next call)
+                for x in &mut fmt.env {
                     *x = truncate_to_f16(*x);
                 }
-                evaluate(&self.model16, &fmt16, types, sys.len(), prof)
+                evaluate_into(&self.model16, fmt, types, sys.len(), prof, ws32, eval_out)
             }
-        };
-        PotentialOutput {
-            energy: out.energy,
-            forces: out.forces,
-            virial: out.virial,
         }
+        out.energy = eval_out.energy;
+        out.virial = eval_out.virial;
+        out.forces.clear();
+        out.forces.extend_from_slice(&eval_out.forces);
+        self.scratch.lock().unwrap().push(sc);
     }
 
     fn cutoff(&self) -> f64 {

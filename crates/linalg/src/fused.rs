@@ -43,10 +43,18 @@ pub fn tanh_then_grad_baseline<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>)
 /// buffer is produced during the forward pass so the backward pass reads it
 /// instead of recomputing.
 pub fn tanh_fused<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let mut t = Matrix::zeros(0, 0);
+    let mut g = Matrix::zeros(0, 0);
+    tanh_fused_into(x, &mut t, &mut g);
+    (t, g)
+}
+
+/// `tanh_fused` writing into caller-provided buffers (§5.2.2 arena reuse).
+pub fn tanh_fused_into<T: Real>(x: &Matrix<T>, t: &mut Matrix<T>, g: &mut Matrix<T>) {
     flops::add(x.len() as u64 * (TANH_FLOPS + 2));
     let (rows, cols) = x.shape();
-    let mut t = Matrix::zeros(rows, cols);
-    let mut g = Matrix::zeros(rows, cols);
+    t.reuse_shape(rows, cols);
+    g.reuse_shape(rows, cols);
     for ((out_t, out_g), &v) in t
         .as_mut_slice()
         .iter_mut()
@@ -57,7 +65,6 @@ pub fn tanh_fused<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
         *out_t = tv;
         *out_g = T::ONE - tv * tv;
     }
-    (t, g)
 }
 
 /// Baseline skip connection for the embedding net's growth layers:
@@ -102,11 +109,19 @@ pub fn concat_sum_gemm<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
 /// Fastest form used in the hot inference path: write `h + (x,x)` directly
 /// with no intermediate at all.
 pub fn dup_sum_fused<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
+    let mut out = Matrix::zeros(0, 0);
+    dup_sum_fused_into(x, h, &mut out);
+    out
+}
+
+/// `dup_sum_fused` writing into a caller-provided buffer (§5.2.2 arena
+/// reuse): `out = h + (x,x)` with no intermediate and no allocation.
+pub fn dup_sum_fused_into<T: Real>(x: &Matrix<T>, h: &Matrix<T>, out: &mut Matrix<T>) {
     assert_eq!(h.rows(), x.rows(), "skip-connection row mismatch");
     assert_eq!(h.cols(), 2 * x.cols(), "skip-connection shape mismatch");
     flops::add(h.len() as u64);
     let k = x.cols();
-    let mut out = h.clone();
+    out.copy_from(h);
     for i in 0..x.rows() {
         let x_row = x.row(i);
         let o_row = out.row_mut(i);
@@ -115,7 +130,6 @@ pub fn dup_sum_fused<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
             o_row[j + k] += xv;
         }
     }
-    out
 }
 
 #[cfg(test)]

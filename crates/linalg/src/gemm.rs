@@ -162,12 +162,21 @@ fn gemm_nn<T: Real>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Mat
 /// Fused `C = A x B + 1 ⊗ bias`: GEMM with the bias row broadcast-added,
 /// replacing the separate MATMUL and SUM operators (§5.3.1, Fig 2 (g1)).
 pub fn gemm_bias<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T]) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_bias_into(a, b, bias, &mut c);
+    c
+}
+
+/// `gemm_bias` writing into a caller-provided output matrix (§5.2.2 arena
+/// reuse): `c` is re-shaped in place and never re-allocates once its
+/// capacity covers the steady-state problem size.
+pub fn gemm_bias_into<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T], c: &mut Matrix<T>) {
     assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
     assert_eq!(bias.len(), b.cols(), "bias length mismatch");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     flops::add(flops::gemm_flops(m, n, k) + (m * n) as u64);
 
-    let mut c = Matrix::zeros(m, n);
+    c.reuse_shape(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let work = flops::gemm_flops(m, n, k);
@@ -196,7 +205,43 @@ pub fn gemm_bias<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T]) -> Matrix<T>
             .enumerate()
             .for_each(|(i, c_row)| row_kernel(i, c_row));
     }
-    c
+}
+
+/// `C = A x B^T` writing into a caller-provided matrix without materializing
+/// the transpose (unlike `gemm_ex` with `Transpose::Yes`). Rows of both
+/// operands are contiguous, so the dot-product kernel streams both linearly.
+pub fn matmul_nt_into<T: Real>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    assert_eq!(a.cols(), b.cols(), "gemm inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    flops::add(flops::gemm_flops(m, n, k));
+
+    c.reuse_shape(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let work = flops::gemm_flops(m, n, k);
+
+    let row_kernel = |i: usize, c_row: &mut [T]| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = T::ZERO;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc = av.mul_add(bv, acc);
+            }
+            *cj = acc;
+        }
+    };
+
+    if work < PAR_FLOP_THRESHOLD {
+        for (i, c_row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    }
 }
 
 /// Baseline for the §5.3.1 ablation: separate MATMUL then row-broadcast SUM,
@@ -279,6 +324,29 @@ mod tests {
         let fused = gemm_bias(&a, &w, &bias);
         let unfused = matmul_then_sum(&a, &w, &bias);
         assert!(fused.max_abs_diff(&unfused) < 1e-12);
+    }
+
+    #[test]
+    fn nt_into_matches_nt() {
+        let a = rand_matrix(6, 5, 40);
+        let b = rand_matrix(9, 5, 41);
+        let want = matmul_nt(&a, &b);
+        // Deliberately dirty + wrongly-shaped output buffer.
+        let mut c = rand_matrix(2, 17, 42);
+        matmul_nt_into(&a, &b, &mut c);
+        assert_eq!(c.shape(), want.shape());
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn bias_into_matches_alloc() {
+        let a = rand_matrix(33, 25, 43);
+        let w = rand_matrix(25, 50, 44);
+        let bias: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        let want = gemm_bias(&a, &w, &bias);
+        let mut c = rand_matrix(50, 33, 45);
+        gemm_bias_into(&a, &w, &bias, &mut c);
+        assert_eq!(c, want);
     }
 
     #[test]

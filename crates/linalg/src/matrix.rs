@@ -168,6 +168,32 @@ impl<T: Real> Matrix<T> {
         self.data.fill(T::ZERO);
     }
 
+    /// Re-shape in place for arena reuse (§5.2.2): the backing vector grows
+    /// only when the new element count exceeds its capacity, so a workspace
+    /// matrix sized once at startup never re-allocates in steady state.
+    /// Existing element values are unspecified afterwards — callers are
+    /// expected to overwrite every element (as all `_into` kernels do).
+    pub fn reuse_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, T::ZERO);
+    }
+
+    /// Copy another matrix's shape and contents into this one, reusing the
+    /// existing allocation when capacity suffices.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.reuse_shape(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// In-place elementwise (Hadamard) product: `self *= other`.
+    pub fn hadamard_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
     /// `self += alpha * other` (elementwise AXPY).
     pub fn axpy(&mut self, alpha: T, other: &Self) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
@@ -364,5 +390,29 @@ mod tests {
     #[should_panic(expected = "reshape element mismatch")]
     fn reshape_wrong_size_panics() {
         let _ = Matrix::<f64>::zeros(2, 2).reshape(3, 2);
+    }
+
+    #[test]
+    fn reuse_shape_keeps_capacity() {
+        let mut m = Matrix::<f64>::zeros(8, 8);
+        let cap_ptr = m.as_slice().as_ptr();
+        m.reuse_shape(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.len(), 16);
+        m.reuse_shape(8, 8);
+        assert_eq!(m.shape(), (8, 8));
+        // Shrinking then growing back must not re-allocate.
+        assert_eq!(m.as_slice().as_ptr(), cap_ptr);
+    }
+
+    #[test]
+    fn copy_from_and_hadamard_assign() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let mut b = Matrix::<f64>::zeros(1, 1);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        let mut c = Matrix::full(3, 2, 2.0_f64);
+        c.hadamard_assign(&a);
+        assert_eq!(c, a.map(|x| 2.0 * x));
     }
 }

@@ -4,7 +4,7 @@
 //! energy, potential energy, temperature and pressure every 20 steps,
 //! §6.1).
 
-use crate::neighbor::NeighborList;
+use crate::neighbor::{NeighborList, NlScratch};
 use crate::potential::Potential;
 use crate::rng::CounterRng;
 use crate::system::System;
@@ -190,20 +190,23 @@ pub fn run_md_resumable(
         .langevin
         .map(|l| CounterRng::with_draws(l.seed, resume.rng_draws));
     let cutoff = pot.cutoff() + opts.skin;
-    let mut nl = {
+    // List, list scratch, and force output are allocated once here and
+    // reused by every step of the loop (§5.2.2 arena reuse).
+    let mut nl_scratch = NlScratch::default();
+    let mut nl = NeighborList::empty();
+    {
         let _span = dp_obs::span("neighbor_rebuild");
-        NeighborList::build(sys, cutoff)
-    };
+        nl.build_into(sys, cutoff, &mut nl_scratch);
+    }
     let mut rebuilds = 1usize;
     let mut evaluations = 0usize;
-    let mut out;
+    let mut out = crate::potential::PotentialOutput::zeros(sys.len());
     if resuming {
         // The checkpoint stored the forces; reuse them (see above).
-        out = crate::potential::PotentialOutput::zeros(sys.len());
         out.forces.clone_from(&sys.forces);
     } else {
         let _span = dp_obs::span("force_eval");
-        out = pot.compute(sys, &nl);
+        pot.compute_into(sys, &nl, &mut out);
         sys.forces.clone_from(&out.forces);
         evaluations += 1;
     }
@@ -248,15 +251,15 @@ pub fn run_md_resumable(
         // neighbor maintenance on the paper's schedule
         if step % opts.rebuild_every == 0 && nl.needs_rebuild(sys, opts.skin) {
             let _span = dp_obs::span("neighbor_rebuild");
-            nl = NeighborList::build(sys, cutoff);
+            nl.build_into(sys, cutoff, &mut nl_scratch);
             rebuilds += 1;
             dp_obs::counter("neighbor_rebuilds").add(1);
         }
 
-        out = {
+        {
             let _span = dp_obs::span("force_eval");
-            pot.compute(sys, &nl)
-        };
+            pot.compute_into(sys, &nl, &mut out);
+        }
         evaluations += 1;
         sys.forces.clone_from(&out.forces);
 
@@ -323,7 +326,7 @@ pub fn run_md_resumable(
                 // Rebuild the list so that this run and any run resumed
                 // from the checkpoint continue from identical state (the
                 // resumed run necessarily starts with a fresh list).
-                nl = NeighborList::build(sys, cutoff);
+                nl.build_into(sys, cutoff, &mut nl_scratch);
                 rebuilds += 1;
                 let progress = MdProgress {
                     step,

@@ -38,7 +38,7 @@ pub mod xyz;
 pub use cell::Cell;
 pub use checkpoint::MdCheckpoint;
 pub use integrate::{CheckpointSink, MdProgress};
-pub use neighbor::NeighborList;
+pub use neighbor::{NeighborList, NlScratch};
 pub use potential::{Potential, PotentialOutput};
 pub use rng::CounterRng;
 pub use system::System;

@@ -25,10 +25,39 @@ pub struct NeighborList {
     ref_positions: Vec<[f64; 3]>,
 }
 
+/// Reusable construction scratch for [`NeighborList::build_into`]: the
+/// cell-list bins and the variable-length per-atom rows, each of which
+/// keeps its capacity across rebuilds so the steady-state rebuild performs
+/// no heap allocation (§5.2.2 arena reuse).
+#[derive(Debug, Default, Clone)]
+pub struct NlScratch {
+    bins: Vec<Vec<u32>>,
+    per_atom: Vec<Vec<u32>>,
+}
+
 impl NeighborList {
+    /// An empty list, ready to be filled by [`build_into`](Self::build_into).
+    pub fn empty() -> Self {
+        Self {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            cutoff: 0.0,
+            ref_positions: Vec::new(),
+        }
+    }
+
     /// Build with a cell-list (falls back to brute force when the box is
     /// too small to bin at this cutoff).
     pub fn build(sys: &System, cutoff: f64) -> Self {
+        let mut nl = Self::empty();
+        nl.build_into(sys, cutoff, &mut NlScratch::default());
+        nl
+    }
+
+    /// Rebuild in place, reusing this list's CSR buffers and the caller's
+    /// scratch. Steady-state rebuilds (same system size, similar density)
+    /// allocate nothing.
+    pub fn build_into(&mut self, sys: &System, cutoff: f64, scratch: &mut NlScratch) {
         assert!(cutoff > 0.0, "cutoff must be positive");
         if sys.cell.periodic {
             assert!(
@@ -39,29 +68,45 @@ impl NeighborList {
         }
         let nbins = Self::bin_counts(sys, cutoff);
         if sys.cell.periodic && nbins.iter().any(|&b| b < 3) {
-            return Self::build_brute_force(sys, cutoff);
+            Self::fill_brute_force(sys, cutoff, &mut scratch.per_atom);
+        } else {
+            Self::fill_binned(sys, cutoff, nbins, scratch);
         }
-        Self::build_binned(sys, cutoff, nbins)
+        self.from_per_atom_into(sys, cutoff, &scratch.per_atom[..sys.n_local]);
     }
 
     /// Reference O(N²) construction, used for small systems and as the
     /// oracle the cell-list implementation is tested against.
     pub fn build_brute_force(sys: &System, cutoff: f64) -> Self {
+        let mut per_atom = Vec::new();
+        Self::fill_brute_force(sys, cutoff, &mut per_atom);
+        let mut nl = Self::empty();
+        nl.from_per_atom_into(sys, cutoff, &per_atom[..sys.n_local]);
+        nl
+    }
+
+    fn ensure_rows(rows: &mut Vec<Vec<u32>>, n: usize) {
+        if rows.len() < n {
+            rows.resize_with(n, Vec::new);
+        }
+    }
+
+    fn fill_brute_force(sys: &System, cutoff: f64, per_atom: &mut Vec<Vec<u32>>) {
         let n = sys.len();
         let c2 = cutoff * cutoff;
-        let per_atom: Vec<Vec<u32>> = (0..sys.n_local)
-            .into_par_iter()
-            .map(|i| {
-                let mut list = Vec::new();
+        Self::ensure_rows(per_atom, sys.n_local);
+        per_atom[..sys.n_local]
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, row)| {
+                let list = &mut row[0];
+                list.clear();
                 for j in 0..n {
                     if j != i && sys.cell.distance2(sys.positions[i], sys.positions[j]) < c2 {
                         list.push(j as u32);
                     }
                 }
-                list
-            })
-            .collect();
-        Self::from_per_atom(sys, cutoff, per_atom)
+            });
     }
 
     fn bin_counts(sys: &System, cutoff: f64) -> [usize; 3] {
@@ -97,8 +142,7 @@ impl NeighborList {
         (lo, hi)
     }
 
-    fn build_binned(sys: &System, cutoff: f64, nbins: [usize; 3]) -> Self {
-        let n = sys.len();
+    fn fill_binned(sys: &System, cutoff: f64, nbins: [usize; 3], scratch: &mut NlScratch) {
         let c2 = cutoff * cutoff;
         let periodic = sys.cell.periodic;
         let (lo, hi) = if periodic {
@@ -126,17 +170,25 @@ impl NeighborList {
         };
 
         // Bucket every atom (locals and ghosts both act as sources).
-        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nbins[0] * nbins[1] * nbins[2]];
-        for (i, &p) in sys.positions.iter().enumerate() {
-            bins[flat(bin_of(p))].push(i as u32);
+        let nbin_total = nbins[0] * nbins[1] * nbins[2];
+        Self::ensure_rows(&mut scratch.bins, nbin_total);
+        for b in &mut scratch.bins[..nbin_total] {
+            b.clear();
         }
+        for (i, &p) in sys.positions.iter().enumerate() {
+            scratch.bins[flat(bin_of(p))].push(i as u32);
+        }
+        let bins = &scratch.bins;
 
-        let per_atom: Vec<Vec<u32>> = (0..sys.n_local)
-            .into_par_iter()
-            .map(|i| {
+        Self::ensure_rows(&mut scratch.per_atom, sys.n_local);
+        scratch.per_atom[..sys.n_local]
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, row)| {
+                let list = &mut row[0];
+                list.clear();
                 let pi = sys.positions[i];
                 let bi = bin_of(pi);
-                let mut list = Vec::with_capacity(64);
                 for dx in -1..=1isize {
                     for dy in -1..=1isize {
                         for dz in -1..=1isize {
@@ -164,28 +216,19 @@ impl NeighborList {
                 // neighbor bin can be visited twice.
                 list.sort_unstable();
                 list.dedup();
-                list
-            })
-            .collect();
-        let _ = n;
-        Self::from_per_atom(sys, cutoff, per_atom)
+            });
     }
 
-    fn from_per_atom(sys: &System, cutoff: f64, per_atom: Vec<Vec<u32>>) -> Self {
-        let mut offsets = Vec::with_capacity(per_atom.len() + 1);
-        offsets.push(0usize);
-        let total: usize = per_atom.iter().map(|v| v.len()).sum();
-        let mut neighbors = Vec::with_capacity(total);
-        for list in &per_atom {
-            neighbors.extend_from_slice(list);
-            offsets.push(neighbors.len());
+    fn from_per_atom_into(&mut self, sys: &System, cutoff: f64, per_atom: &[Vec<u32>]) {
+        self.offsets.clear();
+        self.offsets.push(0usize);
+        self.neighbors.clear();
+        for list in per_atom {
+            self.neighbors.extend_from_slice(list);
+            self.offsets.push(self.neighbors.len());
         }
-        Self {
-            offsets,
-            neighbors,
-            cutoff,
-            ref_positions: sys.positions.clone(),
-        }
+        self.cutoff = cutoff;
+        self.ref_positions.clone_from(&sys.positions);
     }
 
     /// Number of atoms that have lists (the local atoms at build time).

@@ -56,6 +56,18 @@ pub trait Potential: Send + Sync {
     /// built with at least [`cutoff`](Potential::cutoff).
     fn compute(&self, sys: &System, nl: &NeighborList) -> PotentialOutput;
 
+    /// Evaluate into a caller-owned output, reusing its force buffer
+    /// (§5.2.2 arena reuse). Implementors with internal workspaces
+    /// override this to make the steady-state MD step allocation-free;
+    /// the default delegates to [`compute`](Potential::compute).
+    fn compute_into(&self, sys: &System, nl: &NeighborList, out: &mut PotentialOutput) {
+        let fresh = self.compute(sys, nl);
+        out.energy = fresh.energy;
+        out.virial = fresh.virial;
+        out.forces.clear();
+        out.forces.extend_from_slice(&fresh.forces);
+    }
+
     /// Interaction cutoff radius (Å), excluding any skin.
     fn cutoff(&self) -> f64;
 

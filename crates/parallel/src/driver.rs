@@ -11,7 +11,7 @@ use crate::grid::DomainGrid;
 use dp_ckpt::Rotation;
 use dp_md::checkpoint::MdCheckpoint;
 use dp_md::integrate::{MdOptions, MdProgress, ThermoSample};
-use dp_md::{units, NeighborList, Potential, System};
+use dp_md::{units, NeighborList, NlScratch, Potential, PotentialOutput, System};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,12 @@ pub struct ParallelOptions {
     /// checkpoints are labelled `start_step + step`, so a resumed run
     /// continues the original numbering instead of restarting at zero.
     pub start_step: usize,
+    /// RNG draws already consumed by the trajectory being resumed. The
+    /// parallel loop draws no random numbers itself, so this is carried
+    /// through unchanged into every checkpoint it writes — a restart that
+    /// hands the state back to a serial Langevin run continues the
+    /// identical random stream.
+    pub start_rng_draws: u64,
     /// Optional periodic global checkpointing.
     pub checkpoint: Option<ParallelCkpt>,
 }
@@ -52,6 +58,7 @@ impl Default for ParallelOptions {
             md: MdOptions::default(),
             blocking_reduce: false,
             start_step: 0,
+            start_rng_draws: 0,
             checkpoint: None,
         }
     }
@@ -240,24 +247,30 @@ fn rank_loop(
     let mut thermo = Vec::new();
     let dt = opts.md.dt;
 
-    // initial exchange + list build + force evaluation
+    // initial exchange + list build + force evaluation; the local system,
+    // neighbor list (plus scratch), and force output allocated here are
+    // reused by every later step (§5.2.2 arena reuse)
     let ((), d) = dp_obs::timed("ghost_exchange", || {
         exchange(&mut st, &comm, grid, halo, &mut stats)
     });
     stats.comm_time += d;
-    let mut local = build_local_system(&st, cell, masses);
-    let mut nl = {
+    let mut local = System::new(cell, Vec::new(), Vec::new(), masses.to_vec());
+    refresh_local_system(&mut local, &st);
+    let mut nl_scratch = NlScratch::default();
+    let mut nl = NeighborList::empty();
+    {
         let _span = dp_obs::span("neighbor_rebuild");
-        NeighborList::build(&local, pot.cutoff() + opts.md.skin)
-    };
+        nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
+    }
     stats.rebuilds += 1;
-    let mut out = {
-        let (o, d) = dp_obs::timed("force_eval", || pot.compute(&local, &nl));
+    let mut out = PotentialOutput::zeros(local.len());
+    {
+        let ((), d) = dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
         stats.compute_time += d;
-        o
-    };
+    }
     reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
-    st.forces = out.forces[..local.n_local].to_vec();
+    st.forces.clear();
+    st.forces.extend_from_slice(&out.forces[..local.n_local]);
     add_reverse_forces(&mut st, &comm, &mut stats);
 
     let record =
@@ -299,15 +312,20 @@ fn rank_loop(
                 pressure,
             });
         };
-    record(
-        opts.start_step,
-        &st,
-        &local,
-        out.energy,
-        &out.virial,
-        &mut stats,
-        &mut thermo,
-    );
+    // A resumed run (start_step > 0) must not re-emit the sample the
+    // original run already recorded at the checkpoint step; the collective
+    // reduce schedule stays identical because start_step is rank-uniform.
+    if opts.start_step == 0 {
+        record(
+            opts.start_step,
+            &st,
+            &local,
+            out.energy,
+            &out.virial,
+            &mut stats,
+            &mut thermo,
+        );
+    }
 
     for step in 1..=n_steps {
         // half kick + drift (locals only)
@@ -340,8 +358,8 @@ fn rank_loop(
             });
             stats.comm_time += d;
             let _span = dp_obs::span("neighbor_rebuild");
-            local = build_local_system(&st, cell, masses);
-            nl = NeighborList::build(&local, pot.cutoff() + opts.md.skin);
+            refresh_local_system(&mut local, &st);
+            nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
             stats.rebuilds += 1;
         } else {
             let ((), d) = dp_obs::timed("comm", || forward_comm(&mut st, &comm));
@@ -349,13 +367,14 @@ fn rank_loop(
             update_local_positions(&mut local, &st);
         }
 
-        out = {
-            let (o, d) = dp_obs::timed("force_eval", || pot.compute(&local, &nl));
+        {
+            let ((), d) =
+                dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
             stats.compute_time += d;
-            o
-        };
+        }
         reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
-        st.forces = out.forces[..local.n_local].to_vec();
+        st.forces.clear();
+        st.forces.extend_from_slice(&out.forces[..local.n_local]);
         add_reverse_forces(&mut st, &comm, &mut stats);
 
         // second half kick
@@ -410,7 +429,15 @@ fn rank_loop(
         if let Some(ck) = &opts.checkpoint {
             if ck.every > 0 && step % ck.every == 0 {
                 let ((), d) = dp_obs::timed("io", || {
-                    gather_checkpoint(&st, &comm, cell, masses, opts.start_step + step, ck)
+                    gather_checkpoint(
+                        &st,
+                        &comm,
+                        cell,
+                        masses,
+                        opts.start_step + step,
+                        opts.start_rng_draws,
+                        ck,
+                    )
                 });
                 stats.comm_time += d;
             }
@@ -421,12 +448,16 @@ fn rank_loop(
     (st, stats, thermo)
 }
 
-fn build_local_system(st: &RankState, cell: dp_md::Cell, masses: &[f64]) -> System {
-    // ghosts were appended by `exchange`, so positions/types already hold
-    // locals followed by ghosts
-    let mut sys = System::new(cell, st.positions.clone(), st.types.clone(), masses.to_vec());
-    sys.n_local = st.ids.len();
-    sys
+/// Refresh the rank-local `System` view from the rank state in place,
+/// reusing its buffers. Ghosts were appended by `exchange`, so the state's
+/// positions/types already hold locals followed by ghosts.
+fn refresh_local_system(local: &mut System, st: &RankState) {
+    local.positions.clone_from(&st.positions);
+    local.types.clone_from(&st.types);
+    let n = local.positions.len();
+    local.velocities.resize(n, [0.0; 3]);
+    local.forces.resize(n, [0.0; 3]);
+    local.n_local = st.ids.len();
 }
 
 fn update_local_positions(local: &mut System, st: &RankState) {
@@ -454,27 +485,29 @@ impl RankState {
 }
 
 /// Migrate atoms whose owner changed to the new owner rank.
+///
+/// The schedule covers *every* rank pair, not just halo partners: with a
+/// long interval between rebuilds a fast atom can cross beyond the halo
+/// ring, and the old partners-only schedule had no route for it (it
+/// panicked). `RankComm` is a full point-to-point mesh, so each rank sends
+/// one `Migrants` message to every other rank — empty for the common case,
+/// which allocates nothing — and the schedule stays static and collective.
+/// Kept atoms are compacted in place, reusing the state's vectors.
 fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
     let n_local = st.ids.len();
-    let mut keep_ids = Vec::with_capacity(n_local);
-    let mut keep_pos = Vec::with_capacity(n_local);
-    let mut keep_vel = Vec::with_capacity(n_local);
-    let mut keep_ty = Vec::with_capacity(n_local);
-    let mut outbox: Vec<Vec<Migrant>> = vec![Vec::new(); st.partners.len()];
+    let n_ranks = comm.to.len();
+    let mut outbox: Vec<Vec<Migrant>> = vec![Vec::new(); n_ranks];
+    let mut w = 0usize;
     for k in 0..n_local {
         let owner = grid.rank_of_position(st.positions[k]);
         if owner == st.rank {
-            keep_ids.push(st.ids[k]);
-            keep_pos.push(st.positions[k]);
-            keep_vel.push(st.velocities[k]);
-            keep_ty.push(st.types[k]);
+            st.ids[w] = st.ids[k];
+            st.positions[w] = st.positions[k];
+            st.velocities[w] = st.velocities[k];
+            st.types[w] = st.types[k];
+            w += 1;
         } else {
-            let slot = st
-                .partners
-                .iter()
-                .position(|&p| p == owner)
-                .expect("atom migrated beyond halo partners in one interval");
-            outbox[slot].push(Migrant {
+            outbox[owner].push(Migrant {
                 ty: st.types[k] as u32,
                 position: st.positions[k],
                 velocity: st.velocities[k],
@@ -482,14 +515,19 @@ fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
             });
         }
     }
-    for (slot, &dest) in st.partners.iter().enumerate() {
-        comm.send(dest, Msg::Migrants(std::mem::take(&mut outbox[slot])));
+    st.ids.truncate(w);
+    st.positions.truncate(w);
+    st.velocities.truncate(w);
+    st.types.truncate(w);
+    for dest in 0..n_ranks {
+        if dest != st.rank {
+            comm.send(dest, Msg::Migrants(std::mem::take(&mut outbox[dest])));
+        }
     }
-    st.ids = keep_ids;
-    st.positions = keep_pos;
-    st.velocities = keep_vel;
-    st.types = keep_ty;
-    for &src in &st.partners {
+    for src in 0..n_ranks {
+        if src == st.rank {
+            continue;
+        }
         match comm.recv(src) {
             Msg::Migrants(v) => {
                 for m in v {
@@ -512,16 +550,21 @@ fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, s
     st.positions.truncate(n_local);
     st.types.truncate(n_local);
 
-    st.send_lists = st
-        .partners
-        .iter()
-        .map(|&dest| {
-            (0..n_local)
-                .filter(|&k| grid.distance_to_domain(st.positions[k], dest) < halo)
-                .map(|k| k as u32)
-                .collect::<Vec<u32>>()
-        })
-        .collect();
+    // send lists are rebuilt in place (inner vectors keep their capacity);
+    // the ghost payloads themselves are moved into the channel, so those
+    // are the only per-exchange allocations left
+    if st.send_lists.len() != st.partners.len() {
+        st.send_lists.resize_with(st.partners.len(), Vec::new);
+    }
+    for (slot, &dest) in st.partners.iter().enumerate() {
+        let list = &mut st.send_lists[slot];
+        list.clear();
+        for k in 0..n_local {
+            if grid.distance_to_domain(st.positions[k], dest) < halo {
+                list.push(k as u32);
+            }
+        }
+    }
     for (slot, &dest) in st.partners.iter().enumerate() {
         let ghosts: Vec<GhostAtom> = st.send_lists[slot]
             .iter()
@@ -535,7 +578,8 @@ fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, s
         dp_obs::counter("ghost_atoms_sent").add(ghosts.len() as u64);
         comm.send(dest, Msg::Ghosts(ghosts));
     }
-    st.recv_counts = vec![0; st.partners.len()];
+    st.recv_counts.clear();
+    st.recv_counts.resize(st.partners.len(), 0);
     for (slot, &src) in st.partners.iter().enumerate() {
         match comm.recv(src) {
             Msg::Ghosts(v) => {
@@ -621,12 +665,14 @@ fn add_reverse_forces(st: &mut RankState, comm: &RankComm, _stats: &mut RankStat
 /// accepts as input, so restarts may re-decompose onto any grid). Write
 /// failures are reported but never abort the run — losing one checkpoint
 /// generation is strictly better than losing the trajectory.
+#[allow(clippy::too_many_arguments)]
 fn gather_checkpoint(
     st: &RankState,
     comm: &RankComm,
     cell: dp_md::Cell,
     masses: &[f64],
     step: usize,
+    rng_draws: u64,
     ck: &ParallelCkpt,
 ) {
     let mine: Vec<CkptAtom> = (0..st.ids.len())
@@ -664,7 +710,7 @@ fn gather_checkpoint(
         types[id] = a.ty as usize;
     }
     let snap = MdCheckpoint {
-        progress: MdProgress { step, rng_draws: 0 },
+        progress: MdProgress { step, rng_draws },
         cell,
         positions,
         velocities,
@@ -898,6 +944,87 @@ mod tests {
         }
         assert!(max_d < 1e-6, "positions diverged after resume: {max_d} Å");
 
+        for i in 0..2 {
+            let _ = std::fs::remove_file(rot.slot_path(i));
+        }
+    }
+
+    #[test]
+    fn migration_beyond_halo_partners_is_routed() {
+        // Ballistic atoms (eps = 0 ⇒ zero forces) moving fast enough to
+        // cross 2–3 subdomains between rebuilds: with a 4-rank grid and a
+        // 4 Å halo on 5.26 Å subdomains, the destination rank is NOT a
+        // halo partner. The old partners-only migrate schedule panicked
+        // here; the full-mesh schedule must route every atom to its owner.
+        let pot = Arc::new(LennardJones::new(0.0, 3.405, 2.0));
+        let mut sys = lattice::fcc(5.26, [4, 4, 4], 39.948);
+        for v in &mut sys.velocities {
+            *v = [260.0, 3.0, 0.0];
+        }
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                rebuild_every: 25,
+                ..MdOptions::default()
+            },
+            ..ParallelOptions::default()
+        };
+        let run = run_parallel_md(&sys, pot, [4, 1, 1], &opts, 25);
+        let total: usize = run.rank_stats.iter().map(|s| s.final_local).sum();
+        assert_eq!(total, sys.len(), "atoms lost during long-range migration");
+    }
+
+    #[test]
+    fn resumed_run_skips_checkpoint_step_sample() {
+        // A rank loop started at start_step > 0 must not re-record the
+        // sample the original run already emitted at the checkpoint step.
+        let pot = lj();
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                thermo_every: 10,
+                ..MdOptions::default()
+            },
+            start_step: 20,
+            ..ParallelOptions::default()
+        };
+        let run = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10);
+        let steps: Vec<usize> = run.thermo.iter().map(|t| t.step).collect();
+        assert_eq!(steps, vec![30], "expected only the step-30 sample, got {steps:?}");
+    }
+
+    #[test]
+    fn checkpoint_carries_resumed_rng_draws() {
+        // The parallel loop draws no randoms itself, so the draw count a
+        // resumed trajectory brought in must round-trip into every
+        // checkpoint (it used to be hard-coded to zero).
+        let dir = std::env::temp_dir().join("dp-parallel-rng-draws-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rot = Rotation::new(dir.join("draws.ckpt"), 2);
+        for i in 0..2 {
+            let _ = std::fs::remove_file(rot.slot_path(i));
+        }
+        let pot = lj();
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                ..MdOptions::default()
+            },
+            start_step: 100,
+            start_rng_draws: 4242,
+            checkpoint: Some(ParallelCkpt {
+                every: 10,
+                rotation: rot.clone(),
+            }),
+            ..ParallelOptions::default()
+        };
+        let _ = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10);
+        let (snap, _) = MdCheckpoint::load(&rot).unwrap();
+        assert_eq!(snap.progress.step, 110);
+        assert_eq!(
+            snap.progress.rng_draws, 4242,
+            "rng draw count dropped by the checkpoint gather"
+        );
         for i in 0..2 {
             let _ = std::fs::remove_file(rot.slot_path(i));
         }

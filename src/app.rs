@@ -112,6 +112,7 @@ fn default_checkpoint_keep() -> usize {
 }
 
 /// What a run produced.
+#[derive(Debug)]
 pub struct RunSummary {
     pub thermo: Vec<ThermoSample>,
     pub final_system: System,

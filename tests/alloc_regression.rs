@@ -1,0 +1,115 @@
+//! §5.2.2 regression: the steady-state MD force evaluation must perform
+//! ZERO heap allocations. A counting global allocator wraps the system
+//! allocator; after a few warm-up calls (buffer rotation lets capacities
+//! migrate between workspace roles until they reach a fixed point) the
+//! allocation counter must not move across repeated `compute_into` calls
+//! on the same configuration.
+//!
+//! The whole measurement runs inside a dedicated single-thread rayon pool
+//! so the thread-local formatter scratch is warmed on the same worker
+//! thread that later serves the measured calls.
+
+use deepmd_repro::core::{DeepPotential, DpConfig, DpModel, PrecisionMode};
+use deepmd_repro::md::{lattice, units, NeighborList, NlScratch, Potential, PotentialOutput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_dp_step_is_allocation_free() {
+    let cfg = DpConfig::small(1, 4.5, 16);
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = DpModel::<f64>::new_random(cfg, &mut rng);
+    let mut sys = lattice::fcc(3.615, [3, 3, 3], units::MASS_CU);
+    sys.perturb(0.1, &mut rng);
+    let mut pot = DeepPotential::new(model, PrecisionMode::Double);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| {
+        let nl = NeighborList::build(&sys, pot.cutoff());
+        let mut out = PotentialOutput::zeros(sys.len());
+        for mode in [
+            PrecisionMode::Double,
+            PrecisionMode::Mixed,
+            PrecisionMode::HalfEmulated,
+        ] {
+            pot.set_mode(mode);
+            // warm up: capacities rotate between workspace roles until
+            // they reach their fixed point
+            for _ in 0..6 {
+                pot.compute_into(&sys, &nl, &mut out);
+            }
+            let before = allocs();
+            for _ in 0..3 {
+                pot.compute_into(&sys, &nl, &mut out);
+            }
+            let delta = allocs() - before;
+            assert_eq!(
+                delta, 0,
+                "steady-state compute_into allocated {delta} times in {mode:?} mode"
+            );
+        }
+        assert!(out.energy.is_finite());
+    });
+}
+
+#[test]
+fn steady_state_neighbor_rebuild_is_allocation_free() {
+    // The companion invariant for the rebuild step: `build_into` with a
+    // warmed scratch must not touch the heap when the geometry is stable.
+    let mut sys = lattice::fcc(3.615, [4, 4, 4], units::MASS_CU);
+    let mut rng = StdRng::seed_from_u64(5);
+    sys.perturb(0.05, &mut rng);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| {
+        let mut scratch = NlScratch::default();
+        let mut nl = NeighborList::empty();
+        for _ in 0..4 {
+            nl.build_into(&sys, 6.0, &mut scratch);
+        }
+        let before = allocs();
+        for _ in 0..3 {
+            nl.build_into(&sys, 6.0, &mut scratch);
+        }
+        let delta = allocs() - before;
+        assert_eq!(delta, 0, "steady-state build_into allocated {delta} times");
+        assert!(nl.num_pairs() > 0);
+    });
+}

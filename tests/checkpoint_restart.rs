@@ -174,6 +174,27 @@ fn resumed_run_appends_to_trajectory_without_duplicates() {
 }
 
 #[test]
+fn resumed_run_does_not_duplicate_checkpoint_step_sample() {
+    // A run killed at step 40 already recorded the step-40 thermo sample;
+    // the resume must start sampling at 50, emitting neither a fresh
+    // step-0 record nor a second step-40 one.
+    let dir = test_dir("dpmd-ckpt-dup-sample");
+    let base = dir.join("run.ckpt").display().to_string();
+    let ckpt = format!(r#""checkpoint_path": "{base}","#);
+
+    run_deck(&lj_deck(40, "", &ckpt, "", ""));
+    let resume = format!(r#""resume": "{base}","#);
+    let (resumed, _) = run_deck(&lj_deck(80, "", &ckpt, &resume, ""));
+
+    let steps: Vec<usize> = resumed.thermo.iter().map(|t| t.step).collect();
+    assert_eq!(
+        steps,
+        vec![50, 60, 70, 80],
+        "resume re-emitted an already-recorded sample"
+    );
+}
+
+#[test]
 fn checkpoint_beyond_deck_steps_is_a_clean_error() {
     let dir = test_dir("dpmd-ckpt-overrun");
     let base = dir.join("run.ckpt").display().to_string();
