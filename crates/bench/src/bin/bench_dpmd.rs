@@ -6,25 +6,32 @@
 //! Table 1 metric) and achieved GFLOPS (FLOPs / MD-loop time, §6.3).
 //! Untrained models: weights don't change the arithmetic being timed.
 //!
-//! Run with: `cargo run --release -p dp-bench --bin bench_dpmd [out.json]`
+//! Run with: `cargo run --release -p dp-bench --bin bench_dpmd --
+//! [--steps N] [--reps X,Y,Z] [--out BENCH.json]`
+//!
+//! `--steps` overrides the per-workload step count and `--reps` the box
+//! size (unit-cell/molecule repetitions per axis for both workloads), so
+//! CI can time a longer, steadier run and `benchcheck --compare` it
+//! against the committed baseline without editing this file.
 
 use deepmd_core::model::DpModel;
 use deepmd_core::{DeepPotential, PrecisionMode};
 use dp_bench::workloads;
 use dp_linalg::flops::FlopCounter;
 use dp_md::integrate::{run_md, MdOptions};
-use dp_md::Potential;
+use dp_md::{lattice, Potential};
 use dp_obs::report::{BenchReport, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const STEPS: usize = 5;
+const DEFAULT_STEPS: usize = 5;
 
 fn bench_workload(
     name: &str,
     cfg: deepmd_core::DpConfig,
     mut sys: dp_md::System,
     seed: u64,
+    steps: usize,
 ) -> BenchRow {
     let mut rng = StdRng::seed_from_u64(seed);
     let model = DpModel::<f64>::new_random(cfg, &mut rng);
@@ -36,29 +43,71 @@ fn bench_workload(
         ..MdOptions::default()
     };
     let flops = FlopCounter::start();
-    let run = run_md(&mut sys, &pot, &opts, STEPS, |_| {});
+    let run = run_md(&mut sys, &pot, &opts, steps, |_| {});
     BenchRow::from_run(name, sys.len(), run.steps, run.loop_time, flops.elapsed())
 }
 
+fn usage() -> ! {
+    eprintln!("usage: bench_dpmd [--steps N] [--reps X,Y,Z] [--out BENCH.json]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_dpmd.json".into());
+    let mut out = "BENCH_dpmd.json".to_string();
+    let mut steps = DEFAULT_STEPS;
+    let mut reps: Option<[usize; 3]> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--steps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => steps = n,
+                _ => usage(),
+            },
+            "--reps" => {
+                let parsed: Option<Vec<usize>> = args
+                    .next()
+                    .map(|v| v.split(',').map(|p| p.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed.as_deref() {
+                    Some(&[x, y, z]) if x * y * z > 0 => reps = Some([x, y, z]),
+                    _ => usage(),
+                }
+            }
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => usage(),
+            },
+            "-h" | "--help" => usage(),
+            // positional output path, kept for compatibility
+            other if !other.starts_with('-') => out = other.to_string(),
+            _ => usage(),
+        }
+    }
+
+    let (water_sys, copper_sys) = match reps {
+        Some(r) => (lattice::water_box(r, 3.104), lattice::copper(r)),
+        None => (
+            workloads::water_training_base(),
+            workloads::copper_training_base(),
+        ),
+    };
 
     let mut report = BenchReport::new();
-    eprintln!("[bench_dpmd] water ({STEPS} steps)...");
+    eprintln!("[bench_dpmd] water ({steps} steps, {} atoms)...", water_sys.len());
     report.push(bench_workload(
         "water",
         workloads::water_config_small(),
-        workloads::water_training_base(),
+        water_sys,
         71,
+        steps,
     ));
-    eprintln!("[bench_dpmd] copper ({STEPS} steps)...");
+    eprintln!("[bench_dpmd] copper ({steps} steps, {} atoms)...", copper_sys.len());
     report.push(bench_workload(
         "copper",
         workloads::copper_config_small(),
-        workloads::copper_training_base(),
+        copper_sys,
         72,
+        steps,
     ));
 
     for r in &report.rows {

@@ -1,6 +1,6 @@
 //! `benchcheck` — validate (and produce) `BENCH_*.json` documents.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `benchcheck <BENCH.json>...` — parse each file and enforce the
 //!   `dpmd-bench/1` schema contract: `schema` starts with `"dpmd-bench"`,
@@ -11,6 +11,12 @@
 //!   <BENCH.json>` — aggregate a per-step JSONL metrics file (as written
 //!   by `dpmd --metrics`) into a single-row benchmark document, then
 //!   validate nothing further (run the first mode on the output for that).
+//! * `benchcheck --compare <old.json> <new.json> [--tol FACTOR]` — compare
+//!   per-workload `s_per_step_per_atom` between a committed baseline and a
+//!   fresh run; exits non-zero if any workload got slower than
+//!   `old * FACTOR` (default 3.0 — wide enough for cross-machine and CI
+//!   noise, tight enough to catch an accidental hot-path regression) or if
+//!   a baseline workload disappeared.
 
 use dp_obs::report::{BenchReport, BenchRow};
 use serde_json::Value;
@@ -92,15 +98,92 @@ fn aggregate(metrics: &str, workload: &str, out: &str) {
     println!("{out}: aggregated {steps} steps from {metrics}");
 }
 
+/// `workload -> s_per_step_per_atom` from a validated-shape BENCH file.
+fn load_rows(path: &str) -> Vec<(String, f64)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: missing \"rows\" array")));
+    rows.iter()
+        .map(|row| {
+            let workload = row
+                .get("workload")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail(&format!("{path}: row without a workload name")));
+            let tts = row
+                .get("s_per_step_per_atom")
+                .and_then(Value::as_f64)
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "{path}: {workload} has no positive s_per_step_per_atom"
+                    ))
+                });
+            (workload.to_string(), tts)
+        })
+        .collect()
+}
+
+fn compare(old_path: &str, new_path: &str, tol: f64) {
+    if !(tol.is_finite() && tol >= 1.0) {
+        fail(&format!("--tol must be a factor >= 1.0, got {tol}"));
+    }
+    let old = load_rows(old_path);
+    let new = load_rows(new_path);
+    let mut worst = 0.0f64;
+    for (workload, old_tts) in &old {
+        let Some((_, new_tts)) = new.iter().find(|(w, _)| w == workload) else {
+            fail(&format!("{new_path}: workload \"{workload}\" disappeared"));
+        };
+        let ratio = new_tts / old_tts;
+        println!(
+            "{workload:>8}: {old_tts:.3e} -> {new_tts:.3e} s/step/atom (x{ratio:.2}, tol x{tol})"
+        );
+        if ratio > tol {
+            fail(&format!(
+                "{workload} regressed x{ratio:.2} ({old_tts:.3e} -> {new_tts:.3e} \
+                 s/step/atom), tolerance is x{tol}"
+            ));
+        }
+        worst = worst.max(ratio);
+    }
+    println!("compare OK: worst ratio x{worst:.2} within tolerance x{tol}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         fail(
             "usage: benchcheck <BENCH.json>... | benchcheck --from-metrics <metrics.jsonl> \
-             --workload <name> --out <BENCH.json>",
+             --workload <name> --out <BENCH.json> | benchcheck --compare <old.json> \
+             <new.json> [--tol FACTOR]",
         );
     }
-    if args[0] == "--from-metrics" {
+    if args[0] == "--compare" {
+        let mut paths = Vec::new();
+        let mut tol = 3.0f64;
+        let mut it = args.into_iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--tol" => {
+                    tol = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--tol needs a numeric factor"));
+                }
+                other if !other.starts_with('-') => paths.push(other.to_string()),
+                other => fail(&format!("unexpected argument '{other}'")),
+            }
+        }
+        let [old, new] = paths.as_slice() else {
+            fail("--compare needs exactly <old.json> <new.json>");
+        };
+        compare(old, new, tol);
+    } else if args[0] == "--from-metrics" {
         let mut metrics = None;
         let mut workload = None;
         let mut out = None;

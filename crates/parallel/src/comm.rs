@@ -1,7 +1,57 @@
 //! Rank-to-rank messaging and global reductions.
+//!
+//! Every operation that can be stalled by a dead peer returns
+//! `Result<_, CommError>` instead of panicking or blocking forever:
+//! point-to-point receives use `recv_timeout` with a configurable deadline,
+//! and the condvar barrier inside [`Allreduce`] carries a poison flag a
+//! failing rank sets on teardown so waiting peers wake with
+//! [`CommError::PeerFailed`] instead of sleeping until the heat death of
+//! the job (the emulated-MPI analogue of ULFM's revoked communicators).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{FaultState, SendAction};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default receive/reduce deadline. Generous: a healthy emulated rank
+/// answers in microseconds, so hitting this means a peer is gone.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Why a communication operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank died: its channel endpoints were dropped, or it poisoned
+    /// the reduction barrier on teardown.
+    PeerFailed { rank: usize },
+    /// No message from `from` arrived within the deadline.
+    RecvTimeout { from: usize, deadline: Duration },
+    /// A reduction did not complete within the deadline (some rank never
+    /// contributed and also never tore down).
+    ReduceTimeout { deadline: Duration },
+    /// The message schedule broke: an unexpected message type or shape
+    /// arrived (the downstream symptom of a dropped message).
+    Protocol { from: usize, expected: &'static str },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::RecvTimeout { from, deadline } => {
+                write!(f, "no message from rank {from} within {deadline:?}")
+            }
+            CommError::ReduceTimeout { deadline } => {
+                write!(f, "allreduce did not complete within {deadline:?}")
+            }
+            CommError::Protocol { from, expected } => {
+                write!(f, "protocol violation: expected {expected} from rank {from}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// One ghost atom shipped at exchange time.
 #[derive(Debug, Clone, Copy)]
@@ -12,7 +62,9 @@ pub struct GhostAtom {
     pub position: [f64; 3],
 }
 
-/// An atom migrating to a new owner.
+/// An atom migrating to a new owner. Forces ride along so a migration
+/// scheduled *between* the force evaluation and the next half-kick (the
+/// post-checkpoint realignment) loses nothing.
 #[derive(Debug, Clone, Copy)]
 pub struct Migrant {
     /// Global atom id (stable across the run).
@@ -20,6 +72,7 @@ pub struct Migrant {
     pub ty: u32,
     pub position: [f64; 3],
     pub velocity: [f64; 3],
+    pub force: [f64; 3],
 }
 
 /// One locally-owned atom's full state, shipped to rank 0 when a global
@@ -57,11 +110,25 @@ pub struct RankComm {
     pub to: Vec<Option<Sender<Msg>>>,
     /// `from[r]` receives from rank r (None for self).
     pub from: Vec<Option<Receiver<Msg>>>,
+    /// How long `recv` waits before declaring the sender dead.
+    pub deadline: Duration,
+    /// Fault-injection hooks; `None` in production (one branch per send).
+    faults: Option<Arc<FaultState>>,
 }
 
 impl RankComm {
-    /// Build the mesh for `n` ranks.
+    /// Build the mesh for `n` ranks with the default deadline and no
+    /// fault injection.
     pub fn mesh(n: usize) -> Vec<RankComm> {
+        Self::mesh_with(n, DEFAULT_DEADLINE, None)
+    }
+
+    /// Build the mesh with an explicit deadline and optional fault plan.
+    pub fn mesh_with(
+        n: usize,
+        deadline: Duration,
+        faults: Option<Arc<FaultState>>,
+    ) -> Vec<RankComm> {
         // channels[i][j]: i -> j
         let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n)
             .map(|_| (0..n).map(|_| None).collect())
@@ -81,33 +148,64 @@ impl RankComm {
         }
         let mut out = Vec::with_capacity(n);
         for (rank, (to, from)) in senders.into_iter().zip(receivers).enumerate() {
-            out.push(RankComm { rank, to, from });
+            out.push(RankComm {
+                rank,
+                to,
+                from,
+                deadline,
+                faults: faults.clone(),
+            });
         }
         out
     }
 
-    pub fn send(&self, dest: usize, msg: Msg) {
-        self.to[dest]
-            .as_ref()
-            .expect("no channel to self")
-            .send(msg)
-            .expect("receiver dropped");
+    pub fn send(&self, dest: usize, msg: Msg) -> Result<(), CommError> {
+        if let Some(f) = &self.faults {
+            match f.on_send(self.rank, dest) {
+                SendAction::Deliver => {}
+                SendAction::Drop => return Ok(()),
+                SendAction::Delay(d) => std::thread::sleep(d),
+            }
+        }
+        match &self.to[dest] {
+            Some(tx) => tx
+                .send(msg)
+                .map_err(|_| CommError::PeerFailed { rank: dest }),
+            None => Err(CommError::Protocol {
+                from: dest,
+                expected: "a non-self destination",
+            }),
+        }
     }
 
-    pub fn recv(&self, src: usize) -> Msg {
-        self.from[src]
-            .as_ref()
-            .expect("no channel from self")
-            .recv()
-            .expect("sender dropped")
+    pub fn recv(&self, src: usize) -> Result<Msg, CommError> {
+        let rx = self.from[src].as_ref().ok_or(CommError::Protocol {
+            from: src,
+            expected: "a non-self source",
+        })?;
+        match rx.recv_timeout(self.deadline) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::PeerFailed { rank: src }),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::RecvTimeout {
+                from: src,
+                deadline: self.deadline,
+            }),
+        }
     }
 }
 
 struct ReduceState {
-    acc: Vec<f64>,
+    /// Per-rank contribution slots, flattened `rank * width + k`. Summing
+    /// slot-by-slot in rank order (instead of accumulating in arrival
+    /// order) makes the float result independent of thread scheduling —
+    /// required for bit-exact recovery replay.
+    parts: Vec<f64>,
     arrived: usize,
     generation: u64,
     result: Vec<f64>,
+    /// Set by a failing rank on teardown; wakes every waiter with
+    /// `PeerFailed` and fails all later calls.
+    poisoned: Option<usize>,
 }
 
 /// Blocking sum-allreduce over `n` ranks (the `MPI_Allreduce` stand-in).
@@ -118,46 +216,108 @@ pub struct Allreduce {
     state: Mutex<ReduceState>,
     cv: Condvar,
     ops: std::sync::atomic::AtomicU64,
+    deadline: Duration,
 }
 
 impl Allreduce {
     pub fn new(n: usize, width: usize) -> Self {
+        Self::with_deadline(n, width, DEFAULT_DEADLINE)
+    }
+
+    pub fn with_deadline(n: usize, width: usize, deadline: Duration) -> Self {
         Self {
             n,
             width,
             state: Mutex::new(ReduceState {
-                acc: vec![0.0; width],
+                parts: vec![0.0; n * width],
                 arrived: 0,
                 generation: 0,
                 result: vec![0.0; width],
+                poisoned: None,
             }),
             cv: Condvar::new(),
             ops: std::sync::atomic::AtomicU64::new(0),
+            deadline,
         }
     }
 
-    /// Contribute and wait for the global sum. Every rank must call this
-    /// the same number of times (like MPI).
-    pub fn reduce(&self, contribution: &[f64]) -> Vec<f64> {
+    /// Contribute and wait for the global sum, written into `out` — no
+    /// allocation (the §5.2.2 guarantee extended into comm). Every rank
+    /// must call this the same number of times (like MPI). `rank` selects
+    /// this caller's contribution slot; the completing call folds the slots
+    /// in rank order, so the summation order (and therefore every last
+    /// floating-point bit) is schedule-independent.
+    pub fn reduce_into(
+        &self,
+        rank: usize,
+        contribution: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), CommError> {
         assert_eq!(contribution.len(), self.width);
+        assert_eq!(out.len(), self.width);
         let mut st = self.state.lock();
-        let my_gen = st.generation;
-        for (a, &c) in st.acc.iter_mut().zip(contribution) {
-            *a += c;
+        if let Some(r) = st.poisoned {
+            return Err(CommError::PeerFailed { rank: r });
         }
+        let my_gen = st.generation;
+        st.parts[rank * self.width..(rank + 1) * self.width].copy_from_slice(contribution);
         st.arrived += 1;
         if st.arrived == self.n {
-            st.result = std::mem::replace(&mut st.acc, vec![0.0; self.width]);
+            let s = &mut *st;
+            s.result.fill(0.0);
+            for r in 0..self.n {
+                let slot = &s.parts[r * self.width..(r + 1) * self.width];
+                for (acc, &c) in s.result.iter_mut().zip(slot) {
+                    *acc += c;
+                }
+            }
             st.arrived = 0;
             st.generation += 1;
             self.ops
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.cv.notify_all();
-            st.result.clone()
-        } else {
-            self.cv.wait_while(&mut st, |s| s.generation == my_gen);
-            st.result.clone()
+            out.copy_from_slice(&st.result);
+            return Ok(());
         }
+        let timed_out = self
+            .cv
+            .wait_while_for(
+                &mut st,
+                |s| s.generation == my_gen && s.poisoned.is_none(),
+                self.deadline,
+            )
+            .timed_out();
+        if st.generation != my_gen {
+            // The reduction completed (possibly racing a poison): the
+            // result is whole, hand it out.
+            out.copy_from_slice(&st.result);
+            return Ok(());
+        }
+        if let Some(r) = st.poisoned {
+            return Err(CommError::PeerFailed { rank: r });
+        }
+        debug_assert!(timed_out);
+        let _ = timed_out;
+        Err(CommError::ReduceTimeout {
+            deadline: self.deadline,
+        })
+    }
+
+    /// Allocating convenience wrapper around [`Allreduce::reduce_into`].
+    pub fn reduce(&self, rank: usize, contribution: &[f64]) -> Result<Vec<f64>, CommError> {
+        let mut out = vec![0.0; self.width];
+        self.reduce_into(rank, contribution, &mut out)?;
+        Ok(out)
+    }
+
+    /// Mark `rank` as failed and wake every waiter. Called by the rank
+    /// wrapper on teardown after a panic or comm error, so peers blocked in
+    /// a reduction observe `PeerFailed` within one wakeup instead of
+    /// waiting out the deadline.
+    pub fn poison(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.poisoned = Some(rank);
+        self.cv.notify_all();
     }
 
     /// Number of completed reductions.
@@ -170,12 +330,15 @@ impl Allreduce {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn mesh_delivers_messages() {
         let mesh = RankComm::mesh(3);
-        mesh[0].send(2, Msg::GhostPositions(vec![[1.0, 2.0, 3.0]]));
-        match mesh[2].recv(0) {
+        mesh[0]
+            .send(2, Msg::GhostPositions(vec![[1.0, 2.0, 3.0]]))
+            .unwrap();
+        match mesh[2].recv(0).unwrap() {
             Msg::GhostPositions(v) => assert_eq!(v[0], [1.0, 2.0, 3.0]),
             other => panic!("wrong message {other:?}"),
         }
@@ -184,10 +347,10 @@ mod tests {
     #[test]
     fn mesh_channels_are_pairwise_ordered() {
         let mesh = RankComm::mesh(2);
-        mesh[0].send(1, Msg::GhostPositions(vec![[1.0; 3]]));
-        mesh[0].send(1, Msg::GhostPositions(vec![[2.0; 3]]));
-        let first = mesh[1].recv(0);
-        let second = mesh[1].recv(0);
+        mesh[0].send(1, Msg::GhostPositions(vec![[1.0; 3]])).unwrap();
+        mesh[0].send(1, Msg::GhostPositions(vec![[2.0; 3]])).unwrap();
+        let first = mesh[1].recv(0).unwrap();
+        let second = mesh[1].recv(0).unwrap();
         match (first, second) {
             (Msg::GhostPositions(a), Msg::GhostPositions(b)) => {
                 assert_eq!(a[0][0], 1.0);
@@ -198,6 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn recv_times_out_with_typed_error() {
+        let deadline = Duration::from_millis(50);
+        let mesh = RankComm::mesh_with(2, deadline, None);
+        let t0 = Instant::now();
+        let err = mesh[0].recv(1).unwrap_err();
+        assert_eq!(err, CommError::RecvTimeout { from: 1, deadline });
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recv_from_dropped_peer_is_peer_failed() {
+        let mut mesh = RankComm::mesh_with(2, Duration::from_secs(5), None);
+        let dead = mesh.pop().unwrap(); // rank 1
+        drop(dead);
+        let t0 = Instant::now();
+        assert_eq!(
+            mesh[0].recv(1).unwrap_err(),
+            CommError::PeerFailed { rank: 1 }
+        );
+        // disconnect is detected immediately, well inside the deadline
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
     fn allreduce_sums_across_threads() {
         let n = 4;
         let ar = Arc::new(Allreduce::new(n, 2));
@@ -205,7 +392,7 @@ mod tests {
             let handles: Vec<_> = (0..n)
                 .map(|r| {
                     let ar = ar.clone();
-                    s.spawn(move || ar.reduce(&[r as f64, 1.0]))
+                    s.spawn(move || ar.reduce(r, &[r as f64, 1.0]).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -225,8 +412,8 @@ mod tests {
                 .map(|r| {
                     let ar = ar.clone();
                     s.spawn(move || {
-                        let a = ar.reduce(&[(r + 1) as f64])[0];
-                        let b = ar.reduce(&[(r + 1) as f64 * 10.0])[0];
+                        let a = ar.reduce(r, &[(r + 1) as f64]).unwrap()[0];
+                        let b = ar.reduce(r, &[(r + 1) as f64 * 10.0]).unwrap()[0];
                         (a, b)
                     })
                 })
@@ -238,5 +425,75 @@ mod tests {
             assert_eq!(b, 60.0);
         }
         assert_eq!(ar.operations(), 2);
+    }
+
+    #[test]
+    fn allreduce_summation_order_is_rank_order() {
+        // Rank-slot summation: the result must equal the rank-ordered fold
+        // bit-for-bit no matter which thread finishes the barrier.
+        let n = 3;
+        let contributions = [1.0e16, 1.0, -1.0e16];
+        let expected = contributions.iter().fold(0.0f64, |a, &c| a + c);
+        for _ in 0..20 {
+            let ar = Arc::new(Allreduce::new(n, 1));
+            let results: Vec<f64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|r| {
+                        let ar = ar.clone();
+                        s.spawn(move || ar.reduce(r, &[contributions[r]]).unwrap()[0])
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for v in results {
+                assert_eq!(v.to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_into_matches_reduce() {
+        let ar = Allreduce::new(1, 3);
+        let mut out = [0.0; 3];
+        ar.reduce_into(0, &[1.0, 2.0, 3.0], &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn poisoned_allreduce_wakes_waiters_with_peer_failed() {
+        let n = 3;
+        let ar = Arc::new(Allreduce::with_deadline(n, 1, Duration::from_secs(30)));
+        let t0 = Instant::now();
+        let errs: Vec<CommError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|r| {
+                    let ar = ar.clone();
+                    s.spawn(move || ar.reduce(r, &[1.0]).unwrap_err())
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(30));
+            ar.poison(2); // rank 2 "dies" without contributing
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in errs {
+            assert_eq!(e, CommError::PeerFailed { rank: 2 });
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "waiters should wake on poison, not ride out the deadline"
+        );
+        // later calls fail fast too
+        assert_eq!(
+            ar.reduce(0, &[1.0]).unwrap_err(),
+            CommError::PeerFailed { rank: 2 }
+        );
+    }
+
+    #[test]
+    fn unpoisoned_allreduce_times_out() {
+        let deadline = Duration::from_millis(50);
+        let ar = Allreduce::with_deadline(2, 1, deadline);
+        let err = ar.reduce(0, &[1.0]).unwrap_err();
+        assert_eq!(err, CommError::ReduceTimeout { deadline });
     }
 }

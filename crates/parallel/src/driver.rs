@@ -1,17 +1,48 @@
-//! The parallel Velocity–Verlet driver.
+//! The parallel Velocity–Verlet driver with supervised fault recovery.
 //!
 //! One OS thread per rank; each step performs the LAMMPS communication
 //! cycle the paper inherits (§5.4): forward ghost refresh → force
 //! evaluation → reverse force communication → (optionally deferred)
 //! global reductions. Neighbor-list rebuild decisions are collective, so
 //! the message schedule is identical on every rank.
+//!
+//! # Supervision
+//!
+//! [`run_parallel_md`] is an *epoch loop*. Each epoch scatters the current
+//! state onto the rank grid and runs the rank threads under
+//! `catch_unwind`. A rank that dies (injected fault, panic, or a
+//! [`CommError`] from a dead peer) poisons the reduction barriers and
+//! drops its mesh endpoints on the way out, so every surviving rank
+//! unwinds with a typed error within the comm deadline instead of
+//! deadlocking. The supervisor then reloads the newest *valid* checkpoint
+//! generation (the rotation steps over torn or corrupted ones), rebuilds
+//! the mesh, and resumes — bounded by `max_recoveries`, after which a
+//! typed [`RunError`] surfaces.
+//!
+//! # Bit-exact recovery
+//!
+//! A recovered run must be indistinguishable from an uninterrupted one.
+//! Three mechanisms make that literal, to the last float bit:
+//!
+//! * [`Allreduce`] folds per-rank slots in rank order, so global sums
+//!   don't depend on thread arrival order;
+//! * after every checkpoint gather the ranks *realign*: migrate (forces
+//!   ride along), sort locals by global atom id, and re-exchange — exactly
+//!   the state a restart reconstructs by scattering the checkpoint;
+//! * a resumed epoch reuses the checkpointed forces instead of
+//!   re-evaluating them, and all schedules (thermo, rebuild, checkpoint)
+//!   are keyed on the absolute step number.
 
-use crate::comm::{Allreduce, CkptAtom, GhostAtom, Migrant, Msg, RankComm};
+use crate::comm::{Allreduce, CkptAtom, CommError, GhostAtom, Migrant, Msg, RankComm};
+use crate::fault::{self, FaultPlan, FaultState};
 use crate::grid::DomainGrid;
-use dp_ckpt::Rotation;
+use dp_ckpt::{CkptError, Rotation};
 use dp_md::checkpoint::MdCheckpoint;
 use dp_md::integrate::{MdOptions, MdProgress, ThermoSample};
 use dp_md::{units, NeighborList, NlScratch, Potential, PotentialOutput, System};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +70,7 @@ pub struct ParallelOptions {
     /// `MPI_Iallreduce`, §5.4).
     pub blocking_reduce: bool,
     /// Absolute step number of the input state. Thermo samples and
-    /// checkpoints are labelled `start_step + step`, so a resumed run
+    /// checkpoints are labelled with absolute steps, so a resumed run
     /// continues the original numbering instead of restarting at zero.
     pub start_step: usize,
     /// RNG draws already consumed by the trajectory being resumed. The
@@ -50,6 +81,15 @@ pub struct ParallelOptions {
     pub start_rng_draws: u64,
     /// Optional periodic global checkpointing.
     pub checkpoint: Option<ParallelCkpt>,
+    /// Deterministic faults to inject (tests and chaos drills); `None`
+    /// costs one branch per step.
+    pub faults: Option<FaultPlan>,
+    /// How many failed epochs the supervisor may recover from before
+    /// giving up with [`RunError::RetriesExhausted`].
+    pub max_recoveries: usize,
+    /// Deadline for point-to-point receives and reductions; a rank that
+    /// hears nothing for this long declares the peer dead.
+    pub comm_deadline: Duration,
 }
 
 impl Default for ParallelOptions {
@@ -60,6 +100,53 @@ impl Default for ParallelOptions {
             start_step: 0,
             start_rng_draws: 0,
             checkpoint: None,
+            faults: None,
+            max_recoveries: 2,
+            comm_deadline: crate::comm::DEFAULT_DEADLINE,
+        }
+    }
+}
+
+/// Why a supervised parallel run failed for good.
+#[derive(Debug)]
+pub enum RunError {
+    /// The run configuration is invalid (bad grid, halo too large, ...).
+    Config(String),
+    /// A rank failed and no checkpointing was configured, so there is
+    /// nothing to recover from.
+    RankFailure { failure: String },
+    /// A rank failed and reloading a checkpoint for recovery also failed
+    /// (no valid generation, or the snapshot is outside the run window).
+    Recovery {
+        failure: String,
+        source: CkptError,
+    },
+    /// The supervisor recovered `attempts` times and the run still failed.
+    RetriesExhausted { attempts: usize, last: String },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(msg) => write!(f, "invalid parallel configuration: {msg}"),
+            RunError::RankFailure { failure } => {
+                write!(f, "{failure}; no checkpointing configured, cannot recover")
+            }
+            RunError::Recovery { failure, source } => {
+                write!(f, "{failure}; recovery failed: {source}")
+            }
+            RunError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} recoveries; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Recovery { source, .. } => Some(source),
+            _ => None,
         }
     }
 }
@@ -90,6 +177,12 @@ pub struct ParallelRun {
     pub system: System,
     /// Completed thermo reductions (allreduce traffic indicator).
     pub reduce_operations: u64,
+    /// Epochs the supervisor recovered from (0 for a clean run).
+    pub recoveries: usize,
+    /// Checkpoint generation each recovery reloaded, in order. A path
+    /// with a `.1`/`.2` suffix means the newest generation was unusable
+    /// and the rotation fell back.
+    pub recovered_from: Vec<PathBuf>,
 }
 
 impl ParallelRun {
@@ -115,38 +208,239 @@ struct RankState {
     ref_positions_snapshot: Vec<[f64; 3]>,
 }
 
-/// Run `n_steps` of parallel MD. The input system defines the initial
-/// state; the returned [`ParallelRun::system`] carries the final one.
-pub fn run_parallel_md(
-    sys: &System,
-    pot: Arc<dyn Potential>,
-    grid_dims: [usize; 3],
-    opts: &ParallelOptions,
-    n_steps: usize,
-) -> ParallelRun {
-    assert_eq!(sys.n_local, sys.len(), "input must have no ghosts");
-    let grid = DomainGrid::new(sys.cell, grid_dims);
-    let n_ranks = grid.n_ranks();
-    let halo = pot.cutoff() + opts.md.skin;
-    assert!(
-        halo <= sys.cell.max_cutoff(),
-        "halo {halo} exceeds minimum-image limit"
-    );
-
-    // scatter atoms to owners
-    let mut initial: Vec<RankState> = (0..n_ranks)
-        .map(|rank| RankState {
+impl RankState {
+    fn empty(rank: usize, partners: Vec<usize>) -> Self {
+        Self {
             rank,
             ids: Vec::new(),
             positions: Vec::new(),
             velocities: Vec::new(),
             types: Vec::new(),
             forces: Vec::new(),
-            partners: grid.neighbors_within(rank, halo),
+            partners,
             send_lists: Vec::new(),
             recv_counts: Vec::new(),
             ref_positions_snapshot: Vec::new(),
-        })
+        }
+    }
+}
+
+/// What one rank thread produced, successful or not.
+struct RankOutcome {
+    rank: usize,
+    state: RankState,
+    stats: RankStats,
+    /// Thermo samples recorded before any failure. Every sample here went
+    /// through a completed (hence globally identical) reduction, so any
+    /// rank's vector is a prefix of the true sequence.
+    thermo: Vec<ThermoSample>,
+    failure: Option<String>,
+}
+
+struct EpochOutcome {
+    outcomes: Vec<RankOutcome>,
+    reduce_operations: u64,
+    wall: Duration,
+}
+
+impl EpochOutcome {
+    fn failure(&self) -> Option<&str> {
+        let failures = || self.outcomes.iter().filter_map(|o| o.failure.as_deref());
+        // "peer rank N failed" is a cascade: a survivor noticing someone
+        // else's death. Diagnose with the root cause — the failing rank's
+        // own report — and fall back to the cascade only if the dead
+        // rank's thread never produced one.
+        failures()
+            .find(|f| !f.contains("peer rank"))
+            .or_else(|| failures().next())
+    }
+
+    /// Longest recorded thermo prefix across ranks.
+    fn best_thermo(&self) -> &[ThermoSample] {
+        self.outcomes
+            .iter()
+            .map(|o| o.thermo.as_slice())
+            .max_by_key(|t| t.len())
+            .unwrap_or(&[])
+    }
+
+    fn last_step(&self, fallback: usize) -> usize {
+        self.best_thermo().last().map_or(fallback, |s| s.step)
+    }
+}
+
+/// Run MD to absolute step `opts.start_step + n_steps` under supervision.
+/// The input system defines the initial state; the returned
+/// [`ParallelRun::system`] carries the final one.
+pub fn run_parallel_md(
+    sys: &System,
+    pot: Arc<dyn Potential>,
+    grid_dims: [usize; 3],
+    opts: &ParallelOptions,
+    n_steps: usize,
+) -> Result<ParallelRun, RunError> {
+    if sys.n_local != sys.len() {
+        return Err(RunError::Config("input must have no ghosts".into()));
+    }
+    if grid_dims.iter().any(|&d| d == 0) {
+        return Err(RunError::Config(format!(
+            "rank grid {grid_dims:?} has a zero dimension"
+        )));
+    }
+    let grid = DomainGrid::new(sys.cell, grid_dims);
+    let halo = pot.cutoff() + opts.md.skin;
+    if halo > sys.cell.max_cutoff() {
+        return Err(RunError::Config(format!(
+            "halo {halo} exceeds minimum-image limit {}",
+            sys.cell.max_cutoff()
+        )));
+    }
+    let end_step = opts.start_step + n_steps;
+    let faults = opts
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| Arc::new(FaultState::new(p.clone(), grid.n_ranks())));
+
+    let start = Instant::now();
+    let mut restored: Option<System> = None;
+    let mut start_step = opts.start_step;
+    let mut start_rng = opts.start_rng_draws;
+    let mut accum: BTreeMap<usize, ThermoSample> = BTreeMap::new();
+    let mut recoveries = 0usize;
+    let mut recovered_from: Vec<PathBuf> = Vec::new();
+    let mut reduce_operations = 0u64;
+
+    loop {
+        let epoch_sys = restored.as_ref().unwrap_or(sys);
+        let epoch = run_epoch(
+            epoch_sys,
+            &pot,
+            &grid,
+            opts,
+            start_step,
+            start_rng,
+            end_step,
+            halo,
+            faults.clone(),
+        );
+        reduce_operations += epoch.reduce_operations;
+
+        let Some(failure) = epoch.failure().map(String::from) else {
+            // clean epoch: the run is complete
+            if recoveries > 0 {
+                dp_obs::counter("recovery.success").add(1);
+            }
+            if dp_obs::metrics::active() {
+                dp_obs::metrics::record_step(end_step as u64, sys.len(), epoch.wall);
+            }
+            for s in epoch.best_thermo() {
+                accum.insert(s.step, *s);
+            }
+            let mut positions = vec![[0.0; 3]; sys.len()];
+            let mut velocities = vec![[0.0; 3]; sys.len()];
+            let mut types = vec![0usize; sys.len()];
+            let mut rank_stats = Vec::with_capacity(epoch.outcomes.len());
+            for o in &epoch.outcomes {
+                for (k, &id) in o.state.ids.iter().enumerate() {
+                    let id = id as usize;
+                    if id < sys.len() {
+                        positions[id] = o.state.positions[k];
+                        velocities[id] = o.state.velocities[k];
+                        types[id] = o.state.types[k];
+                    }
+                }
+                rank_stats.push(o.stats.clone());
+            }
+            rank_stats.sort_by_key(|s| s.rank);
+            let mut final_sys = System::new(sys.cell, positions, types, sys.masses.clone());
+            final_sys.velocities = velocities;
+            return Ok(ParallelRun {
+                thermo: accum.into_values().collect(),
+                steps: n_steps,
+                loop_time: start.elapsed(),
+                rank_stats,
+                system: final_sys,
+                reduce_operations,
+                recoveries,
+                recovered_from,
+            });
+        };
+
+        // failed epoch: count it, then try to recover
+        dp_obs::counter("fault.detected").add(1);
+        let Some(ck) = opts.checkpoint.as_ref().filter(|c| c.every > 0) else {
+            record_failed_epoch_metrics(&epoch, start_step, sys.len());
+            return Err(RunError::RankFailure { failure });
+        };
+        if recoveries >= opts.max_recoveries {
+            record_failed_epoch_metrics(&epoch, start_step, sys.len());
+            return Err(RunError::RetriesExhausted {
+                attempts: recoveries,
+                last: failure,
+            });
+        }
+        dp_obs::counter("recovery.attempt").add(1);
+        record_failed_epoch_metrics(&epoch, start_step, sys.len());
+        recoveries += 1;
+
+        let _span = dp_obs::span("recovery_reload");
+        let (snap, from) = MdCheckpoint::load(&ck.rotation).map_err(|e| RunError::Recovery {
+            failure: failure.clone(),
+            source: e,
+        })?;
+        if snap.progress.step < opts.start_step || snap.progress.step > end_step {
+            return Err(RunError::Recovery {
+                failure,
+                source: CkptError::Malformed(format!(
+                    "checkpoint at step {} is outside the run window {}..{}",
+                    snap.progress.step, opts.start_step, end_step
+                )),
+            });
+        }
+        if from != ck.rotation.slot_path(0) {
+            dp_obs::counter("recovery.ckpt_fallback").add(1);
+        }
+        // Keep only samples at or before the reload point; the recovered
+        // epoch regenerates everything after it (bit-identically).
+        for s in epoch.best_thermo() {
+            if s.step <= snap.progress.step {
+                accum.insert(s.step, *s);
+            }
+        }
+        let (sys2, progress) = snap.restore();
+        restored = Some(sys2);
+        start_step = progress.step;
+        start_rng = progress.rng_draws;
+        recovered_from.push(from);
+    }
+}
+
+fn record_failed_epoch_metrics(epoch: &EpochOutcome, start_step: usize, n_atoms: usize) {
+    if dp_obs::metrics::active() {
+        dp_obs::metrics::record_step(epoch.last_step(start_step) as u64, n_atoms, epoch.wall);
+    }
+}
+
+/// Scatter the state, spawn one thread per rank, run the step loop under
+/// `catch_unwind`, and collect every rank's outcome (never panics).
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    sys: &System,
+    pot: &Arc<dyn Potential>,
+    grid: &DomainGrid,
+    opts: &ParallelOptions,
+    start_step: usize,
+    start_rng: u64,
+    end_step: usize,
+    halo: f64,
+    faults: Option<Arc<FaultState>>,
+) -> EpochOutcome {
+    let n_ranks = grid.n_ranks();
+    // scatter atoms to owners, in global-id order (the same order a
+    // checkpoint restart produces, so recovery replays are bit-exact)
+    let mut initial: Vec<RankState> = (0..n_ranks)
+        .map(|rank| RankState::empty(rank, grid.neighbors_within(rank, halo)))
         .collect();
     for i in 0..sys.len() {
         let r = grid.rank_of_position(sys.positions[i]);
@@ -155,16 +449,17 @@ pub fn run_parallel_md(
         st.positions.push(sys.cell.wrap(sys.positions[i]));
         st.velocities.push(sys.velocities[i]);
         st.types.push(sys.types[i]);
+        st.forces.push(sys.forces[i]);
     }
 
-    let mesh = RankComm::mesh(n_ranks);
-    let thermo_reduce = Arc::new(Allreduce::new(n_ranks, 9));
-    let flag_reduce = Arc::new(Allreduce::new(n_ranks, 1));
+    let mesh = RankComm::mesh_with(n_ranks, opts.comm_deadline, faults.clone());
+    let thermo_reduce = Arc::new(Allreduce::with_deadline(n_ranks, 9, opts.comm_deadline));
+    let flag_reduce = Arc::new(Allreduce::with_deadline(n_ranks, 1, opts.comm_deadline));
     let masses = sys.masses.clone();
     let cell = sys.cell;
     let start = Instant::now();
 
-    let results: Vec<(RankState, RankStats, Vec<ThermoSample>)> = std::thread::scope(|scope| {
+    let mut outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = initial
             .drain(..)
             .zip(mesh)
@@ -174,88 +469,113 @@ pub fn run_parallel_md(
                 let thermo_reduce = thermo_reduce.clone();
                 let flag_reduce = flag_reduce.clone();
                 let masses = masses.clone();
+                let faults = faults.clone();
                 scope.spawn(move || {
-                    rank_loop(
-                        state,
-                        comm,
-                        &grid,
-                        pot.as_ref(),
-                        &masses,
-                        cell,
-                        opts,
-                        n_steps,
-                        halo,
-                        &thermo_reduce,
-                        &flag_reduce,
-                    )
+                    let rank = state.rank;
+                    let mut st = state;
+                    let mut stats = RankStats {
+                        rank,
+                        ..RankStats::default()
+                    };
+                    let mut thermo = Vec::new();
+                    let res = catch_unwind(AssertUnwindSafe(|| {
+                        rank_loop(
+                            &mut st,
+                            &comm,
+                            &grid,
+                            pot.as_ref(),
+                            &masses,
+                            cell,
+                            opts,
+                            start_step,
+                            start_rng,
+                            end_step,
+                            halo,
+                            &thermo_reduce,
+                            &flag_reduce,
+                            faults.as_deref(),
+                            &mut stats,
+                            &mut thermo,
+                        )
+                    }));
+                    let failure = match res {
+                        Ok(Ok(())) => None,
+                        Ok(Err(e)) => Some(format!("rank {rank}: {e}")),
+                        Err(payload) => Some(fault::describe_panic(rank, payload.as_ref())),
+                    };
+                    if failure.is_some() {
+                        // teardown: wake reduction waiters, then drop our
+                        // mesh endpoints so blocked receivers disconnect
+                        thermo_reduce.poison(rank);
+                        flag_reduce.poison(rank);
+                    }
+                    drop(comm);
+                    RankOutcome {
+                        rank,
+                        state: st,
+                        stats,
+                        thermo,
+                        failure,
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|_| RankOutcome {
+                    rank,
+                    state: RankState::empty(rank, Vec::new()),
+                    stats: RankStats {
+                        rank,
+                        ..RankStats::default()
+                    },
+                    thermo: Vec::new(),
+                    failure: Some(format!("rank {rank} thread aborted outside catch_unwind")),
+                })
+            })
+            .collect()
     });
-    let loop_time = start.elapsed();
-
-    // gather final state in original order
-    let mut positions = vec![[0.0; 3]; sys.len()];
-    let mut velocities = vec![[0.0; 3]; sys.len()];
-    let mut types = vec![0usize; sys.len()];
-    let mut rank_stats = Vec::with_capacity(n_ranks);
-    let mut thermo: Vec<ThermoSample> = Vec::new();
-    for (state, stats, rank_thermo) in results {
-        for (k, &id) in state.ids.iter().enumerate() {
-            positions[id as usize] = state.positions[k];
-            velocities[id as usize] = state.velocities[k];
-            types[id as usize] = state.types[k];
-        }
-        if !rank_thermo.is_empty() {
-            thermo = rank_thermo; // identical on every rank; keep one
-        }
-        rank_stats.push(stats);
-    }
-    rank_stats.sort_by_key(|s| s.rank);
-    let mut final_sys = System::new(cell, positions, types, masses);
-    final_sys.velocities = velocities;
-
-    ParallelRun {
-        thermo,
-        steps: n_steps,
-        loop_time,
-        rank_stats,
-        system: final_sys,
+    outcomes.sort_by_key(|o| o.rank);
+    EpochOutcome {
+        outcomes,
         reduce_operations: thermo_reduce.operations(),
+        wall: start.elapsed(),
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn rank_loop(
-    mut st: RankState,
-    comm: RankComm,
+    st: &mut RankState,
+    comm: &RankComm,
     grid: &DomainGrid,
     pot: &dyn Potential,
     masses: &[f64],
     cell: dp_md::Cell,
     opts: &ParallelOptions,
-    n_steps: usize,
+    start_step: usize,
+    start_rng: u64,
+    end_step: usize,
     halo: f64,
     thermo_reduce: &Allreduce,
     flag_reduce: &Allreduce,
-) -> (RankState, RankStats, Vec<ThermoSample>) {
-    let mut stats = RankStats {
-        rank: st.rank,
-        ..RankStats::default()
-    };
-    let mut thermo = Vec::new();
+    faults: Option<&FaultState>,
+    stats: &mut RankStats,
+    thermo: &mut Vec<ThermoSample>,
+) -> Result<(), CommError> {
     let dt = opts.md.dt;
 
-    // initial exchange + list build + force evaluation; the local system,
-    // neighbor list (plus scratch), and force output allocated here are
-    // reused by every later step (§5.2.2 arena reuse)
-    let ((), d) = dp_obs::timed("ghost_exchange", || {
-        exchange(&mut st, &comm, grid, halo, &mut stats)
+    // initial exchange + list build; the local system, neighbor list (plus
+    // scratch), and force output allocated here are reused by every later
+    // step (§5.2.2 arena reuse)
+    let (res, d) = dp_obs::timed("ghost_exchange", || {
+        exchange(st, comm, grid, halo, stats)
     });
     stats.comm_time += d;
+    res?;
     let mut local = System::new(cell, Vec::new(), Vec::new(), masses.to_vec());
-    refresh_local_system(&mut local, &st);
+    refresh_local_system(&mut local, st);
     let mut nl_scratch = NlScratch::default();
     let mut nl = NeighborList::empty();
     {
@@ -264,70 +584,42 @@ fn rank_loop(
     }
     stats.rebuilds += 1;
     let mut out = PotentialOutput::zeros(local.len());
-    {
-        let ((), d) = dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
-        stats.compute_time += d;
-    }
-    reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
-    st.forces.clear();
-    st.forces.extend_from_slice(&out.forces[..local.n_local]);
-    add_reverse_forces(&mut st, &comm, &mut stats);
-
-    let record =
-        |step: usize,
-         st: &RankState,
-         local: &System,
-         pe: f64,
-         virial: &[f64; 6],
-         stats: &mut RankStats,
-         thermo: &mut Vec<ThermoSample>| {
-            // reduce [pe, ke, virial(6), n]
-            let mut ke = 0.0;
-            for k in 0..st.ids.len() {
-                let m = masses[st.types[k]];
-                let v = st.velocities[k];
-                ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
-            }
-            let mut payload = [0.0; 9];
-            payload[0] = pe;
-            payload[1] = ke;
-            payload[2..8].copy_from_slice(virial);
-            payload[8] = st.ids.len() as f64;
-            let (tot, d) = dp_obs::timed("reduce", || thermo_reduce.reduce(&payload));
-            stats.reduce_time += d;
-            let n = tot[8];
-            let temp = if n > 0.0 {
-                2.0 * tot[1] / (3.0 * n * units::KB)
-            } else {
-                0.0
-            };
-            let w = (tot[2] + tot[3] + tot[4]) / 3.0;
-            let pressure =
-                (n * units::KB * temp + w) / local.cell.volume() * units::EV_PER_A3_TO_BAR;
-            thermo.push(ThermoSample {
-                step,
-                potential_energy: tot[0],
-                kinetic_energy: tot[1],
-                temperature: temp,
-                pressure,
-            });
-        };
-    // A resumed run (start_step > 0) must not re-emit the sample the
-    // original run already recorded at the checkpoint step; the collective
-    // reduce schedule stays identical because start_step is rank-uniform.
-    if opts.start_step == 0 {
+    if start_step == 0 {
+        // fresh run: evaluate initial forces and record the step-0 sample
+        {
+            let ((), d) = dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
+            stats.compute_time += d;
+        }
+        reverse_comm(st, comm, &out.forces, local.n_local, stats)?;
+        st.forces.clear();
+        st.forces.extend_from_slice(&out.forces[..local.n_local]);
+        add_reverse_forces(st, comm, stats)?;
         record(
-            opts.start_step,
-            &st,
+            0,
+            st,
             &local,
             out.energy,
             &out.virial,
-            &mut stats,
-            &mut thermo,
-        );
+            masses,
+            thermo_reduce,
+            stats,
+            thermo,
+        )?;
     }
+    // A resumed epoch (start_step > 0) reuses the forces the checkpoint
+    // carried (scattered with the atoms) instead of re-evaluating: the
+    // force summation order at the checkpoint instant is thereby replayed
+    // exactly, and the sample the original run already recorded at the
+    // checkpoint step is not re-emitted. The collective schedule stays
+    // identical because start_step is rank-uniform.
 
-    for step in 1..=n_steps {
+    for step in start_step + 1..=end_step {
+        if let Some(f) = faults {
+            if f.should_kill(st.rank, step) {
+                fault::kill_current_rank(st.rank, step);
+            }
+        }
+
         // half kick + drift (locals only)
         let drift_span = dp_obs::span("integrate");
         for k in 0..st.ids.len() {
@@ -340,42 +632,47 @@ fn rank_loop(
         }
         drop(drift_span);
 
-        // collective rebuild decision on the paper's schedule
+        // collective rebuild decision on the paper's schedule (absolute
+        // steps, so a recovered epoch keeps the original cadence)
         let rebuild = if step % opts.md.rebuild_every == 0 {
-            let moved = needs_rebuild(&st, &nl, cell, opts.md.skin);
-            let (flag, d) =
-                dp_obs::timed("reduce", || flag_reduce.reduce(&[if moved { 1.0 } else { 0.0 }]));
+            let moved = needs_rebuild(st, &nl, cell, opts.md.skin);
+            let mut flag = [0.0];
+            let (res, d) = dp_obs::timed("reduce", || {
+                flag_reduce.reduce_into(st.rank, &[if moved { 1.0 } else { 0.0 }], &mut flag)
+            });
             stats.reduce_time += d;
+            res?;
             flag[0] > 0.0
         } else {
             false
         };
 
         if rebuild {
-            let ((), d) = dp_obs::timed("ghost_exchange", || {
-                migrate(&mut st, &comm, grid);
-                exchange(&mut st, &comm, grid, halo, &mut stats);
+            let (res, d) = dp_obs::timed("ghost_exchange", || {
+                migrate(st, comm, grid)?;
+                exchange(st, comm, grid, halo, stats)
             });
             stats.comm_time += d;
+            res?;
             let _span = dp_obs::span("neighbor_rebuild");
-            refresh_local_system(&mut local, &st);
+            refresh_local_system(&mut local, st);
             nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
             stats.rebuilds += 1;
         } else {
-            let ((), d) = dp_obs::timed("comm", || forward_comm(&mut st, &comm));
+            let (res, d) = dp_obs::timed("comm", || forward_comm(st, comm));
             stats.comm_time += d;
-            update_local_positions(&mut local, &st);
+            res?;
+            update_local_positions(&mut local, st);
         }
 
         {
-            let ((), d) =
-                dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
+            let ((), d) = dp_obs::timed("force_eval", || pot.compute_into(&local, &nl, &mut out));
             stats.compute_time += d;
         }
-        reverse_comm(&mut st, &comm, &out.forces, local.n_local, &mut stats);
+        reverse_comm(st, comm, &out.forces, local.n_local, stats)?;
         st.forces.clear();
         st.forces.extend_from_slice(&out.forces[..local.n_local]);
-        add_reverse_forces(&mut st, &comm, &mut stats);
+        add_reverse_forces(st, comm, stats)?;
 
         // second half kick
         let kick_span = dp_obs::span("integrate");
@@ -395,10 +692,16 @@ fn rank_loop(
                 let v = st.velocities[k];
                 ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
             }
-            let (tot, d) = dp_obs::timed("reduce", || {
-                thermo_reduce.reduce(&[ke, st.ids.len() as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            let mut tot = [0.0; 9];
+            let (res, d) = dp_obs::timed("reduce", || {
+                thermo_reduce.reduce_into(
+                    st.rank,
+                    &[ke, st.ids.len() as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                    &mut tot,
+                )
             });
             stats.reduce_time += d;
+            res?;
             let n = tot[1];
             let temp = 2.0 * tot[0] / (3.0 * n * units::KB);
             if temp > 0.0 {
@@ -412,40 +715,101 @@ fn rank_loop(
         }
 
         // thermodynamic output: every step in blocking mode, else on stride
-        if opts.blocking_reduce || step % opts.md.thermo_every == 0 || step == n_steps {
+        if opts.blocking_reduce || step % opts.md.thermo_every == 0 || step == end_step {
             record(
-                opts.start_step + step,
-                &st,
+                step,
+                st,
                 &local,
                 out.energy,
                 &out.virial,
-                &mut stats,
-                &mut thermo,
-            );
+                masses,
+                thermo_reduce,
+                stats,
+                thermo,
+            )?;
         }
 
         // global checkpoint gather: the schedule is step-determined, so
         // every rank participates without any extra synchronization
         if let Some(ck) = &opts.checkpoint {
             if ck.every > 0 && step % ck.every == 0 {
-                let ((), d) = dp_obs::timed("io", || {
-                    gather_checkpoint(
-                        &st,
-                        &comm,
-                        cell,
-                        masses,
-                        opts.start_step + step,
-                        opts.start_rng_draws,
-                        ck,
-                    )
+                let (res, d) = dp_obs::timed("io", || {
+                    gather_checkpoint(st, comm, cell, masses, step, start_rng, ck, faults)
                 });
                 stats.comm_time += d;
+                res?;
+                if step < end_step {
+                    // realign to the exact state a restart from this
+                    // checkpoint reconstructs: owner = rank_of_position,
+                    // locals in global-id order, fresh exchange + list.
+                    // From here the straight run and any recovered run
+                    // traverse identical states, bit for bit.
+                    let (res, d) = dp_obs::timed("ghost_exchange", || {
+                        migrate(st, comm, grid)?;
+                        sort_locals_by_id(st);
+                        exchange(st, comm, grid, halo, stats)
+                    });
+                    stats.comm_time += d;
+                    res?;
+                    let _span = dp_obs::span("neighbor_rebuild");
+                    refresh_local_system(&mut local, st);
+                    nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
+                    stats.rebuilds += 1;
+                }
             }
         }
     }
 
     stats.final_local = st.ids.len();
-    (st, stats, thermo)
+    Ok(())
+}
+
+/// Reduce `[pe, ke, virial(6), n]` and append one global thermo sample.
+#[allow(clippy::too_many_arguments)]
+fn record(
+    step: usize,
+    st: &RankState,
+    local: &System,
+    pe: f64,
+    virial: &[f64; 6],
+    masses: &[f64],
+    thermo_reduce: &Allreduce,
+    stats: &mut RankStats,
+    thermo: &mut Vec<ThermoSample>,
+) -> Result<(), CommError> {
+    let mut ke = 0.0;
+    for k in 0..st.ids.len() {
+        let m = masses[st.types[k]];
+        let v = st.velocities[k];
+        ke += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * units::MV2E;
+    }
+    let mut payload = [0.0; 9];
+    payload[0] = pe;
+    payload[1] = ke;
+    payload[2..8].copy_from_slice(virial);
+    payload[8] = st.ids.len() as f64;
+    let mut tot = [0.0; 9];
+    let (res, d) = dp_obs::timed("reduce", || {
+        thermo_reduce.reduce_into(st.rank, &payload, &mut tot)
+    });
+    stats.reduce_time += d;
+    res?;
+    let n = tot[8];
+    let temp = if n > 0.0 {
+        2.0 * tot[1] / (3.0 * n * units::KB)
+    } else {
+        0.0
+    };
+    let w = (tot[2] + tot[3] + tot[4]) / 3.0;
+    let pressure = (n * units::KB * temp + w) / local.cell.volume() * units::EV_PER_A3_TO_BAR;
+    thermo.push(ThermoSample {
+        step,
+        potential_energy: tot[0],
+        kinetic_energy: tot[1],
+        temperature: temp,
+        pressure,
+    });
+    Ok(())
 }
 
 /// Refresh the rank-local `System` view from the rank state in place,
@@ -484,6 +848,22 @@ impl RankState {
     }
 }
 
+/// Sort the locally-owned atoms into global-id order (no ghosts may be
+/// present). A checkpoint restart scatters atoms in exactly this order, so
+/// sorting after a gather puts the live run and any future recovery in the
+/// same state.
+fn sort_locals_by_id(st: &mut RankState) {
+    let n = st.ids.len();
+    debug_assert_eq!(st.positions.len(), n, "sort requires ghosts truncated");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&k| st.ids[k as usize]);
+    st.ids = order.iter().map(|&k| st.ids[k as usize]).collect();
+    st.positions = order.iter().map(|&k| st.positions[k as usize]).collect();
+    st.velocities = order.iter().map(|&k| st.velocities[k as usize]).collect();
+    st.types = order.iter().map(|&k| st.types[k as usize]).collect();
+    st.forces = order.iter().map(|&k| st.forces[k as usize]).collect();
+}
+
 /// Migrate atoms whose owner changed to the new owner rank.
 ///
 /// The schedule covers *every* rank pair, not just halo partners: with a
@@ -492,8 +872,10 @@ impl RankState {
 /// panicked). `RankComm` is a full point-to-point mesh, so each rank sends
 /// one `Migrants` message to every other rank — empty for the common case,
 /// which allocates nothing — and the schedule stays static and collective.
-/// Kept atoms are compacted in place, reusing the state's vectors.
-fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
+/// Kept atoms are compacted in place, reusing the state's vectors. Forces
+/// travel with the atoms, so a migration between the force evaluation and
+/// the next half-kick (the post-checkpoint realignment) is lossless.
+fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) -> Result<(), CommError> {
     let n_local = st.ids.len();
     let n_ranks = comm.to.len();
     let mut outbox: Vec<Vec<Migrant>> = vec![Vec::new(); n_ranks];
@@ -505,12 +887,14 @@ fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
             st.positions[w] = st.positions[k];
             st.velocities[w] = st.velocities[k];
             st.types[w] = st.types[k];
+            st.forces[w] = st.forces[k];
             w += 1;
         } else {
             outbox[owner].push(Migrant {
                 ty: st.types[k] as u32,
                 position: st.positions[k],
                 velocity: st.velocities[k],
+                force: st.forces[k],
                 id: st.ids[k],
             });
         }
@@ -519,32 +903,46 @@ fn migrate(st: &mut RankState, comm: &RankComm, grid: &DomainGrid) {
     st.positions.truncate(w);
     st.velocities.truncate(w);
     st.types.truncate(w);
-    for dest in 0..n_ranks {
+    st.forces.truncate(w);
+    for (dest, payload) in outbox.iter_mut().enumerate() {
         if dest != st.rank {
-            comm.send(dest, Msg::Migrants(std::mem::take(&mut outbox[dest])));
+            comm.send(dest, Msg::Migrants(std::mem::take(payload)))?;
         }
     }
     for src in 0..n_ranks {
         if src == st.rank {
             continue;
         }
-        match comm.recv(src) {
+        match comm.recv(src)? {
             Msg::Migrants(v) => {
                 for m in v {
                     st.ids.push(m.id);
                     st.positions.push(m.position);
                     st.velocities.push(m.velocity);
                     st.types.push(m.ty as usize);
+                    st.forces.push(m.force);
                 }
             }
-            other => panic!("expected Migrants, got {other:?}"),
+            _ => {
+                return Err(CommError::Protocol {
+                    from: src,
+                    expected: "Migrants",
+                })
+            }
         }
     }
+    Ok(())
 }
 
 /// Full ghost exchange: recompute send lists and ship ghost atoms; append
 /// received ghosts after the locals.
-fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, stats: &mut RankStats) {
+fn exchange(
+    st: &mut RankState,
+    comm: &RankComm,
+    grid: &DomainGrid,
+    halo: f64,
+    stats: &mut RankStats,
+) -> Result<(), CommError> {
     let n_local = st.ids.len();
     // truncate any previous ghosts
     st.positions.truncate(n_local);
@@ -576,12 +974,12 @@ fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, s
             .collect();
         stats.ghost_atoms_sent += ghosts.len() as u64;
         dp_obs::counter("ghost_atoms_sent").add(ghosts.len() as u64);
-        comm.send(dest, Msg::Ghosts(ghosts));
+        comm.send(dest, Msg::Ghosts(ghosts))?;
     }
     st.recv_counts.clear();
     st.recv_counts.resize(st.partners.len(), 0);
     for (slot, &src) in st.partners.iter().enumerate() {
-        match comm.recv(src) {
+        match comm.recv(src)? {
             Msg::Ghosts(v) => {
                 st.recv_counts[slot] = v.len();
                 for g in v {
@@ -589,38 +987,55 @@ fn exchange(st: &mut RankState, comm: &RankComm, grid: &DomainGrid, halo: f64, s
                     st.types.push(g.ty as usize);
                 }
             }
-            other => panic!("expected Ghosts, got {other:?}"),
+            _ => {
+                return Err(CommError::Protocol {
+                    from: src,
+                    expected: "Ghosts",
+                })
+            }
         }
     }
     let ghosts_now = st.positions.len() - n_local;
     stats.last_ghosts = ghosts_now;
     stats.max_ghosts = stats.max_ghosts.max(ghosts_now);
     st.snapshot();
+    Ok(())
 }
 
 /// Forward communication between rebuilds: refresh ghost positions.
-fn forward_comm(st: &mut RankState, comm: &RankComm) {
+fn forward_comm(st: &mut RankState, comm: &RankComm) -> Result<(), CommError> {
     for (slot, &dest) in st.partners.iter().enumerate() {
         let positions: Vec<[f64; 3]> = st.send_lists[slot]
             .iter()
             .map(|&k| st.positions[k as usize])
             .collect();
-        comm.send(dest, Msg::GhostPositions(positions));
+        comm.send(dest, Msg::GhostPositions(positions))?;
     }
     let n_local = st.ids.len();
     let mut offset = n_local;
     for (slot, &src) in st.partners.iter().enumerate() {
-        match comm.recv(src) {
+        match comm.recv(src)? {
             Msg::GhostPositions(v) => {
-                assert_eq!(v.len(), st.recv_counts[slot], "ghost schedule broken");
+                if v.len() != st.recv_counts[slot] {
+                    return Err(CommError::Protocol {
+                        from: src,
+                        expected: "GhostPositions matching the ghost schedule",
+                    });
+                }
                 for p in v {
                     st.positions[offset] = p;
                     offset += 1;
                 }
             }
-            other => panic!("expected GhostPositions, got {other:?}"),
+            _ => {
+                return Err(CommError::Protocol {
+                    from: src,
+                    expected: "GhostPositions",
+                })
+            }
         }
     }
+    Ok(())
 }
 
 /// Reverse communication: send forces accumulated on ghosts back to owners.
@@ -630,33 +1045,49 @@ fn reverse_comm(
     forces: &[[f64; 3]],
     n_local: usize,
     _stats: &mut RankStats,
-) {
+) -> Result<(), CommError> {
     let mut offset = n_local;
     for (slot, &src) in st.partners.iter().enumerate() {
         let count = st.recv_counts[slot];
         let payload: Vec<[f64; 3]> = forces[offset..offset + count].to_vec();
         offset += count;
         // forces on ghosts owned by `src` go back to `src`
-        comm.send(src, Msg::GhostForces(payload));
+        comm.send(src, Msg::GhostForces(payload))?;
         let _ = slot;
     }
+    Ok(())
 }
 
 /// Receive the reverse-communicated forces and add them to local atoms.
-fn add_reverse_forces(st: &mut RankState, comm: &RankComm, _stats: &mut RankStats) {
+fn add_reverse_forces(
+    st: &mut RankState,
+    comm: &RankComm,
+    _stats: &mut RankStats,
+) -> Result<(), CommError> {
     for (slot, &src) in st.partners.iter().enumerate() {
-        match comm.recv(src) {
+        match comm.recv(src)? {
             Msg::GhostForces(v) => {
-                assert_eq!(v.len(), st.send_lists[slot].len(), "reverse schedule broken");
+                if v.len() != st.send_lists[slot].len() {
+                    return Err(CommError::Protocol {
+                        from: src,
+                        expected: "GhostForces matching the reverse schedule",
+                    });
+                }
                 for (f, &k) in v.iter().zip(&st.send_lists[slot]) {
                     for d in 0..3 {
                         st.forces[k as usize][d] += f[d];
                     }
                 }
             }
-            other => panic!("expected GhostForces, got {other:?}"),
+            _ => {
+                return Err(CommError::Protocol {
+                    from: src,
+                    expected: "GhostForces",
+                })
+            }
         }
     }
+    Ok(())
 }
 
 /// Gather every rank's local atoms to rank 0 and write one global
@@ -674,7 +1105,8 @@ fn gather_checkpoint(
     step: usize,
     rng_draws: u64,
     ck: &ParallelCkpt,
-) {
+    faults: Option<&FaultState>,
+) -> Result<(), CommError> {
     let mine: Vec<CkptAtom> = (0..st.ids.len())
         .map(|k| CkptAtom {
             id: st.ids[k],
@@ -685,15 +1117,19 @@ fn gather_checkpoint(
         })
         .collect();
     if st.rank != 0 {
-        comm.send(0, Msg::CkptAtoms(mine));
-        return;
+        return comm.send(0, Msg::CkptAtoms(mine));
     }
     let n_ranks = comm.to.len();
     let mut atoms = mine;
     for src in 1..n_ranks {
-        match comm.recv(src) {
+        match comm.recv(src)? {
             Msg::CkptAtoms(v) => atoms.extend(v),
-            other => panic!("expected CkptAtoms, got {other:?}"),
+            _ => {
+                return Err(CommError::Protocol {
+                    from: src,
+                    expected: "CkptAtoms",
+                })
+            }
         }
     }
     let n = atoms.len();
@@ -703,7 +1139,12 @@ fn gather_checkpoint(
     let mut types = vec![0usize; n];
     for a in &atoms {
         let id = a.id as usize;
-        assert!(id < n, "atom id {id} out of range for {n} gathered atoms");
+        if id >= n {
+            return Err(CommError::Protocol {
+                from: 0,
+                expected: "gathered atom ids within 0..n_atoms",
+            });
+        }
         positions[id] = a.position;
         velocities[id] = a.velocity;
         forces[id] = a.force;
@@ -718,17 +1159,31 @@ fn gather_checkpoint(
         types,
         masses: masses.to_vec(),
     };
-    if let Err(e) = snap.save(&ck.rotation) {
-        eprintln!("warning: checkpoint write at step {step} failed ({e}); run continues");
+    match snap.save(&ck.rotation) {
+        Ok(path) => {
+            if let Some(f) = faults {
+                if let Some(what) = f.ckpt_sabotage(step) {
+                    // damage the generation just written — the rotation
+                    // fallback must survive this on the next reload
+                    if fault::sabotage_file(&path, what).is_ok() {
+                        dp_obs::counter("fault.ckpt_sabotaged").add(1);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("warning: checkpoint write at step {step} failed ({e}); run continues");
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dp_md::integrate::{run_md, MdOptions};
-    use dp_md::potential::pair::LennardJones;
     use dp_md::lattice;
+    use dp_md::potential::pair::LennardJones;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -750,7 +1205,8 @@ mod tests {
         let nl = NeighborList::build(&sys, pot.cutoff() + 2.0);
         let serial = pot.compute(&sys, &nl);
 
-        let run = run_parallel_md(&sys, pot.clone(), [2, 2, 2], &ParallelOptions::default(), 0);
+        let run = run_parallel_md(&sys, pot.clone(), [2, 2, 2], &ParallelOptions::default(), 0)
+            .unwrap();
         // thermo[0] carries the reduced energy
         let pe = run.thermo[0].potential_energy;
         assert!(
@@ -778,7 +1234,7 @@ mod tests {
         let mut serial_sys = test_system();
         run_md(&mut serial_sys, pot.as_ref(), &opts.md, steps, |_| {});
 
-        let par = run_parallel_md(&test_system(), pot.clone(), [2, 2, 1], &opts, steps);
+        let par = run_parallel_md(&test_system(), pot.clone(), [2, 2, 1], &opts, steps).unwrap();
 
         let mut max_d = 0.0f64;
         for i in 0..serial_sys.len() {
@@ -803,7 +1259,7 @@ mod tests {
             blocking_reduce: false,
             ..ParallelOptions::default()
         };
-        let run = run_parallel_md(&test_system(), pot, [2, 2, 2], &opts, 200);
+        let run = run_parallel_md(&test_system(), pot, [2, 2, 2], &opts, 200).unwrap();
         let e0 = run.thermo.first().unwrap().total_energy();
         let e1 = run.thermo.last().unwrap().total_energy();
         let n = run.system.len() as f64;
@@ -829,7 +1285,7 @@ mod tests {
             blocking_reduce: false,
             ..ParallelOptions::default()
         };
-        let run = run_parallel_md(&sys, pot, [2, 2, 2], &opts, 100);
+        let run = run_parallel_md(&sys, pot, [2, 2, 2], &opts, 100).unwrap();
         let total: usize = run.rank_stats.iter().map(|s| s.final_local).sum();
         assert_eq!(total, sys.len());
         // migrations definitely happened at 120 K over 100 steps
@@ -848,9 +1304,9 @@ mod tests {
             blocking_reduce: true,
             ..ParallelOptions::default()
         };
-        let blocking = run_parallel_md(&sys, pot.clone(), [2, 1, 1], &opts, 40);
+        let blocking = run_parallel_md(&sys, pot.clone(), [2, 1, 1], &opts, 40).unwrap();
         opts.blocking_reduce = false;
-        let deferred = run_parallel_md(&sys, pot, [2, 1, 1], &opts, 40);
+        let deferred = run_parallel_md(&sys, pot, [2, 1, 1], &opts, 40).unwrap();
         assert!(
             deferred.reduce_operations < blocking.reduce_operations,
             "deferred {} !< blocking {}",
@@ -876,17 +1332,24 @@ mod tests {
             ..MdOptions::default()
         };
 
-        // Straight 40 steps on a 2x2x1 grid.
+        // Straight 40 steps on a 2x2x1 grid, checkpointing on the same
+        // stride as the interrupted run (checkpoint gathers realign the
+        // decomposition, so the schedules must match for comparison).
         let straight = run_parallel_md(
             &test_system(),
             pot.clone(),
             [2, 2, 1],
             &ParallelOptions {
                 md,
+                checkpoint: Some(ParallelCkpt {
+                    every: 20,
+                    rotation: Rotation::new(dir.join("straight.ckpt"), 2),
+                }),
                 ..ParallelOptions::default()
             },
             40,
-        );
+        )
+        .unwrap();
 
         // Same ICs, 20 steps, checkpointing at step 20.
         let first = run_parallel_md(
@@ -902,7 +1365,8 @@ mod tests {
                 ..ParallelOptions::default()
             },
             20,
-        );
+        )
+        .unwrap();
         drop(first);
 
         // Resume on a DIFFERENT grid: the checkpoint is global, so the
@@ -920,7 +1384,8 @@ mod tests {
                 ..ParallelOptions::default()
             },
             20,
-        );
+        )
+        .unwrap();
 
         // Step numbering continues from the checkpoint.
         assert_eq!(resumed.thermo.last().unwrap().step, 40);
@@ -936,10 +1401,10 @@ mod tests {
         );
         let mut max_d = 0.0f64;
         for i in 0..straight.system.len() {
-            let d2 = straight.system.cell.distance2(
-                straight.system.positions[i],
-                resumed.system.positions[i],
-            );
+            let d2 = straight
+                .system
+                .cell
+                .distance2(straight.system.positions[i], resumed.system.positions[i]);
             max_d = max_d.max(d2.sqrt());
         }
         assert!(max_d < 1e-6, "positions diverged after resume: {max_d} Å");
@@ -969,7 +1434,7 @@ mod tests {
             },
             ..ParallelOptions::default()
         };
-        let run = run_parallel_md(&sys, pot, [4, 1, 1], &opts, 25);
+        let run = run_parallel_md(&sys, pot, [4, 1, 1], &opts, 25).unwrap();
         let total: usize = run.rank_stats.iter().map(|s| s.final_local).sum();
         assert_eq!(total, sys.len(), "atoms lost during long-range migration");
     }
@@ -988,7 +1453,7 @@ mod tests {
             start_step: 20,
             ..ParallelOptions::default()
         };
-        let run = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10);
+        let run = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10).unwrap();
         let steps: Vec<usize> = run.thermo.iter().map(|t| t.step).collect();
         assert_eq!(steps, vec![30], "expected only the step-30 sample, got {steps:?}");
     }
@@ -1018,7 +1483,7 @@ mod tests {
             }),
             ..ParallelOptions::default()
         };
-        let _ = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10);
+        let _ = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10).unwrap();
         let (snap, _) = MdCheckpoint::load(&rot).unwrap();
         assert_eq!(snap.progress.step, 110);
         assert_eq!(
@@ -1034,12 +1499,25 @@ mod tests {
     fn ghost_counts_scale_with_halo_surface() {
         let pot = lj();
         let sys = test_system();
-        let run = run_parallel_md(&sys, pot, [2, 2, 2], &ParallelOptions::default(), 0);
+        let run = run_parallel_md(&sys, pot, [2, 2, 2], &ParallelOptions::default(), 0).unwrap();
         for s in &run.rank_stats {
             assert!(s.max_ghosts > 0, "rank {} saw no ghosts", s.rank);
             // sub-box is 10.52 Å; halo 8 Å: ghosts can exceed locals but
             // must stay below the whole rest of the system
             assert!(s.max_ghosts < sys.len());
         }
+    }
+
+    #[test]
+    fn bad_grid_is_a_config_error() {
+        let err = run_parallel_md(
+            &test_system(),
+            lj(),
+            [0, 2, 2],
+            &ParallelOptions::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "got {err:?}");
     }
 }

@@ -1,0 +1,321 @@
+//! Deterministic fault injection for the parallel driver.
+//!
+//! The paper's target campaigns run for days across thousands of nodes
+//! (§6–7), where rank failure is a statistical certainty. This module
+//! provides the *test stimulus* for that reality: a [`FaultPlan`] describes
+//! exactly one of each supported fault — kill rank r at step N, drop or
+//! delay one specific point-to-point message, tear or corrupt one written
+//! checkpoint generation — and a [`FaultState`] tracks one-shot firing so a
+//! plan replays identically every run. Determinism is the whole point:
+//! every fault is keyed on (rank, step) or (from, to, sequence-number), no
+//! clocks and no RNG, so a recovery test that passes once passes always.
+//!
+//! The no-faults configuration costs a single `Option` branch per step and
+//! per message; a driver built without a plan carries `None` and never
+//! touches any atomic in this module.
+
+use std::any::Any;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Kill one rank at one step (a panic inside the rank thread, caught by the
+/// supervisor's `catch_unwind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    pub rank: usize,
+    /// Absolute step number (a resumed epoch keeps the original numbering,
+    /// so "step 33" means the same instant before and after recovery).
+    pub step: usize,
+    /// `false`: fire once per run — the recovered epoch sails past the
+    /// step. `true`: fire in every epoch that reaches the step, which
+    /// exhausts the retry budget and exercises the typed-error exit.
+    pub every_epoch: bool,
+}
+
+/// Select one point-to-point message: the `seq`-th message (0-based) sent
+/// from rank `from` to rank `to` over the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSelector {
+    pub from: usize,
+    pub to: usize,
+    pub seq: u64,
+}
+
+/// Hold one selected message for `delay` before delivering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySpec {
+    pub msg: MsgSelector,
+    pub delay: Duration,
+}
+
+/// What to do to a written checkpoint generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptSabotage {
+    /// Truncate the file to half its length — the torn write the atomic
+    /// rename normally prevents; the loader must report `Truncated` and the
+    /// rotation must fall back to the previous generation.
+    TornWrite,
+    /// Flip one byte in the middle of the file — silent media corruption;
+    /// the CRC check must reject it and the rotation must fall back.
+    BitFlip,
+}
+
+/// A deterministic schedule of faults to inject into one parallel run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub kill: Option<KillSpec>,
+    /// Silently discard the selected message (the receiver times out).
+    pub drop_msg: Option<MsgSelector>,
+    /// Delay the selected message (survivable if shorter than the comm
+    /// deadline, fatal-and-recovered if longer).
+    pub delay_msg: Option<DelaySpec>,
+    /// Truncate the checkpoint generation written at this absolute step.
+    pub torn_ckpt_step: Option<usize>,
+    /// Flip a byte in the checkpoint generation written at this step.
+    pub corrupt_ckpt_step: Option<usize>,
+}
+
+impl FaultPlan {
+    pub fn is_empty(&self) -> bool {
+        self.kill.is_none()
+            && self.drop_msg.is_none()
+            && self.delay_msg.is_none()
+            && self.torn_ckpt_step.is_none()
+            && self.corrupt_ckpt_step.is_none()
+    }
+}
+
+/// What the comm layer should do with an outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendAction {
+    Deliver,
+    Drop,
+    Delay(Duration),
+}
+
+/// Per-run firing state for a [`FaultPlan`]. Shared by every rank of every
+/// epoch of one supervised run, so one-shot faults stay one-shot across
+/// recoveries and message sequence numbers keep counting through restarts.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    n_ranks: usize,
+    /// Messages sent so far per (from, to) pair, flattened `from * n + to`.
+    sent: Vec<AtomicU64>,
+    kill_fired: AtomicBool,
+    drop_fired: AtomicBool,
+    delay_fired: AtomicBool,
+    torn_fired: AtomicBool,
+    corrupt_fired: AtomicBool,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, n_ranks: usize) -> Self {
+        Self {
+            plan,
+            n_ranks,
+            sent: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            kill_fired: AtomicBool::new(false),
+            drop_fired: AtomicBool::new(false),
+            delay_fired: AtomicBool::new(false),
+            torn_fired: AtomicBool::new(false),
+            corrupt_fired: AtomicBool::new(false),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Should `rank` die at the top of `step`?
+    pub fn should_kill(&self, rank: usize, step: usize) -> bool {
+        match self.plan.kill {
+            Some(k) if k.rank == rank && k.step == step => {
+                k.every_epoch || !self.kill_fired.swap(true, Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+
+    /// Count an outgoing message and decide its fate.
+    pub fn on_send(&self, from: usize, to: usize) -> SendAction {
+        let seq = self.sent[from * self.n_ranks + to].fetch_add(1, Ordering::Relaxed);
+        if let Some(sel) = self.plan.drop_msg {
+            if sel.from == from
+                && sel.to == to
+                && sel.seq == seq
+                && !self.drop_fired.swap(true, Ordering::Relaxed)
+            {
+                return SendAction::Drop;
+            }
+        }
+        if let Some(d) = self.plan.delay_msg {
+            if d.msg.from == from
+                && d.msg.to == to
+                && d.msg.seq == seq
+                && !self.delay_fired.swap(true, Ordering::Relaxed)
+            {
+                return SendAction::Delay(d.delay);
+            }
+        }
+        SendAction::Deliver
+    }
+
+    /// Should the checkpoint generation just written at `step` be damaged?
+    pub fn ckpt_sabotage(&self, step: usize) -> Option<CkptSabotage> {
+        if self.plan.torn_ckpt_step == Some(step)
+            && !self.torn_fired.swap(true, Ordering::Relaxed)
+        {
+            return Some(CkptSabotage::TornWrite);
+        }
+        if self.plan.corrupt_ckpt_step == Some(step)
+            && !self.corrupt_fired.swap(true, Ordering::Relaxed)
+        {
+            return Some(CkptSabotage::BitFlip);
+        }
+        None
+    }
+}
+
+/// Damage a written checkpoint file in place.
+pub fn sabotage_file(path: &Path, what: CkptSabotage) -> std::io::Result<()> {
+    match what {
+        CkptSabotage::TornWrite => {
+            let len = std::fs::metadata(path)?.len();
+            let f = std::fs::OpenOptions::new().write(true).open(path)?;
+            f.set_len(len / 2)?;
+        }
+        CkptSabotage::BitFlip => {
+            let mut bytes = std::fs::read(path)?;
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0x55;
+            }
+            std::fs::write(path, bytes)?;
+        }
+    }
+    Ok(())
+}
+
+/// The unwind payload carried by an injected rank kill.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedFault {
+    pub rank: usize,
+    pub step: usize,
+}
+
+/// Kill the current rank thread. Uses `resume_unwind`, not `panic!`, so the
+/// process-global panic hook stays silent — an injected fault must not spray
+/// "thread panicked" onto stderr (the supervisor reports it in a typed
+/// error instead).
+pub fn kill_current_rank(rank: usize, step: usize) -> ! {
+    std::panic::resume_unwind(Box::new(InjectedFault { rank, step }))
+}
+
+/// Human-readable description of a caught rank-thread unwind payload.
+pub fn describe_panic(rank: usize, payload: &(dyn Any + Send)) -> String {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        format!("rank {} killed by injected fault at step {}", f.rank, f.step)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("rank {rank} panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("rank {rank} panicked: {s}")
+    } else {
+        format!("rank {rank} panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_fires_once_unless_every_epoch() {
+        let st = FaultState::new(
+            FaultPlan {
+                kill: Some(KillSpec {
+                    rank: 1,
+                    step: 7,
+                    every_epoch: false,
+                }),
+                ..FaultPlan::default()
+            },
+            2,
+        );
+        assert!(!st.should_kill(0, 7));
+        assert!(!st.should_kill(1, 6));
+        assert!(st.should_kill(1, 7));
+        assert!(!st.should_kill(1, 7), "one-shot kill fired twice");
+
+        let st = FaultState::new(
+            FaultPlan {
+                kill: Some(KillSpec {
+                    rank: 0,
+                    step: 3,
+                    every_epoch: true,
+                }),
+                ..FaultPlan::default()
+            },
+            2,
+        );
+        assert!(st.should_kill(0, 3));
+        assert!(st.should_kill(0, 3), "every-epoch kill must re-fire");
+    }
+
+    #[test]
+    fn message_faults_select_by_sequence_number() {
+        let st = FaultState::new(
+            FaultPlan {
+                drop_msg: Some(MsgSelector {
+                    from: 0,
+                    to: 1,
+                    seq: 2,
+                }),
+                ..FaultPlan::default()
+            },
+            2,
+        );
+        assert_eq!(st.on_send(0, 1), SendAction::Deliver); // seq 0
+        assert_eq!(st.on_send(1, 0), SendAction::Deliver); // other pair
+        assert_eq!(st.on_send(0, 1), SendAction::Deliver); // seq 1
+        assert_eq!(st.on_send(0, 1), SendAction::Drop); // seq 2
+        assert_eq!(st.on_send(0, 1), SendAction::Deliver); // seq 3
+    }
+
+    #[test]
+    fn ckpt_sabotage_is_one_shot_per_kind() {
+        let st = FaultState::new(
+            FaultPlan {
+                torn_ckpt_step: Some(20),
+                corrupt_ckpt_step: Some(40),
+                ..FaultPlan::default()
+            },
+            1,
+        );
+        assert_eq!(st.ckpt_sabotage(10), None);
+        assert_eq!(st.ckpt_sabotage(20), Some(CkptSabotage::TornWrite));
+        assert_eq!(st.ckpt_sabotage(20), None);
+        assert_eq!(st.ckpt_sabotage(40), Some(CkptSabotage::BitFlip));
+        assert_eq!(st.ckpt_sabotage(40), None);
+    }
+
+    #[test]
+    fn sabotage_damages_files_detectably() {
+        let dir = std::env::temp_dir().join("dp-fault-sabotage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("victim.bin");
+        let payload: Vec<u8> = (0..=255u8).collect();
+
+        std::fs::write(&p, &payload).unwrap();
+        sabotage_file(&p, CkptSabotage::TornWrite).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap().len(), 128);
+
+        std::fs::write(&p, &payload).unwrap();
+        sabotage_file(&p, CkptSabotage::BitFlip).unwrap();
+        let damaged = std::fs::read(&p).unwrap();
+        assert_eq!(damaged.len(), 256);
+        assert_ne!(damaged, payload);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -17,11 +17,27 @@
 //!   paper's `MPI_Iallreduce` + reduced-output-frequency optimizations,
 //! * **parallel setup** (§7.3) — replicated build-and-scatter versus
 //!   rank-local construction ([`setup`]).
+//!
+//! # Fault tolerance
+//!
+//! Long campaigns (the paper's week-scale, full-machine runs) make rank
+//! failure routine rather than exceptional. The comm layer returns typed
+//! [`CommError`]s with deadlines instead of panicking, [`fault`] injects
+//! deterministic failures (rank kill, message drop/delay, checkpoint
+//! sabotage) for tests and drills, and [`run_parallel_md`] supervises the
+//! rank threads: a failed epoch is detected, the newest valid checkpoint
+//! generation reloaded, and the run resumed bit-exactly — or a typed
+//! [`RunError`] surfaces once the retry budget is spent.
 
 pub mod comm;
 pub mod driver;
+pub mod fault;
 pub mod grid;
 pub mod setup;
 
-pub use driver::{run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun};
+pub use comm::{Allreduce, CommError, RankComm, DEFAULT_DEADLINE};
+pub use driver::{
+    run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun, RunError,
+};
+pub use fault::{CkptSabotage, DelaySpec, FaultPlan, FaultState, KillSpec, MsgSelector};
 pub use grid::DomainGrid;

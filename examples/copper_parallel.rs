@@ -44,7 +44,7 @@ fn main() {
         ..ParallelOptions::default()
     };
     println!("running 100 parallel MD steps on a 2x2x2 rank grid...");
-    let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 100);
+    let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 100).expect("parallel run failed");
 
     for s in &run.thermo {
         println!(

@@ -18,6 +18,15 @@
 //! `potential.kind` may also be `"deep_potential"` with a `"model"` path to
 //! a JSON model produced by training (see `DpModelData`), or
 //! `"sutton_chen_cu"` / `"water_reference"`.
+//!
+//! Adding `"grid": [nx, ny, nz]` runs the deck on the fault-tolerant
+//! parallel driver instead of the serial integrator: rank threads under a
+//! supervisor that recovers from rank failures via the checkpoint rotation
+//! (see `dp_parallel`). The `fault_*` keys inject deterministic faults into
+//! such a run for recovery drills.
+//!
+//! Every failure is a typed [`AppError`]; `dpmd` maps the variants to
+//! distinct process exit codes (see [`AppError::exit_code`]).
 
 use deepmd_core::model::{DpModel, DpModelData};
 use deepmd_core::{DeepPotential, PrecisionMode};
@@ -30,8 +39,14 @@ use dp_md::potential::eam::SuttonChen;
 use dp_md::potential::pair::{LennardJones, PairTable};
 use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
+use dp_parallel::{
+    run_parallel_md, DelaySpec, FaultPlan, KillSpec, MsgSelector, ParallelCkpt, ParallelOptions,
+    RunError,
+};
 use serde::Deserialize;
 use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which atoms to simulate.
 #[derive(Debug, Clone, Deserialize)]
@@ -58,8 +73,10 @@ pub enum PotentialSpec {
     },
 }
 
-/// The whole input deck.
+/// The whole input deck. Unknown keys are rejected (a typo like
+/// `"checkpont_every"` must fail loudly, not silently change the run).
 #[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct AppConfig {
     pub system: SystemSpec,
     pub potential: PotentialSpec,
@@ -101,6 +118,48 @@ pub struct AppConfig {
     /// Also settable as `dpmd --metrics <file>`.
     #[serde(default)]
     pub metrics_path: Option<String>,
+    /// Rank grid `[nx, ny, nz]`: run on the fault-tolerant parallel driver
+    /// with nx*ny*nz rank threads. Absent = serial integrator.
+    #[serde(default)]
+    pub grid: Option<[usize; 3]>,
+    /// Parallel runs only: allreduce thermo output every step instead of
+    /// deferring reductions to the output stride.
+    #[serde(default)]
+    pub blocking_reduce: bool,
+    /// Fault injection (parallel runs only): kill this rank...
+    #[serde(default)]
+    pub fault_kill_rank: Option<usize>,
+    /// ...at this absolute step. Both or neither must be set.
+    #[serde(default)]
+    pub fault_kill_step: Option<usize>,
+    /// Re-kill in every recovered epoch (exhausts the retry budget; used
+    /// to drill the typed-error exit path).
+    #[serde(default)]
+    pub fault_kill_every_epoch: bool,
+    /// Silently drop the `seq`-th message from rank `from` to rank `to`:
+    /// `[from, to, seq]`.
+    #[serde(default)]
+    pub fault_drop_msg: Option<[u64; 3]>,
+    /// Delay one message: `[from, to, seq, millis]`. Survivable if the
+    /// delay is shorter than the comm deadline.
+    #[serde(default)]
+    pub fault_delay_msg_ms: Option<[u64; 4]>,
+    /// Truncate the checkpoint generation written at this step (torn
+    /// write; the rotation must fall back on reload).
+    #[serde(default)]
+    pub fault_torn_ckpt_step: Option<usize>,
+    /// Flip a byte in the checkpoint generation written at this step
+    /// (silent corruption; the CRC must reject it on reload).
+    #[serde(default)]
+    pub fault_corrupt_ckpt_step: Option<usize>,
+    /// How many failed epochs the supervisor may recover from before the
+    /// run fails with a typed error.
+    #[serde(default = "default_max_retries")]
+    pub fault_max_retries: usize,
+    /// Receive/reduce deadline in milliseconds (default 30000): how long a
+    /// rank waits for a peer before declaring it dead.
+    #[serde(default)]
+    pub fault_comm_deadline_ms: Option<u64>,
 }
 
 fn default_thermo_every() -> usize {
@@ -111,12 +170,71 @@ fn default_checkpoint_keep() -> usize {
     3
 }
 
+fn default_max_retries() -> usize {
+    2
+}
+
+/// Why a run could not start or finish. Variants map to distinct `dpmd`
+/// exit codes so scripts can tell a bad deck from a fault-tolerance
+/// failure without parsing stderr.
+#[derive(Debug)]
+pub enum AppError {
+    /// The input deck is malformed or internally inconsistent (exit 2).
+    Deck(String),
+    /// A file could not be read or written (exit 3).
+    Io(String),
+    /// A checkpoint could not be loaded, or does not fit the deck (exit 4).
+    Ckpt(String),
+    /// The supervised parallel run failed for good — rank failure with no
+    /// checkpointing, unrecoverable checkpoints, or retries exhausted
+    /// (exit 5).
+    Fault(RunError),
+    /// Any other runtime failure (exit 1).
+    Run(String),
+}
+
+impl AppError {
+    /// The process exit code `dpmd` reports for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            AppError::Deck(_) => 2,
+            AppError::Io(_) => 3,
+            AppError::Ckpt(_) => 4,
+            AppError::Fault(_) => 5,
+            AppError::Run(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Deck(msg) | AppError::Io(msg) | AppError::Ckpt(msg) | AppError::Run(msg) => {
+                write!(f, "{msg}")
+            }
+            AppError::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// What a run produced.
 #[derive(Debug)]
 pub struct RunSummary {
     pub thermo: Vec<ThermoSample>,
     pub final_system: System,
     pub potential_name: &'static str,
+    /// Failed epochs the parallel supervisor recovered from (0 for serial
+    /// runs and clean parallel runs).
+    pub recoveries: usize,
 }
 
 fn build_system(spec: &SystemSpec) -> System {
@@ -129,7 +247,7 @@ fn build_system(spec: &SystemSpec) -> System {
     }
 }
 
-fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, String> {
+fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, AppError> {
     Ok(match spec {
         PotentialSpec::LennardJones { eps, sigma, rcut } => {
             Box::new(LennardJones::new(*eps, *sigma, *rcut))
@@ -147,9 +265,9 @@ fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, String> {
             mixed_precision,
         } => {
             let text = std::fs::read_to_string(model)
-                .map_err(|e| format!("cannot read model {model}: {e}"))?;
-            let data: DpModelData =
-                serde_json::from_str(&text).map_err(|e| format!("bad model {model}: {e}"))?;
+                .map_err(|e| AppError::Io(format!("cannot read model {model}: {e}")))?;
+            let data: DpModelData = serde_json::from_str(&text)
+                .map_err(|e| AppError::Deck(format!("bad model {model}: {e}")))?;
             let mode = if *mixed_precision {
                 PrecisionMode::Mixed
             } else {
@@ -184,9 +302,70 @@ fn last_trajectory_step(path: &str) -> Option<usize> {
         .max()
 }
 
+/// Assemble the deterministic fault plan from the deck's `fault_*` keys;
+/// `None` when no fault key is set (the hot path stays branch-free).
+fn build_fault_plan(cfg: &AppConfig, grid: [usize; 3]) -> Result<Option<FaultPlan>, AppError> {
+    let n_ranks = grid[0] * grid[1] * grid[2];
+    let mut plan = FaultPlan::default();
+    match (cfg.fault_kill_rank, cfg.fault_kill_step) {
+        (None, None) => {}
+        (Some(rank), Some(step)) => {
+            if rank >= n_ranks {
+                return Err(AppError::Deck(format!(
+                    "fault_kill_rank {rank} is out of range for grid {grid:?} ({n_ranks} ranks)"
+                )));
+            }
+            plan.kill = Some(KillSpec {
+                rank,
+                step,
+                every_epoch: cfg.fault_kill_every_epoch,
+            });
+        }
+        _ => {
+            return Err(AppError::Deck(
+                "fault_kill_rank and fault_kill_step must be set together".into(),
+            ))
+        }
+    }
+    if let Some([from, to, seq]) = cfg.fault_drop_msg {
+        plan.drop_msg = Some(MsgSelector {
+            from: from as usize,
+            to: to as usize,
+            seq,
+        });
+    }
+    if let Some([from, to, seq, ms]) = cfg.fault_delay_msg_ms {
+        plan.delay_msg = Some(DelaySpec {
+            msg: MsgSelector {
+                from: from as usize,
+                to: to as usize,
+                seq,
+            },
+            delay: Duration::from_millis(ms),
+        });
+    }
+    plan.torn_ckpt_step = cfg.fault_torn_ckpt_step;
+    plan.corrupt_ckpt_step = cfg.fault_corrupt_ckpt_step;
+    Ok((!plan.is_empty()).then_some(plan))
+}
+
+fn any_fault_key(cfg: &AppConfig) -> bool {
+    cfg.fault_kill_rank.is_some()
+        || cfg.fault_kill_step.is_some()
+        || cfg.fault_drop_msg.is_some()
+        || cfg.fault_delay_msg_ms.is_some()
+        || cfg.fault_torn_ckpt_step.is_some()
+        || cfg.fault_corrupt_ckpt_step.is_some()
+}
+
 /// Run the deck; `log` receives one line per thermo sample.
-pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, String> {
+pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, AppError> {
     let pot = build_potential(&cfg.potential)?;
+    if cfg.grid.is_none() && any_fault_key(cfg) {
+        return Err(AppError::Deck(
+            "fault_* keys require a parallel run: set \"grid\": [nx, ny, nz]".into(),
+        ));
+    }
 
     // Fresh start, or restore atoms + step counter + RNG position from the
     // newest valid checkpoint generation.
@@ -194,7 +373,7 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         Some(path) => {
             let rot = Rotation::new(path, cfg.checkpoint_keep);
             let (snap, from) = MdCheckpoint::load(&rot)
-                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+                .map_err(|e| AppError::Ckpt(format!("cannot resume from {path}: {e}")))?;
             log(&format!(
                 "resuming from {} (step {}, {} atoms)",
                 from.display(),
@@ -211,19 +390,19 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         }
     };
     if progress.step > cfg.steps {
-        return Err(format!(
+        return Err(AppError::Ckpt(format!(
             "checkpoint is at step {}, but the deck only runs to step {}",
             progress.step, cfg.steps
-        ));
+        )));
     }
     let resuming = cfg.resume.is_some();
 
     let halo_limit = sys.cell.max_cutoff();
     if pot.cutoff() > halo_limit {
-        return Err(format!(
+        return Err(AppError::Deck(format!(
             "potential cutoff {} exceeds the minimum-image limit {halo_limit:.3} of this box",
             pot.cutoff()
-        ));
+        )));
     }
 
     let skin = ((halo_limit - pot.cutoff()) * 0.9).clamp(0.0, 2.0);
@@ -236,7 +415,7 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
                 target_t: cfg.temperature,
                 tau: 0.1,
             }),
-            Some(other) => return Err(format!("unknown thermostat '{other}'")),
+            Some(other) => return Err(AppError::Deck(format!("unknown thermostat '{other}'"))),
         },
         thermo_every: cfg.thermo_every,
         ..MdOptions::default()
@@ -257,7 +436,7 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
             } else {
                 std::fs::File::create(path)
             };
-            Some(file.map_err(|e| format!("cannot open {path}: {e}"))?)
+            Some(file.map_err(|e| AppError::Io(format!("cannot open {path}: {e}")))?)
         }
         None => None,
     };
@@ -269,9 +448,9 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
     let rotation = match (&ckpt_base, cfg.checkpoint_every) {
         (_, 0) => None,
         (None, _) => {
-            return Err(
+            return Err(AppError::Deck(
                 "checkpoint_every is set but there is no checkpoint_path to write to".into(),
-            )
+            ))
         }
         (Some(base), _) => Some(Rotation::new(base, cfg.checkpoint_keep)),
     };
@@ -285,21 +464,115 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         cfg.steps
     ));
 
-    let mut ckpt_error: Option<String> = None;
-    let mut write_frame_dedup = |f: &mut std::fs::File,
-                                 sys: &System,
-                                 step: usize,
-                                 last: &mut Option<usize>|
-     -> std::io::Result<()> {
-        if last.map_or(false, |l| step <= l) {
-            return Ok(());
+    // Observability: enable spans/metrics only when the deck asks for them,
+    // so plain runs keep the near-free disabled path.
+    let obs_on = cfg.trace_path.is_some() || cfg.metrics_path.is_some();
+    if obs_on {
+        if let Some(path) = &cfg.metrics_path {
+            dp_obs::metrics::install(path)
+                .map_err(|e| AppError::Io(format!("cannot open metrics file {path}: {e}")))?;
         }
-        dp_md::xyz::write_frame(f, sys, &names, &format!("step={step}"))?;
-        f.flush().ok();
-        *last = Some(step);
-        Ok(())
+        if cfg.trace_path.is_some() {
+            dp_obs::trace::start_recording(dp_obs::trace::DEFAULT_CAPACITY);
+        }
+        dp_obs::enable();
+    }
+
+    // The simulation proper, serial or supervised-parallel.
+    let result: Result<RunSummary, AppError> = if let Some(grid) = cfg.grid {
+        run_parallel_deck(
+            cfg,
+            &sys,
+            pot,
+            &opts,
+            grid,
+            progress,
+            rotation,
+            traj.as_mut(),
+            &mut last_frame_step,
+            &names,
+            &mut log,
+        )
+    } else {
+        run_serial_deck(
+            cfg,
+            &mut sys,
+            pot,
+            &opts,
+            progress,
+            rotation,
+            traj.as_mut(),
+            &mut last_frame_step,
+            &names,
+            &mut log,
+        )
     };
 
+    if obs_on {
+        dp_obs::disable();
+        // Teardown still runs after a failed run (a fault drill's metrics
+        // are most interesting then), but a teardown error never masks the
+        // run's own error.
+        let teardown: Result<(), AppError> = (|| {
+            if let Some(path) = &cfg.trace_path {
+                let dropped = dp_obs::trace::dropped_events();
+                let events = dp_obs::trace::stop_recording();
+                dp_obs::trace::write_chrome_trace(path, &events)
+                    .map_err(|e| AppError::Io(format!("cannot write trace {path}: {e}")))?;
+                log(&format!(
+                    "trace: {} events -> {path}{}",
+                    events.len(),
+                    if dropped > 0 {
+                        format!(" ({dropped} oldest dropped)")
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
+            if cfg.metrics_path.is_some() {
+                if let Some(res) = dp_obs::metrics::uninstall() {
+                    res.map_err(|e| AppError::Io(format!("metrics write failed: {e}")))?;
+                }
+            }
+            Ok(())
+        })();
+        let summary = result?;
+        teardown?;
+        return Ok(summary);
+    }
+    result
+}
+
+fn write_frame_dedup(
+    f: &mut std::fs::File,
+    sys: &System,
+    names: &[&str],
+    step: usize,
+    last: &mut Option<usize>,
+) -> std::io::Result<()> {
+    if last.is_some_and(|l| step <= l) {
+        return Ok(());
+    }
+    dp_md::xyz::write_frame(f, sys, names, &format!("step={step}"))?;
+    f.flush().ok();
+    *last = Some(step);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_serial_deck(
+    cfg: &AppConfig,
+    sys: &mut System,
+    pot: Box<dyn Potential>,
+    opts: &MdOptions,
+    progress: MdProgress,
+    rotation: Option<Rotation>,
+    mut traj: Option<&mut std::fs::File>,
+    last_frame_step: &mut Option<usize>,
+    names: &[&'static str],
+    log: &mut impl FnMut(&str),
+) -> Result<RunSummary, AppError> {
+    let mut io_error: Option<String> = None;
     let mut save = |sys: &System, p: MdProgress| {
         if let Some(rot) = &rotation {
             let snap = MdCheckpoint::capture(sys, p);
@@ -310,9 +583,9 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
                 );
             }
         }
-        if let Some(f) = traj.as_mut() {
-            if let Err(e) = write_frame_dedup(f, sys, p.step, &mut last_frame_step) {
-                ckpt_error.get_or_insert(format!("trajectory write failed: {e}"));
+        if let Some(f) = traj.as_deref_mut() {
+            if let Err(e) = write_frame_dedup(f, sys, names, p.step, last_frame_step) {
+                io_error.get_or_insert(format!("trajectory write failed: {e}"));
             }
         }
     };
@@ -321,60 +594,11 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
         save: &mut save,
     });
 
-    // Observability: enable spans/metrics only when the deck asks for them,
-    // so plain runs keep the near-free disabled path.
-    let obs_on = cfg.trace_path.is_some() || cfg.metrics_path.is_some();
-    if obs_on {
-        if let Some(path) = &cfg.metrics_path {
-            dp_obs::metrics::install(path)
-                .map_err(|e| format!("cannot open metrics file {path}: {e}"))?;
-        }
-        if cfg.trace_path.is_some() {
-            dp_obs::trace::start_recording(dp_obs::trace::DEFAULT_CAPACITY);
-        }
-        dp_obs::enable();
-    }
-
-    let mut thermo_lines = Vec::new();
-    let run_result = run_md_resumable(
-        &mut sys,
-        pot.as_ref(),
-        &opts,
-        cfg.steps,
-        progress,
-        |s| {
-            thermo_lines.push(*s);
-        },
-        sink,
-    );
+    let run_result = run_md_resumable(sys, pot.as_ref(), opts, cfg.steps, progress, |_| {}, sink);
     drop(save);
 
-    if obs_on {
-        dp_obs::disable();
-        if let Some(path) = &cfg.trace_path {
-            let dropped = dp_obs::trace::dropped_events();
-            let events = dp_obs::trace::stop_recording();
-            dp_obs::trace::write_chrome_trace(path, &events)
-                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
-            log(&format!(
-                "trace: {} events -> {path}{}",
-                events.len(),
-                if dropped > 0 {
-                    format!(" ({dropped} oldest dropped)")
-                } else {
-                    String::new()
-                }
-            ));
-        }
-        if cfg.metrics_path.is_some() {
-            if let Some(res) = dp_obs::metrics::uninstall() {
-                res.map_err(|e| format!("metrics write failed: {e}"))?;
-            }
-        }
-    }
-
-    if let Some(e) = ckpt_error {
-        return Err(e);
+    if let Some(e) = io_error {
+        return Err(AppError::Io(e));
     }
     for s in &run_result.thermo {
         log(&format!(
@@ -382,9 +606,9 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
             s.step, s.potential_energy, s.kinetic_energy, s.temperature, s.pressure
         ));
     }
-    if let Some(f) = traj.as_mut() {
-        write_frame_dedup(f, &sys, cfg.steps, &mut last_frame_step)
-            .map_err(|e| format!("trajectory write failed: {e}"))?;
+    if let Some(f) = traj.as_deref_mut() {
+        write_frame_dedup(f, sys, names, cfg.steps, last_frame_step)
+            .map_err(|e| AppError::Io(format!("trajectory write failed: {e}")))?;
     }
     log(&format!(
         "done: {} evaluations, {} neighbor rebuilds, loop {:?} ({:.2e} s/step/atom)",
@@ -396,12 +620,90 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, Str
 
     Ok(RunSummary {
         thermo: run_result.thermo,
-        final_system: sys,
+        final_system: sys.clone(),
         potential_name: pot.name(),
+        recoveries: 0,
     })
 }
 
-/// Parse a JSON input deck.
-pub fn parse_config(text: &str) -> Result<AppConfig, String> {
-    serde_json::from_str(text).map_err(|e| format!("bad input deck: {e}"))
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_deck(
+    cfg: &AppConfig,
+    sys: &System,
+    pot: Box<dyn Potential>,
+    opts: &MdOptions,
+    grid: [usize; 3],
+    progress: MdProgress,
+    rotation: Option<Rotation>,
+    mut traj: Option<&mut std::fs::File>,
+    last_frame_step: &mut Option<usize>,
+    names: &[&'static str],
+    log: &mut impl FnMut(&str),
+) -> Result<RunSummary, AppError> {
+    let faults = build_fault_plan(cfg, grid)?;
+    let popts = ParallelOptions {
+        md: *opts,
+        blocking_reduce: cfg.blocking_reduce,
+        start_step: progress.step,
+        start_rng_draws: progress.rng_draws,
+        checkpoint: rotation.map(|rotation| ParallelCkpt {
+            every: cfg.checkpoint_every,
+            rotation,
+        }),
+        faults,
+        max_recoveries: cfg.fault_max_retries,
+        comm_deadline: cfg
+            .fault_comm_deadline_ms
+            .map_or(dp_parallel::DEFAULT_DEADLINE, Duration::from_millis),
+    };
+    let name = pot.name();
+    let pot: Arc<dyn Potential> = Arc::from(pot);
+    let n_steps = cfg.steps - progress.step;
+    let run = run_parallel_md(sys, pot, grid, &popts, n_steps).map_err(|e| match e {
+        RunError::Config(msg) => AppError::Deck(msg),
+        other => AppError::Fault(other),
+    })?;
+
+    for s in &run.thermo {
+        log(&format!(
+            "step {:6}  PE {:+.4} eV  KE {:.4} eV  T {:6.1} K  P {:+.0} bar",
+            s.step, s.potential_energy, s.kinetic_energy, s.temperature, s.pressure
+        ));
+    }
+    if run.recoveries > 0 {
+        let from: Vec<String> = run
+            .recovered_from
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect();
+        log(&format!(
+            "recovered from {} failed epoch(s) via checkpoint reload ({})",
+            run.recoveries,
+            from.join(", ")
+        ));
+    }
+    if let Some(f) = traj.as_deref_mut() {
+        write_frame_dedup(f, &run.system, names, cfg.steps, last_frame_step)
+            .map_err(|e| AppError::Io(format!("trajectory write failed: {e}")))?;
+    }
+    log(&format!(
+        "done: {} ranks, {} reductions, loop {:?} ({:.2e} s/step/atom)",
+        run.rank_stats.len(),
+        run.reduce_operations,
+        run.loop_time,
+        run.time_to_solution(run.system.len())
+    ));
+
+    Ok(RunSummary {
+        thermo: run.thermo,
+        final_system: run.system,
+        potential_name: name,
+        recoveries: run.recoveries,
+    })
+}
+
+/// Parse a JSON input deck. Unknown keys, missing keys, and type
+/// mismatches all surface with serde's path context.
+pub fn parse_config(text: &str) -> Result<AppConfig, AppError> {
+    serde_json::from_str(text).map_err(|e| AppError::Deck(format!("bad input deck: {e}")))
 }

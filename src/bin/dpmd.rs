@@ -8,6 +8,10 @@
 //! writes a chrome://tracing JSON of the run's spans; `--metrics` writes
 //! per-step JSONL metrics (s/step/atom, achieved GFLOPS). Both override
 //! the corresponding `trace_path` / `metrics_path` deck keys.
+//!
+//! Exit codes distinguish failure classes (see `app::AppError`):
+//! 2 = bad deck/usage, 3 = I/O failure, 4 = unusable checkpoint,
+//! 5 = parallel run failed after exhausting fault recovery, 1 = other.
 
 fn usage() -> ! {
     eprintln!(
@@ -61,7 +65,7 @@ fn main() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("dpmd: cannot read {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(3);
         }
     };
     let mut cfg = match deepmd_repro::app::parse_config(&text) {
@@ -82,6 +86,6 @@ fn main() {
     }
     if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
         eprintln!("dpmd: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

@@ -10,6 +10,7 @@
 //! thread that later serves the measured calls.
 
 use deepmd_repro::core::{DeepPotential, DpConfig, DpModel, PrecisionMode};
+use deepmd_repro::md::integrate::{run_md_resumable, Berendsen, MdOptions, MdProgress};
 use deepmd_repro::md::{lattice, units, NeighborList, NlScratch, Potential, PotentialOutput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +84,62 @@ fn steady_state_dp_step_is_allocation_free() {
             );
         }
         assert!(out.energy.is_finite());
+    });
+}
+
+#[test]
+fn full_md_step_is_allocation_free_at_steady_state() {
+    // The end-to-end version of the invariant: a whole `run_md_resumable`
+    // step (kick-drift, thermostat, force eval, sampling) must not touch
+    // the heap once every workspace reached its fixed point. Measured as
+    // an equality — a 62-step run must allocate exactly as much as a
+    // 12-step run from the same start state, so the per-call constants
+    // (neighbor list, output buffer, thermo vec) cancel and any per-step
+    // allocation shows up as a difference.
+    let cfg = DpConfig::small(1, 4.5, 16);
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = DpModel::<f64>::new_random(cfg, &mut rng);
+    // [4,4,4] keeps cutoff+skin (6.0) under the minimum-image limit (7.23)
+    let mut sys0 = lattice::fcc(3.615, [4, 4, 4], units::MASS_CU);
+    sys0.init_velocities(300.0, &mut rng);
+    let pot = DeepPotential::new(model, PrecisionMode::Double);
+    let opts = MdOptions {
+        dt: 1.0e-3,
+        // generous skin: 62 warm-crystal steps displace atoms far less
+        // than skin/2, so neither run rebuilds mid-run
+        skin: 1.5,
+        thermo_every: 1000,
+        thermostat: Some(Berendsen {
+            target_t: 300.0,
+            tau: 0.1,
+        }),
+        ..MdOptions::default()
+    };
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| {
+        // warm up: grows the potential's internal workspace to its fixed
+        // point (the run-local buffers are per-call and cancel below)
+        let mut warm = sys0.clone();
+        run_md_resumable(&mut warm, &pot, &opts, 20, MdProgress::default(), |_| {}, None);
+
+        let mut measure = |steps: usize| {
+            let mut s = sys0.clone();
+            let before = allocs();
+            let run = run_md_resumable(&mut s, &pot, &opts, steps, MdProgress::default(), |_| {}, None);
+            assert!(run.thermo.last().unwrap().total_energy().is_finite());
+            allocs() - before
+        };
+        let short = measure(12);
+        let long = measure(62);
+        assert_eq!(
+            short, long,
+            "50 extra MD steps allocated {} extra times",
+            long.saturating_sub(short)
+        );
     });
 }
 

@@ -204,5 +204,9 @@ fn checkpoint_beyond_deck_steps_is_a_clean_error() {
     let resume = format!(r#""resume": "{base}","#);
     let cfg = parse_config(&lj_deck(20, "", &ckpt, &resume, "")).unwrap();
     let err = run(&cfg, |_| {}).unwrap_err();
-    assert!(err.contains("step 40"), "unexpected error: {err}");
+    assert_eq!(err.exit_code(), 4, "overrun is a checkpoint error: {err}");
+    assert!(
+        err.to_string().contains("step 40"),
+        "unexpected error: {err}"
+    );
 }

@@ -96,11 +96,32 @@ fn oversized_cutoff_is_a_clean_error() {
         Err(e) => e,
         Ok(_) => panic!("expected an error"),
     };
-    assert!(err.contains("minimum-image"), "unexpected error: {err}");
+    assert_eq!(err.exit_code(), 2, "cutoff errors are deck errors: {err}");
+    assert!(
+        err.to_string().contains("minimum-image"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
 fn bad_deck_is_a_clean_error() {
     assert!(parse_config("{\"nope\": 1}").is_err());
     assert!(parse_config("not json").is_err());
+    // A typo'd key must be rejected even when the rest of the deck is valid.
+    let err = parse_config(
+        r#"{
+        "system": {"kind": "fcc", "a0": 5.26, "reps": [2,2,2], "mass": 39.948},
+        "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 6.0},
+        "temperature": 30.0,
+        "dt_fs": 2.0,
+        "steps": 10,
+        "checkpont_every": 5
+    }"#,
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    assert!(
+        err.to_string().contains("checkpont_every"),
+        "unexpected error: {err}"
+    );
 }

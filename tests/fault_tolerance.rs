@@ -1,0 +1,484 @@
+//! Fault-tolerance end-to-end: injected rank kills, dropped/delayed
+//! messages, and sabotaged checkpoints must all either be survivable or
+//! recovered from bit-exactly — an interrupted-and-recovered run's thermo
+//! output and final state are identical to the uninterrupted run's. The
+//! `dpmd` binary must surface unrecoverable failures as typed errors with
+//! distinct exit codes and no panic spew.
+//!
+//! Counter- and metrics-sensitive cases run the `dpmd` binary in a
+//! subprocess, so process-global dp-obs state never crosses tests; CI also
+//! runs this suite with `--test-threads=1`.
+
+use deepmd_repro::app::{parse_config, run};
+use deepmd_repro::md::integrate::MdOptions;
+use deepmd_repro::md::potential::pair::LennardJones;
+use deepmd_repro::md::rng::CounterRng;
+use deepmd_repro::md::{lattice, Potential, System};
+use deepmd_repro::parallel::{
+    run_parallel_md, Allreduce, CommError, DelaySpec, FaultPlan, KillSpec, MsgSelector,
+    ParallelCkpt, ParallelOptions, ParallelRun, RunError,
+};
+use dp_ckpt::Rotation;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn argon() -> System {
+    let mut sys = lattice::fcc(5.26, [3, 3, 3], 39.948);
+    let mut rng = CounterRng::new(7);
+    sys.init_velocities(30.0, &mut rng);
+    sys
+}
+
+fn lj() -> Arc<dyn Potential> {
+    Arc::new(LennardJones::new(0.0104, 3.405, 5.0))
+}
+
+fn opts(checkpoint: Option<ParallelCkpt>, faults: Option<FaultPlan>) -> ParallelOptions {
+    ParallelOptions {
+        md: MdOptions {
+            dt: 2.0e-3,
+            skin: 1.0,
+            thermo_every: 10,
+            ..MdOptions::default()
+        },
+        checkpoint,
+        faults,
+        comm_deadline: Duration::from_secs(5),
+        ..ParallelOptions::default()
+    }
+}
+
+fn ckpt(dir: &std::path::Path, name: &str) -> ParallelCkpt {
+    ParallelCkpt {
+        every: 10,
+        rotation: Rotation::new(dir.join(name).display().to_string(), 3),
+    }
+}
+
+/// Identical to the last bit: thermo samples and the gathered final state.
+fn assert_bit_exact(straight: &ParallelRun, recovered: &ParallelRun, what: &str) {
+    let bits = |r: &ParallelRun| -> Vec<(usize, u64, u64, u64, u64)> {
+        r.thermo
+            .iter()
+            .map(|t| {
+                (
+                    t.step,
+                    t.potential_energy.to_bits(),
+                    t.kinetic_energy.to_bits(),
+                    t.temperature.to_bits(),
+                    t.pressure.to_bits(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(bits(straight), bits(recovered), "thermo diverged: {what}");
+    assert_eq!(
+        straight.system.positions, recovered.system.positions,
+        "final positions diverged: {what}"
+    );
+    assert_eq!(
+        straight.system.velocities, recovered.system.velocities,
+        "final velocities diverged: {what}"
+    );
+}
+
+#[test]
+fn killed_rank_recovers_bit_exact() {
+    let dir = test_dir("dpft-kill-recover");
+    let sys = argon();
+
+    let straight =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(ckpt(&dir, "a.ckpt")), None), 60)
+            .unwrap();
+    assert_eq!(straight.recoveries, 0);
+
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            step: 33,
+            every_epoch: false,
+        }),
+        ..FaultPlan::default()
+    };
+    let faulted_ckpt = ckpt(&dir, "b.ckpt");
+    let newest = faulted_ckpt.rotation.slot_path(0);
+    let faulted =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(faulted_ckpt), Some(plan)), 60).unwrap();
+
+    assert_eq!(faulted.recoveries, 1, "expected exactly one recovery");
+    assert_eq!(
+        faulted.recovered_from,
+        vec![newest],
+        "kill at 33 must reload the newest (step 30) generation"
+    );
+    assert_bit_exact(&straight, &faulted, "kill at step 33, checkpoint every 10");
+}
+
+#[test]
+fn corrupted_newest_generation_falls_back() {
+    let dir = test_dir("dpft-corrupt-fallback");
+    let sys = argon();
+
+    let straight =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(ckpt(&dir, "a.ckpt")), None), 60)
+            .unwrap();
+
+    // The generation written at step 30 gets a flipped byte, then the kill
+    // at 33: the CRC rejects the newest generation and the rotation falls
+    // back to the step-20 one.
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 0,
+            step: 33,
+            every_epoch: false,
+        }),
+        corrupt_ckpt_step: Some(30),
+        ..FaultPlan::default()
+    };
+    let faulted_ckpt = ckpt(&dir, "b.ckpt");
+    let fallback = faulted_ckpt.rotation.slot_path(1);
+    let faulted =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(faulted_ckpt), Some(plan)), 60).unwrap();
+
+    assert_eq!(faulted.recoveries, 1);
+    assert_eq!(
+        faulted.recovered_from,
+        vec![fallback],
+        "corrupt newest generation must fall back to .1"
+    );
+    assert_bit_exact(&straight, &faulted, "bit-flipped step-30 checkpoint");
+}
+
+#[test]
+fn torn_checkpoint_write_falls_back() {
+    let dir = test_dir("dpft-torn-fallback");
+    let sys = argon();
+
+    let straight =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(ckpt(&dir, "a.ckpt")), None), 60)
+            .unwrap();
+
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 3,
+            step: 37,
+            every_epoch: false,
+        }),
+        torn_ckpt_step: Some(30),
+        ..FaultPlan::default()
+    };
+    let faulted_ckpt = ckpt(&dir, "b.ckpt");
+    let fallback = faulted_ckpt.rotation.slot_path(1);
+    let faulted =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(faulted_ckpt), Some(plan)), 60).unwrap();
+
+    assert_eq!(faulted.recoveries, 1);
+    assert_eq!(
+        faulted.recovered_from,
+        vec![fallback],
+        "truncated newest generation must fall back to .1"
+    );
+    assert_bit_exact(&straight, &faulted, "torn step-30 checkpoint write");
+}
+
+#[test]
+fn dropped_message_is_detected_and_recovered() {
+    let dir = test_dir("dpft-drop-recover");
+    let sys = argon();
+
+    let straight =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(ckpt(&dir, "a.ckpt")), None), 60)
+            .unwrap();
+
+    // Message seq 60 on the 1->0 pair lands well after the first checkpoint
+    // (>= 2 messages per pair per step) and well before the run ends. The
+    // receiver either sees the wrong message next (protocol error) or times
+    // out; both are typed failures the supervisor recovers from.
+    let plan = FaultPlan {
+        drop_msg: Some(MsgSelector {
+            from: 1,
+            to: 0,
+            seq: 60,
+        }),
+        ..FaultPlan::default()
+    };
+    let mut o = opts(Some(ckpt(&dir, "b.ckpt")), Some(plan));
+    o.comm_deadline = Duration::from_secs(2);
+    let started = Instant::now();
+    let faulted = run_parallel_md(&sys, lj(), [2, 2, 1], &o, 60).unwrap();
+
+    assert_eq!(faulted.recoveries, 1, "dropped message must cost one epoch");
+    assert_bit_exact(&straight, &faulted, "dropped message 1->0 seq 60");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "recovery took {:?}; the deadline should bound detection",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn delayed_message_within_deadline_is_survivable() {
+    let sys = argon();
+
+    let straight = run_parallel_md(&sys, lj(), [2, 2, 1], &opts(None, None), 40).unwrap();
+
+    let plan = FaultPlan {
+        delay_msg: Some(DelaySpec {
+            msg: MsgSelector {
+                from: 1,
+                to: 0,
+                seq: 5,
+            },
+            delay: Duration::from_millis(100),
+        }),
+        ..FaultPlan::default()
+    };
+    let delayed = run_parallel_md(&sys, lj(), [2, 2, 1], &opts(None, Some(plan)), 40).unwrap();
+
+    assert_eq!(delayed.recoveries, 0, "a 100ms delay must be survivable");
+    assert_bit_exact(&straight, &delayed, "delayed message 1->0 seq 5");
+}
+
+#[test]
+fn rank_failure_without_checkpointing_is_typed() {
+    let sys = argon();
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 0,
+            step: 5,
+            every_epoch: false,
+        }),
+        ..FaultPlan::default()
+    };
+    let started = Instant::now();
+    let err = run_parallel_md(&sys, lj(), [2, 2, 1], &opts(None, Some(plan)), 20).unwrap_err();
+    match &err {
+        RunError::RankFailure { failure } => {
+            assert!(
+                failure.contains("rank 0") && failure.contains("injected fault"),
+                "unexpected failure description: {failure}"
+            );
+        }
+        other => panic!("expected RankFailure, got {other}"),
+    }
+    // Surviving ranks are woken by the poisoned reductions / dropped
+    // endpoints, not by waiting out the 5s deadline.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "peer death took {:?} to surface",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn retries_exhausted_is_typed() {
+    let dir = test_dir("dpft-retries");
+    let sys = argon();
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            step: 15,
+            every_epoch: true,
+        }),
+        ..FaultPlan::default()
+    };
+    let mut o = opts(Some(ckpt(&dir, "r.ckpt")), Some(plan));
+    o.max_recoveries = 1;
+    let err = run_parallel_md(&sys, lj(), [2, 2, 1], &o, 30).unwrap_err();
+    match &err {
+        RunError::RetriesExhausted { attempts, last } => {
+            assert_eq!(*attempts, 1);
+            assert!(last.contains("injected fault"), "last failure: {last}");
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn dead_rank_in_allreduce_fails_peers_within_deadline() {
+    let deadline = Duration::from_secs(5);
+    let reduce = Arc::new(Allreduce::with_deadline(3, 1, deadline));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..2)
+        .map(|rank| {
+            let r = Arc::clone(&reduce);
+            std::thread::spawn(move || r.reduce(rank, &[1.0]))
+        })
+        .collect();
+    // Rank 2 "dies" instead of contributing.
+    std::thread::sleep(Duration::from_millis(50));
+    reduce.poison(2);
+    for w in workers {
+        let got = w.join().unwrap();
+        assert_eq!(got, Err(CommError::PeerFailed { rank: 2 }));
+    }
+    assert!(
+        started.elapsed() < deadline,
+        "poison must wake waiters immediately, took {:?}",
+        started.elapsed()
+    );
+}
+
+// ---- deck validation through the app layer ----------------------------
+
+fn lj_parallel_deck(extra: &str) -> String {
+    format!(
+        r#"{{
+            "system": {{"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948}},
+            "potential": {{"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0}},
+            "temperature": 40.0,
+            "dt_fs": 2.0,
+            "steps": 30,
+            "thermo_every": 10,
+            "seed": 7{extra}
+        }}"#
+    )
+}
+
+#[test]
+fn fault_keys_without_grid_are_a_deck_error() {
+    let cfg = parse_config(&lj_parallel_deck(r#", "fault_kill_rank": 1"#)).unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    assert!(err.to_string().contains("grid"), "{err}");
+}
+
+#[test]
+fn half_specified_kill_is_a_deck_error() {
+    let cfg = parse_config(&lj_parallel_deck(
+        r#", "grid": [2,1,1], "fault_kill_rank": 1"#,
+    ))
+    .unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    assert!(err.to_string().contains("together"), "{err}");
+}
+
+#[test]
+fn zero_grid_dimension_is_a_deck_error() {
+    let cfg = parse_config(&lj_parallel_deck(r#", "grid": [0,1,1]"#)).unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+}
+
+#[test]
+fn parallel_deck_runs_clean() {
+    let cfg = parse_config(&lj_parallel_deck(r#", "grid": [2,1,1]"#)).unwrap();
+    let mut lines = Vec::new();
+    let summary = run(&cfg, |l| lines.push(l.to_string())).unwrap();
+    assert_eq!(summary.recoveries, 0);
+    assert_eq!(summary.final_system.len(), 108);
+    assert!(
+        lines.iter().any(|l| l.contains("2 ranks")),
+        "no parallel done line in {lines:?}"
+    );
+}
+
+// ---- the dpmd binary: exit codes, stderr discipline, metrics ----------
+
+fn dpmd(deck_path: &std::path::Path, extra_args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_dpmd"))
+        .arg(deck_path)
+        .args(extra_args)
+        .output()
+        .expect("failed to spawn dpmd")
+}
+
+#[test]
+fn exhausted_retries_exit_typed_without_panic_spew() {
+    let dir = test_dir("dpft-bin-retries");
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = lj_parallel_deck(&format!(
+        r#",
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "fault_kill_rank": 1,
+        "fault_kill_step": 15,
+        "fault_kill_every_epoch": true,
+        "fault_max_retries": 1"#
+    ));
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+
+    let out = dpmd(&deck_path, &[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("retries exhausted") && stderr.contains("injected fault"),
+        "untyped stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stdout.contains("panicked"),
+        "panic spew leaked:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn injected_fault_counters_reach_metrics_jsonl() {
+    let dir = test_dir("dpft-bin-metrics");
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = lj_parallel_deck(&format!(
+        r#",
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "fault_kill_rank": 1,
+        "fault_kill_step": 15"#
+    ));
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+
+    let out = dpmd(&deck_path, &["--metrics", metrics.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "one-shot kill must be recovered:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("recovered from 1 failed epoch"),
+        "no recovery log line:\n{stdout}"
+    );
+
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        jsonl.contains("\"fault.detected\""),
+        "fault.detected missing from metrics:\n{jsonl}"
+    );
+    assert!(
+        jsonl.contains("\"recovery.attempt\""),
+        "recovery.attempt missing from metrics:\n{jsonl}"
+    );
+    assert!(
+        jsonl.contains("\"recovery.success\""),
+        "recovery.success missing from metrics:\n{jsonl}"
+    );
+}
+
+#[test]
+fn unknown_deck_key_exits_2_missing_file_exits_3() {
+    let dir = test_dir("dpft-bin-exit-codes");
+    let deck_path = dir.join("typo.json");
+    std::fs::write(&deck_path, lj_parallel_deck(r#", "stepz": 1"#)).unwrap();
+    let out = dpmd(&deck_path, &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stepz"));
+
+    let out = dpmd(&dir.join("does-not-exist.json"), &[]);
+    assert_eq!(out.status.code(), Some(3));
+}

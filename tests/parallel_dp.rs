@@ -32,7 +32,8 @@ fn parallel_dp_energy_matches_serial() {
     let nl = NeighborList::build(&sys, dp.cutoff() + 2.0);
     let serial = dp.compute(&sys, &nl);
 
-    let run = run_parallel_md(&sys, dp.clone(), [2, 2, 2], &ParallelOptions::default(), 0);
+    let run =
+        run_parallel_md(&sys, dp.clone(), [2, 2, 2], &ParallelOptions::default(), 0).unwrap();
     let pe = run.thermo[0].potential_energy;
     assert!(
         (pe - serial.energy).abs() < 1e-8,
@@ -60,7 +61,7 @@ fn parallel_dp_trajectory_matches_serial() {
     let mut serial_sys = sys.clone();
     run_md(&mut serial_sys, dp.as_ref(), &opts.md, steps, |_| {});
 
-    let par = run_parallel_md(&sys, dp.clone(), [2, 2, 1], &opts, steps);
+    let par = run_parallel_md(&sys, dp.clone(), [2, 2, 1], &opts, steps).unwrap();
 
     let mut max_d = 0.0f64;
     for i in 0..serial_sys.len() {
@@ -87,7 +88,7 @@ fn parallel_dp_nve_is_stable() {
         blocking_reduce: false,
         ..ParallelOptions::default()
     };
-    let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 80);
+    let run = run_parallel_md(&sys, dp, [2, 2, 2], &opts, 80).unwrap();
     let drift = (run.thermo.last().unwrap().total_energy()
         - run.thermo.first().unwrap().total_energy())
     .abs()

@@ -68,3 +68,69 @@ target/release/benchcheck --from-metrics "$DIR/metrics.jsonl" \
   --workload tier1 --out "$DIR/BENCH_tier1.json"
 target/release/benchcheck "$DIR/BENCH_tier1.json"
 echo "tier1: bench smoke produced a valid BENCH_tier1.json"
+
+# Bench regression gate: regenerate the headline benchmark and compare
+# per-workload s/step/atom against the committed baseline. The tolerance
+# is a factor (machine/CI noise, not physics); an accidental hot-path
+# regression blows way past it.
+cargo run --release -q -p dp-bench --bin bench_dpmd -- --out "$DIR/BENCH_new.json"
+target/release/benchcheck "$DIR/BENCH_new.json"
+target/release/benchcheck --compare BENCH_dpmd.json "$DIR/BENCH_new.json" --tol 3.0
+echo "tier1: regenerated bench within tolerance of committed BENCH_dpmd.json"
+
+# Fault-tolerance smoke: a parallel deck with an injected rank kill must
+# recover from the checkpoint rotation, log the recovery, surface the
+# typed counters in --metrics, and exit 0.
+cat > "$DIR/fault.json" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 30,
+  "thermo_every": 10,
+  "grid": [2, 1, 1],
+  "checkpoint_every": 10,
+  "checkpoint_path": "$DIR/fault.ckpt",
+  "fault_kill_rank": 1,
+  "fault_kill_step": 15,
+  "seed": 7
+}
+EOF
+"$DPMD" "$DIR/fault.json" --metrics "$DIR/fault-metrics.jsonl" \
+  | grep -q 'recovered from 1 failed epoch'
+grep -q 'fault.detected' "$DIR/fault-metrics.jsonl"
+grep -q 'recovery.success' "$DIR/fault-metrics.jsonl"
+echo "tier1: injected rank kill recovered bit-exactly via checkpoint"
+
+# An unrecoverable fault (re-killed every epoch, retry budget 1) must exit
+# with the dedicated fault code 5, a typed message, and no panic spew.
+cat > "$DIR/fatal.json" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 30,
+  "thermo_every": 10,
+  "grid": [2, 1, 1],
+  "checkpoint_every": 10,
+  "checkpoint_path": "$DIR/fatal.ckpt",
+  "fault_kill_rank": 1,
+  "fault_kill_step": 15,
+  "fault_kill_every_epoch": true,
+  "fault_max_retries": 1,
+  "seed": 7
+}
+EOF
+set +e
+"$DPMD" "$DIR/fatal.json" > /dev/null 2> "$DIR/fatal.err"
+code=$?
+set -e
+test "$code" -eq 5
+grep -q 'retries exhausted' "$DIR/fatal.err"
+if grep -q 'panicked' "$DIR/fatal.err"; then
+  echo "tier1: panic spew leaked into a typed failure" >&2
+  exit 1
+fi
+echo "tier1: unrecoverable fault exits with typed code 5"

@@ -1,0 +1,123 @@
+//! Offline stub for `rayon` (see README.md): the `par_*` entry points the
+//! workspace uses, executed sequentially via the std iterators they shadow.
+
+pub mod prelude {
+    /// Sequential wrapper standing in for rayon's `ParallelIterator`. It
+    /// IS a std `Iterator` (so `enumerate`/`for_each`/`collect`/`sum`
+    /// chains work unchanged), and its *inherent* `map`/`reduce` shadow
+    /// the std ones so rayon's two-argument `reduce(identity, op)`
+    /// type-checks after a `map`.
+    pub struct ParIter<I>(pub I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    /// `into_par_iter()` → the plain sequential iterator, wrapped.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+        fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(size)
+        }
+    }
+
+    pub trait ParallelIterRef<T> {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    }
+
+    impl<T> ParallelIterRef<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+    }
+}
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for rayon's pool: `install` just runs the closure
+/// on the calling thread (which is exactly what a 1-thread pool does for
+/// the workspace's purposes).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon stub: pool build failed")
+    }
+}
+
+impl std::error::Error for BuildError {}

@@ -1,0 +1,19 @@
+//! Offline stub for `serde` (see README.md): marker traits plus the no-op
+//! derive re-exports. Nothing actually serializes through these.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+// Blanket impls so every derived type satisfies the bounds without the
+// no-op derive emitting anything. Safe here because the workspace has no
+// manual serde impls (grep-verified) — no coherence overlap is possible.
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {}
+
+pub trait Deserializer<'de> {}

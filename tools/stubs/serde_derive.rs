@@ -1,0 +1,16 @@
+//! Offline stub for `serde_derive` (see README.md): no-op derives so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes parse.
+
+extern crate proc_macro;
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
