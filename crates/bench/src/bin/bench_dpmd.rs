@@ -3,8 +3,11 @@
 //! Runs a short Deep Potential MD loop on the two paper workloads (water
 //! and copper, scaled down to finish in seconds) and emits one
 //! `dpmd-bench/1` row per workload: time-to-solution (s/step/atom, the
-//! Table 1 metric) and achieved GFLOPS (FLOPs / MD-loop time, §6.3).
-//! Untrained models: weights don't change the arithmetic being timed.
+//! Table 1 metric), achieved GFLOPS (FLOPs / MD-loop time, §6.3), and the
+//! compute/comm/wait phase fractions (Fig 6's decomposition, measured
+//! through a scoped span registry and classified by the imbalance
+//! analyzer's taxonomy). Untrained models: weights don't change the
+//! arithmetic being timed.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_dpmd --
 //! [--steps N] [--reps X,Y,Z] [--out BENCH.json]`
@@ -20,9 +23,10 @@ use dp_bench::workloads;
 use dp_linalg::flops::FlopCounter;
 use dp_md::integrate::{run_md, MdOptions};
 use dp_md::{lattice, Potential};
-use dp_obs::report::{BenchReport, BenchRow};
+use dp_obs::report::{BenchReport, BenchRow, PhaseFractions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 const DEFAULT_STEPS: usize = 5;
 
@@ -42,9 +46,22 @@ fn bench_workload(
         skin: ((sys.cell.max_cutoff() - pot.cutoff()) * 0.9).clamp(0.0, 1.0),
         ..MdOptions::default()
     };
+    // Collect the loop's spans in a scoped registry so each workload gets
+    // its own phase breakdown without touching the global span tables.
+    let reg = Arc::new(dp_obs::Registry::new(0));
+    let scope = dp_obs::scope(reg.clone());
+    dp_obs::enable();
     let flops = FlopCounter::start();
     let run = run_md(&mut sys, &pot, &opts, steps, |_| {});
-    BenchRow::from_run(name, sys.len(), run.steps, run.loop_time, flops.elapsed())
+    let flops = flops.elapsed();
+    dp_obs::disable();
+    drop(scope);
+    let phases = PhaseFractions::from_span_totals(
+        reg.span_stats()
+            .iter()
+            .map(|s| (s.name, s.total.as_secs_f64())),
+    );
+    BenchRow::from_run(name, sys.len(), run.steps, run.loop_time, flops).with_phases(phases)
 }
 
 fn usage() -> ! {
@@ -93,7 +110,10 @@ fn main() {
     };
 
     let mut report = BenchReport::new();
-    eprintln!("[bench_dpmd] water ({steps} steps, {} atoms)...", water_sys.len());
+    eprintln!(
+        "[bench_dpmd] water ({steps} steps, {} atoms)...",
+        water_sys.len()
+    );
     report.push(bench_workload(
         "water",
         workloads::water_config_small(),
@@ -101,7 +121,10 @@ fn main() {
         71,
         steps,
     ));
-    eprintln!("[bench_dpmd] copper ({steps} steps, {} atoms)...", copper_sys.len());
+    eprintln!(
+        "[bench_dpmd] copper ({steps} steps, {} atoms)...",
+        copper_sys.len()
+    );
     report.push(bench_workload(
         "copper",
         workloads::copper_config_small(),

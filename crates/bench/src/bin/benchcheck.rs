@@ -4,9 +4,10 @@
 //!
 //! * `benchcheck <BENCH.json>...` — parse each file and enforce the
 //!   `dpmd-bench/1` schema contract: `schema` starts with `"dpmd-bench"`,
-//!   `rows` is a non-empty array, and every row carries a positive finite
-//!   `s_per_step_per_atom`. Exits non-zero on the first violation — this
-//!   is the tier-1 bench-smoke gate.
+//!   `rows` is a non-empty array, every row carries a positive finite
+//!   `s_per_step_per_atom`, and any `phases` object holds compute/comm/
+//!   wait fractions in `[0,1]` that sum to 1. Exits non-zero on the first
+//!   violation — this is the tier-1 bench-smoke gate.
 //! * `benchcheck --from-metrics <metrics.jsonl> --workload <name> --out
 //!   <BENCH.json>` — aggregate a per-step JSONL metrics file (as written
 //!   by `dpmd --metrics`) into a single-row benchmark document, then
@@ -52,12 +53,37 @@ fn validate(path: &str) {
             .get("s_per_step_per_atom")
             .and_then(Value::as_f64)
             .unwrap_or_else(|| {
-                fail(&format!("{path}: row {i} has no numeric s_per_step_per_atom"))
+                fail(&format!(
+                    "{path}: row {i} has no numeric s_per_step_per_atom"
+                ))
             });
         if !tts.is_finite() || tts <= 0.0 {
             fail(&format!(
                 "{path}: row {i} ({workload}) has non-positive s_per_step_per_atom {tts}"
             ));
+        }
+        // optional phase breakdown: each fraction in [0,1], summing to 1
+        // (or all zero when the producer recorded no phase time)
+        if let Some(phases) = row.get("phases") {
+            let mut sum = 0.0f64;
+            for key in ["compute", "comm", "wait"] {
+                let v = phases.get(key).and_then(Value::as_f64).unwrap_or_else(|| {
+                    fail(&format!(
+                        "{path}: row {i} ({workload}) phases missing numeric \"{key}\""
+                    ))
+                });
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    fail(&format!(
+                        "{path}: row {i} ({workload}) phase {key}={v} outside [0,1]"
+                    ));
+                }
+                sum += v;
+            }
+            if sum > 0.0 && (sum - 1.0).abs() > 1e-6 {
+                fail(&format!(
+                    "{path}: row {i} ({workload}) phase fractions sum to {sum}, expected 1"
+                ));
+            }
         }
     }
     println!("{path}: OK ({} rows, schema {schema})", rows.len());

@@ -127,6 +127,8 @@ mod tests {
     fn snapshot_contains_registered_names() {
         counter("obs_test_snapshot").add(1);
         let snap = counters();
-        assert!(snap.iter().any(|&(n, v)| n == "obs_test_snapshot" && v >= 1));
+        assert!(snap
+            .iter()
+            .any(|&(n, v)| n == "obs_test_snapshot" && v >= 1));
     }
 }

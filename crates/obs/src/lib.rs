@@ -10,12 +10,23 @@
 //!   depth stack, aggregated per name ("neighbor_rebuild",
 //!   "ghost_exchange", "embedding_gemm", "fitting_net", "prod_force",
 //!   "prod_virial", "integrate", "comm", "io", ...),
+//! * [`registry`] — scoped per-rank registries: a rank thread installs a
+//!   [`Registry`] thread-locally ([`scope`]) and its spans/histograms land
+//!   there instead of the global tables, tagged with the rank id (the
+//!   chrome-trace `tid` lane),
 //! * [`counter`] — named process-wide counters/gauges (FLOPs, neighbor
 //!   counts, ghost atoms, bytes exchanged),
+//! * [`hist`] — allocation-free log2-bucketed histograms (mesh send/recv
+//!   latency, allreduce wait, ghost payload bytes, step wall time) with
+//!   p50/p95/max summaries in the metrics stream,
 //! * [`trace`] — a bounded ring-buffer event recorder exporting
-//!   chrome://tracing-loadable JSON,
+//!   chrome://tracing-loadable JSON (per-rank lanes after merging),
 //! * [`metrics`] — per-step JSONL snapshots deriving the paper's headline
 //!   figures (s/step/atom, achieved GFLOPS) exactly as §6.3 defines them,
+//!   plus out-of-band event lines (histograms, imbalance, faults),
+//! * [`imbalance`] — the §7.3 load-imbalance analyzer: per-phase
+//!   min/mean/max across ranks, compute/comm/wait shares, imbalance
+//!   ratios, achieved-vs-modeled FLOPS columns,
 //! * [`report`] — the stable `BENCH_*.json` schema seeding the repo's
 //!   machine-readable performance trajectory.
 //!
@@ -29,13 +40,19 @@
 //! un-instrumented runs.
 
 pub mod counter;
+pub mod hist;
+pub mod imbalance;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use counter::{counter, counters, Counter};
+pub use hist::{HistSnapshot, Histogram};
+pub use imbalance::{ImbalanceReport, PhaseStat};
+pub use registry::{scope, Registry, ScopeGuard};
 pub use span::{current_depth, reset_stats, span, stat, stats, time, timed, Span, SpanStat};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -94,6 +94,14 @@ impl<W: Write> MetricsWriter<W> {
         self.out.write_all(line.as_bytes())
     }
 
+    /// Append one pre-formatted JSON object as its own line. Used for
+    /// out-of-band events in the same stream as step rows: histogram
+    /// summaries, imbalance reports, heartbeats, fault markers.
+    pub fn emit_line(&mut self, json_object: &str) -> std::io::Result<()> {
+        self.out.write_all(json_object.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
     pub fn flush(&mut self) -> std::io::Result<()> {
         self.out.flush()
     }
@@ -153,6 +161,33 @@ pub fn record_step(step: u64, n_atoms: usize, wall: Duration) {
     }
 }
 
+/// Emit one pre-formatted JSON object line into the global sink (no-op
+/// when none is installed). Same deferred-error contract as
+/// [`record_step`].
+pub fn emit_line(json_object: &str) {
+    let mut guard = sink();
+    let GlobalSink { writer, error } = &mut *guard;
+    if let Some(w) = writer.as_mut() {
+        if let Err(e) = w.emit_line(json_object) {
+            error.get_or_insert(e);
+        }
+    }
+}
+
+/// Flush the global sink's buffered writer (no-op when none is
+/// installed). The parallel supervisor calls this after recording fault
+/// and recovery events so they survive even if a later epoch takes the
+/// process down before [`uninstall`] runs.
+pub fn flush() {
+    let mut guard = sink();
+    let GlobalSink { writer, error } = &mut *guard;
+    if let Some(w) = writer.as_mut() {
+        if let Err(e) = w.flush() {
+            error.get_or_insert(e);
+        }
+    }
+}
+
 /// Remove and flush the global sink, surfacing any deferred write error.
 /// `None` if no sink was installed.
 pub fn uninstall() -> Option<std::io::Result<()>> {
@@ -192,6 +227,26 @@ mod tests {
         // other tests may add to the shared counter concurrently, so only
         // check the field is present and the line is step 2.
         assert!(lines[1].contains("\"step\":2"));
+    }
+
+    #[test]
+    fn emit_line_interleaves_with_step_rows() {
+        let mut w = MetricsWriter::new(Vec::new());
+        w.record_step(1, 10, Duration::from_millis(1)).unwrap();
+        w.emit_line("{\"event\":\"imbalance\",\"n_ranks\":2}")
+            .unwrap();
+        let text = String::from_utf8(w.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
+        assert!(lines[1].contains("\"event\":\"imbalance\""));
+    }
+
+    #[test]
+    fn global_emit_and_flush_without_sink_are_noops() {
+        // no sink installed in this test: must not panic or create state
+        emit_line("{\"event\":\"orphan\"}");
+        flush();
     }
 
     #[test]

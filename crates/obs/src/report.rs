@@ -26,6 +26,48 @@ use std::time::Duration;
 /// adding fields is non-breaking.
 pub const BENCH_SCHEMA: &str = "dpmd-bench/1";
 
+/// Where the loop's busy time went, as fractions of the summed phase
+/// time (Fig 6's computation-vs-communication decomposition). Derived
+/// from span stats via [`crate::imbalance::classify_phase`]. Each is in
+/// `[0, 1]` and the three sum to 1 when any phase time was recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseFractions {
+    pub compute: f64,
+    pub comm: f64,
+    pub wait: f64,
+}
+
+impl PhaseFractions {
+    /// Classify span statistics (name, total seconds) into phase
+    /// fractions. Span names mapping to `"other"` are ignored — nested
+    /// spans would double-count their parents.
+    pub fn from_span_totals<'a>(spans: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let (mut compute, mut comm, mut wait) = (0.0f64, 0.0f64, 0.0f64);
+        for (name, secs) in spans {
+            match crate::imbalance::classify_phase(name) {
+                "compute" => compute += secs,
+                "comm" => comm += secs,
+                "wait" => wait += secs,
+                _ => {}
+            }
+        }
+        let busy = compute + comm + wait;
+        if busy > 0.0 {
+            Self {
+                compute: compute / busy,
+                comm: comm / busy,
+                wait: wait / busy,
+            }
+        } else {
+            Self {
+                compute: 0.0,
+                comm: 0.0,
+                wait: 0.0,
+            }
+        }
+    }
+}
+
 /// One benchmark measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
@@ -42,6 +84,8 @@ pub struct BenchRow {
     pub flops: u64,
     /// Achieved GFLOPS: `flops / loop_time_s / 1e9` (§6.3's `peak`).
     pub gflops: f64,
+    /// Optional compute/comm/wait breakdown of the timed loop.
+    pub phases: Option<PhaseFractions>,
 }
 
 impl BenchRow {
@@ -67,12 +111,19 @@ impl BenchRow {
             } else {
                 0.0
             },
+            phases: None,
         }
     }
 
+    /// Attach a compute/comm/wait breakdown (builder style).
+    pub fn with_phases(mut self, phases: PhaseFractions) -> Self {
+        self.phases = Some(phases);
+        self
+    }
+
     fn to_json(&self) -> String {
-        format!(
-            "{{\"workload\":\"{}\",\"n_atoms\":{},\"steps\":{},\"loop_time_s\":{},\"s_per_step_per_atom\":{},\"flops\":{},\"gflops\":{}}}",
+        let mut row = format!(
+            "{{\"workload\":\"{}\",\"n_atoms\":{},\"steps\":{},\"loop_time_s\":{},\"s_per_step_per_atom\":{},\"flops\":{},\"gflops\":{}",
             json::esc(&self.workload),
             self.n_atoms,
             self.steps,
@@ -80,7 +131,17 @@ impl BenchRow {
             json::num(self.s_per_step_per_atom),
             self.flops,
             json::num(self.gflops)
-        )
+        );
+        if let Some(p) = &self.phases {
+            row.push_str(&format!(
+                ",\"phases\":{{\"compute\":{},\"comm\":{},\"wait\":{}}}",
+                json::num(p.compute),
+                json::num(p.comm),
+                json::num(p.wait)
+            ));
+        }
+        row.push('}');
+        row
     }
 }
 
@@ -132,8 +193,20 @@ mod tests {
     #[test]
     fn json_has_schema_and_rows() {
         let mut rep = BenchReport::new();
-        rep.push(BenchRow::from_run("water", 3, 2, Duration::from_millis(6), 600));
-        rep.push(BenchRow::from_run("copper", 4, 2, Duration::from_millis(8), 800));
+        rep.push(BenchRow::from_run(
+            "water",
+            3,
+            2,
+            Duration::from_millis(6),
+            600,
+        ));
+        rep.push(BenchRow::from_run(
+            "copper",
+            4,
+            2,
+            Duration::from_millis(8),
+            800,
+        ));
         let s = rep.to_json();
         assert!(s.contains("\"schema\": \"dpmd-bench/1\""));
         assert!(s.contains("\"workload\":\"water\""));
@@ -150,5 +223,40 @@ mod tests {
         let r = BenchRow::from_run("empty", 0, 0, Duration::ZERO, 0);
         assert_eq!(r.gflops, 0.0);
         assert!(r.s_per_step_per_atom.is_finite());
+    }
+
+    #[test]
+    fn phase_fractions_classify_and_normalize() {
+        let p = PhaseFractions::from_span_totals([
+            ("force_eval", 6.0),
+            ("neighbor_rebuild", 1.0),
+            ("ghost_exchange", 2.0),
+            ("reduce", 1.0),
+            ("recovery_reload", 100.0), // "other": excluded
+        ]);
+        assert!((p.compute - 0.7).abs() < 1e-12);
+        assert!((p.comm - 0.2).abs() < 1e-12);
+        assert!((p.wait - 0.1).abs() < 1e-12);
+        assert!((p.compute + p.comm + p.wait - 1.0).abs() < 1e-12);
+        let empty = PhaseFractions::from_span_totals([]);
+        assert_eq!(empty.compute, 0.0);
+    }
+
+    #[test]
+    fn phases_serialize_as_nested_object() {
+        let row = BenchRow::from_run("water", 3, 2, Duration::from_millis(6), 600).with_phases(
+            PhaseFractions {
+                compute: 0.9,
+                comm: 0.06,
+                wait: 0.04,
+            },
+        );
+        let s = row.to_json();
+        assert!(s.contains("\"phases\":{\"compute\":"), "{s}");
+        assert!(s.contains("\"wait\":"), "{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        // rows without phases keep the original shape
+        let bare = BenchRow::from_run("copper", 3, 2, Duration::from_millis(6), 600).to_json();
+        assert!(!bare.contains("phases"));
     }
 }

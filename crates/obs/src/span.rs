@@ -2,9 +2,11 @@
 //!
 //! A [`Span`] is an RAII guard: creation pushes onto a thread-local depth
 //! stack and reads the clock, drop pops and records the elapsed time into
-//! (a) the per-name aggregate table read by [`stats`] and (b) the trace
-//! ring buffer when recording is on (see [`crate::trace`]). When the
-//! subsystem is disabled ([`crate::enabled`] is false) `span()` is a
+//! the thread's scoped [`crate::registry::Registry`] if one is installed
+//! (per-rank attribution in the parallel driver), otherwise into (a) the
+//! process-global per-name aggregate table read by [`stats`] and (b) the
+//! trace ring buffer when recording is on (see [`crate::trace`]). When
+//! the subsystem is disabled ([`crate::enabled`] is false) `span()` is a
 //! single relaxed atomic load.
 
 use std::cell::Cell;
@@ -68,9 +70,14 @@ impl Drop for Span {
     }
 }
 
-/// Record a completed span: per-name aggregate plus the trace ring buffer
-/// (if recording).
+/// Record a completed span. When the thread has a scoped
+/// [`crate::registry::Registry`] installed the span lands there (tagged
+/// with the registry's tid lane); otherwise it goes to the process-global
+/// aggregate table plus the trace ring buffer (if recording).
 fn record(name: &'static str, start: Instant, dur: Duration) {
+    if crate::registry::dispatch_span(name, start, dur) {
+        return;
+    }
     {
         let mut map = agg_lock();
         let entry = map.entry(name).or_insert((0, Duration::ZERO));

@@ -6,6 +6,14 @@
 //! exports as a JSON array of chrome trace "complete" events (`"ph":"X"`,
 //! microsecond `ts`/`dur`, per-thread `tid`), loadable in chrome://tracing
 //! or ui.perfetto.dev.
+//!
+//! Lane (`tid`) assignment: spans recorded through a scoped
+//! [`crate::registry::Registry`] carry the registry's tag — the parallel
+//! driver tags each registry with its rank id, so after [`inject`]ing the
+//! merged per-rank events, rank 0's compute lane sits directly above rank
+//! 1's halo-wait lane, the visual the paper's Fig 6 decomposition needs.
+//! Unscoped threads get dense ids starting at [`UNSCOPED_TID_BASE`] so
+//! they can never collide with a rank lane.
 
 use crate::json;
 use std::collections::VecDeque;
@@ -17,11 +25,16 @@ use std::time::{Duration, Instant};
 /// phase-level spans, a few MB of memory.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
+/// First `tid` handed to threads without a scoped registry. Rank lanes
+/// (registry tags) live in `0..UNSCOPED_TID_BASE`.
+pub const UNSCOPED_TID_BASE: u64 = 1000;
+
 /// One completed span, in chrome trace terms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     pub name: &'static str,
-    /// Small dense per-thread id (chrome lanes).
+    /// Chrome lane: the scoped registry's tag (= rank id in the parallel
+    /// driver), or a dense per-thread id >= [`UNSCOPED_TID_BASE`].
     pub tid: u64,
     /// Microseconds since the trace epoch.
     pub ts_us: f64,
@@ -29,14 +42,45 @@ pub struct TraceEvent {
     pub dur_us: f64,
 }
 
-struct Recorder {
+/// A bounded event ring: oldest events evicted past `capacity`, with the
+/// eviction count kept. Shared by the global recorder and each scoped
+/// registry's per-rank ring.
+#[derive(Debug)]
+pub(crate) struct Ring {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
 }
 
-fn recorder() -> MutexGuard<'static, Option<Recorder>> {
-    static RECORDER: OnceLock<Mutex<Option<Recorder>>> = OnceLock::new();
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self {
+            events: VecDeque::with_capacity(cap.min(DEFAULT_CAPACITY)),
+            capacity: cap,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events).into_iter().collect()
+    }
+}
+
+fn recorder() -> MutexGuard<'static, Option<Ring>> {
+    static RECORDER: OnceLock<Mutex<Option<Ring>>> = OnceLock::new();
     RECORDER
         .get_or_init(|| Mutex::new(None))
         .lock()
@@ -52,29 +96,41 @@ fn epoch() -> Instant {
 }
 
 fn thread_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
+    static NEXT: AtomicU64 = AtomicU64::new(UNSCOPED_TID_BASE);
     thread_local! {
         static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     TID.with(|t| *t)
 }
 
+/// Build a [`TraceEvent`] on the shared epoch clock. Used by the span
+/// layer (global path) and scoped registries (per-rank rings).
+pub(crate) fn event_from(
+    name: &'static str,
+    tid: u64,
+    start: Instant,
+    dur: Duration,
+) -> TraceEvent {
+    let ts = start.saturating_duration_since(epoch());
+    TraceEvent {
+        name,
+        tid,
+        ts_us: ts.as_secs_f64() * 1e6,
+        dur_us: dur.as_secs_f64() * 1e6,
+    }
+}
+
 /// Start recording into a fresh ring buffer of `capacity` events.
 /// Recording only captures spans, so the caller usually pairs this with
 /// [`crate::enable`].
 pub fn start_recording(capacity: usize) {
-    let cap = capacity.max(1);
-    *recorder() = Some(Recorder {
-        events: VecDeque::with_capacity(cap.min(DEFAULT_CAPACITY)),
-        capacity: cap,
-        dropped: 0,
-    });
+    *recorder() = Some(Ring::new(capacity));
 }
 
 /// Stop recording and take the buffered events (oldest first).
 pub fn stop_recording() -> Vec<TraceEvent> {
     match recorder().take() {
-        Some(r) => r.events.into_iter().collect(),
+        Some(mut r) => r.take(),
         None => Vec::new(),
     }
 }
@@ -89,22 +145,25 @@ pub fn dropped_events() -> u64 {
     recorder().as_ref().map_or(0, |r| r.dropped)
 }
 
-/// Called by the span layer for every completed span. Cheap no-op when no
-/// recorder is installed.
+/// Called by the span layer for every completed *unscoped* span. Cheap
+/// no-op when no recorder is installed.
 pub(crate) fn push_span(name: &'static str, start: Instant, dur: Duration) {
     let mut guard = recorder();
     let Some(r) = guard.as_mut() else { return };
-    if r.events.len() >= r.capacity {
-        r.events.pop_front();
-        r.dropped += 1;
+    let tid = thread_id();
+    r.push(event_from(name, tid, start, dur));
+}
+
+/// Merge externally collected events (e.g. drained from per-rank scoped
+/// registries) into the active recording, preserving their `tid` lanes.
+/// Events are dropped (and counted) if no recording is active or the ring
+/// overflows — same bounded-memory contract as live recording.
+pub fn inject(events: impl IntoIterator<Item = TraceEvent>) {
+    let mut guard = recorder();
+    let Some(r) = guard.as_mut() else { return };
+    for e in events {
+        r.push(e);
     }
-    let ts = start.saturating_duration_since(epoch());
-    r.events.push_back(TraceEvent {
-        name,
-        tid: thread_id(),
-        ts_us: ts.as_secs_f64() * 1e6,
-        dur_us: dur.as_secs_f64() * 1e6,
-    });
 }
 
 /// Render events as a chrome://tracing JSON array of complete events.
@@ -148,7 +207,11 @@ mod tests {
         assert!(dropped_events() >= 6);
         let events = stop_recording();
         crate::disable();
-        assert!(events.len() <= 4, "ring grew past capacity: {}", events.len());
+        assert!(
+            events.len() <= 4,
+            "ring grew past capacity: {}",
+            events.len()
+        );
         assert!(events.iter().all(|e| e.name == "ring_phase"));
     }
 
@@ -166,6 +229,7 @@ mod tests {
         let outer = events.iter().find(|e| e.name == "trace_outer").unwrap();
         let inner = events.iter().find(|e| e.name == "trace_inner").unwrap();
         assert_eq!(outer.tid, inner.tid);
+        assert!(outer.tid >= UNSCOPED_TID_BASE);
         assert!(inner.ts_us >= outer.ts_us);
         assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1e-3);
     }
@@ -181,11 +245,49 @@ mod tests {
         let s = chrome_trace_json(&events);
         assert!(s.starts_with('['));
         assert!(s.trim_end().ends_with(']'));
-        for key in ["\"name\":", "\"ph\":\"X\"", "\"ts\":", "\"dur\":", "\"tid\":3", "\"pid\":"] {
+        for key in [
+            "\"name\":",
+            "\"ph\":\"X\"",
+            "\"ts\":",
+            "\"dur\":",
+            "\"tid\":3",
+            "\"pid\":",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
         // escaped quote survived
         assert!(s.contains("phase \\\"x\\\""));
+    }
+
+    #[test]
+    fn inject_merges_external_lanes_into_the_recording() {
+        let _guard = test_lock();
+        start_recording(8);
+        inject([
+            TraceEvent {
+                name: "rank_phase",
+                tid: 0,
+                ts_us: 1.0,
+                dur_us: 2.0,
+            },
+            TraceEvent {
+                name: "rank_phase",
+                tid: 1,
+                ts_us: 1.5,
+                dur_us: 2.0,
+            },
+        ]);
+        let events = stop_recording();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.tid == 0));
+        assert!(events.iter().any(|e| e.tid == 1));
+        // inject without a recording is a no-op, not a panic
+        inject([TraceEvent {
+            name: "late",
+            tid: 0,
+            ts_us: 0.0,
+            dur_us: 0.0,
+        }]);
     }
 
     #[test]

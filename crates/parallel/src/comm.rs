@@ -7,12 +7,27 @@
 //! failing rank sets on teardown so waiting peers wake with
 //! [`CommError::PeerFailed`] instead of sleeping until the heat death of
 //! the job (the emulated-MPI analogue of ULFM's revoked communicators).
+//!
+//! Every mesh message travels in an [`Envelope`] carrying an explicit
+//! per-(sender, receiver) sequence number. The receiver checks it against
+//! its own count: a gap or inversion is reported *deterministically* as
+//! [`CommError::Protocol`] (plus a `comm.seq_gap` counter tick) at the
+//! very next receive, instead of surfacing later as a message-shape
+//! mismatch or a timeout. Sequence numbers are assigned *before* fault
+//! injection decides to drop a message, so injected drops leave the same
+//! gap a real loss would.
+//!
+//! When the observability subsystem is enabled, sends and receives also
+//! feed `dp_obs` histograms (`comm.send_ns`, `comm.recv_wait_ns`,
+//! `comm.reduce_wait_ns`, `comm.ghost_bytes`) — these land in the calling
+//! rank's scoped registry, giving per-rank latency distributions.
 
 use crate::fault::{FaultState, SendAction};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default receive/reduce deadline. Generous: a healthy emulated rank
 /// answers in microseconds, so hitting this means a peer is gone.
@@ -45,7 +60,10 @@ impl std::fmt::Display for CommError {
                 write!(f, "allreduce did not complete within {deadline:?}")
             }
             CommError::Protocol { from, expected } => {
-                write!(f, "protocol violation: expected {expected} from rank {from}")
+                write!(
+                    f,
+                    "protocol violation: expected {expected} from rank {from}"
+                )
             }
         }
     }
@@ -103,15 +121,39 @@ pub enum Msg {
     CkptAtoms(Vec<CkptAtom>),
 }
 
+/// A mesh message plus its per-(sender, receiver) sequence number.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub seq: u64,
+    pub msg: Msg,
+}
+
+/// Payload size of the ghost-exchange message variants (what the paper's
+/// halo traffic is made of); 0 for non-ghost messages.
+fn ghost_payload_bytes(msg: &Msg) -> u64 {
+    match msg {
+        Msg::Ghosts(v) => (v.len() * std::mem::size_of::<GhostAtom>()) as u64,
+        Msg::GhostPositions(v) | Msg::GhostForces(v) => {
+            (v.len() * std::mem::size_of::<[f64; 3]>()) as u64
+        }
+        Msg::Migrants(_) | Msg::CkptAtoms(_) => 0,
+    }
+}
+
 /// Per-rank endpoints of a full point-to-point mesh.
 pub struct RankComm {
     pub rank: usize,
     /// `to[r]` sends to rank r (None for self).
-    pub to: Vec<Option<Sender<Msg>>>,
+    pub to: Vec<Option<Sender<Envelope>>>,
     /// `from[r]` receives from rank r (None for self).
-    pub from: Vec<Option<Receiver<Msg>>>,
+    pub from: Vec<Option<Receiver<Envelope>>>,
     /// How long `recv` waits before declaring the sender dead.
     pub deadline: Duration,
+    /// Next sequence number per destination (assigned even to messages
+    /// fault injection then drops, so drops leave a detectable gap).
+    send_seq: Vec<AtomicU64>,
+    /// Next expected sequence number per source.
+    recv_seq: Vec<AtomicU64>,
     /// Fault-injection hooks; `None` in production (one branch per send).
     faults: Option<Arc<FaultState>>,
 }
@@ -130,12 +172,10 @@ impl RankComm {
         faults: Option<Arc<FaultState>>,
     ) -> Vec<RankComm> {
         // channels[i][j]: i -> j
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
+        let mut senders: Vec<Vec<Option<Sender<Envelope>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Envelope>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for i in 0..n {
             for j in 0..n {
                 if i == j {
@@ -153,6 +193,8 @@ impl RankComm {
                 to,
                 from,
                 deadline,
+                send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                recv_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 faults: faults.clone(),
             });
         }
@@ -160,6 +202,9 @@ impl RankComm {
     }
 
     pub fn send(&self, dest: usize, msg: Msg) -> Result<(), CommError> {
+        // The sequence number is consumed before fault injection runs:
+        // a dropped message leaves a gap the receiver detects.
+        let seq = self.send_seq[dest].fetch_add(1, Ordering::Relaxed);
         if let Some(f) = &self.faults {
             match f.on_send(self.rank, dest) {
                 SendAction::Deliver => {}
@@ -167,14 +212,21 @@ impl RankComm {
                 SendAction::Delay(d) => std::thread::sleep(d),
             }
         }
-        match &self.to[dest] {
-            Some(tx) => tx
-                .send(msg)
-                .map_err(|_| CommError::PeerFailed { rank: dest }),
-            None => Err(CommError::Protocol {
-                from: dest,
-                expected: "a non-self destination",
-            }),
+        let tx = self.to[dest].as_ref().ok_or(CommError::Protocol {
+            from: dest,
+            expected: "a non-self destination",
+        })?;
+        if dp_obs::enabled() {
+            dp_obs::hist::record("comm.ghost_bytes", ghost_payload_bytes(&msg));
+            let t0 = Instant::now();
+            let res = tx
+                .send(Envelope { seq, msg })
+                .map_err(|_| CommError::PeerFailed { rank: dest });
+            dp_obs::hist::record("comm.send_ns", t0.elapsed().as_nanos() as u64);
+            res
+        } else {
+            tx.send(Envelope { seq, msg })
+                .map_err(|_| CommError::PeerFailed { rank: dest })
         }
     }
 
@@ -183,14 +235,29 @@ impl RankComm {
             from: src,
             expected: "a non-self source",
         })?;
-        match rx.recv_timeout(self.deadline) {
-            Ok(m) => Ok(m),
-            Err(RecvTimeoutError::Disconnected) => Err(CommError::PeerFailed { rank: src }),
-            Err(RecvTimeoutError::Timeout) => Err(CommError::RecvTimeout {
-                from: src,
-                deadline: self.deadline,
-            }),
+        let t0 = dp_obs::enabled().then(Instant::now);
+        let envelope = match rx.recv_timeout(self.deadline) {
+            Ok(e) => e,
+            Err(RecvTimeoutError::Disconnected) => return Err(CommError::PeerFailed { rank: src }),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(CommError::RecvTimeout {
+                    from: src,
+                    deadline: self.deadline,
+                })
+            }
+        };
+        if let Some(t0) = t0 {
+            dp_obs::hist::record("comm.recv_wait_ns", t0.elapsed().as_nanos() as u64);
         }
+        let expected = self.recv_seq[src].fetch_add(1, Ordering::Relaxed);
+        if envelope.seq != expected {
+            dp_obs::counter("comm.seq_gap").add(1);
+            return Err(CommError::Protocol {
+                from: src,
+                expected: "the next message sequence number (a message was lost or reordered)",
+            });
+        }
+        Ok(envelope.msg)
     }
 }
 
@@ -203,6 +270,11 @@ struct ReduceState {
     arrived: usize,
     generation: u64,
     result: Vec<f64>,
+    /// Copy of `parts` frozen at barrier completion, handed out by
+    /// [`Allreduce::gather_into`] (the allgather view of the same
+    /// barrier). A separate buffer: a fast rank may start writing the
+    /// next generation's `parts` while slow waiters still read this one.
+    gathered: Vec<f64>,
     /// Set by a failing rank on teardown; wakes every waiter with
     /// `PeerFailed` and fails all later calls.
     poisoned: Option<usize>,
@@ -233,12 +305,79 @@ impl Allreduce {
                 arrived: 0,
                 generation: 0,
                 result: vec![0.0; width],
+                gathered: vec![0.0; n * width],
                 poisoned: None,
             }),
             cv: Condvar::new(),
             ops: std::sync::atomic::AtomicU64::new(0),
             deadline,
         }
+    }
+
+    /// Barrier core shared by [`Allreduce::reduce_into`] and
+    /// [`Allreduce::gather_into`]: contribute `rank`'s slot, wait for the
+    /// generation to complete, and return the locked state whose `result`
+    /// (rank-ordered fold) and `gathered` (frozen slot copy) belong to
+    /// this caller's generation. Records the wall time spent in the
+    /// barrier into the `comm.reduce_wait_ns` histogram when enabled.
+    fn arrive_and_wait(
+        &self,
+        rank: usize,
+        contribution: &[f64],
+    ) -> Result<parking_lot::MutexGuard<'_, ReduceState>, CommError> {
+        assert_eq!(contribution.len(), self.width);
+        let t0 = dp_obs::enabled().then(Instant::now);
+        let record_wait = |t0: Option<Instant>| {
+            if let Some(t0) = t0 {
+                dp_obs::hist::record("comm.reduce_wait_ns", t0.elapsed().as_nanos() as u64);
+            }
+        };
+        let mut st = self.state.lock();
+        if let Some(r) = st.poisoned {
+            return Err(CommError::PeerFailed { rank: r });
+        }
+        let my_gen = st.generation;
+        st.parts[rank * self.width..(rank + 1) * self.width].copy_from_slice(contribution);
+        st.arrived += 1;
+        if st.arrived == self.n {
+            let s = &mut *st;
+            s.gathered.copy_from_slice(&s.parts);
+            s.result.fill(0.0);
+            for r in 0..self.n {
+                let slot = &s.parts[r * self.width..(r + 1) * self.width];
+                for (acc, &c) in s.result.iter_mut().zip(slot) {
+                    *acc += c;
+                }
+            }
+            st.arrived = 0;
+            st.generation += 1;
+            self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.cv.notify_all();
+            record_wait(t0);
+            return Ok(st);
+        }
+        let timed_out = self
+            .cv
+            .wait_while_for(
+                &mut st,
+                |s| s.generation == my_gen && s.poisoned.is_none(),
+                self.deadline,
+            )
+            .timed_out();
+        record_wait(t0);
+        if st.generation != my_gen {
+            // The barrier completed (possibly racing a poison): the
+            // result is whole, hand it out.
+            return Ok(st);
+        }
+        if let Some(r) = st.poisoned {
+            return Err(CommError::PeerFailed { rank: r });
+        }
+        debug_assert!(timed_out);
+        let _ = timed_out;
+        Err(CommError::ReduceTimeout {
+            deadline: self.deadline,
+        })
     }
 
     /// Contribute and wait for the global sum, written into `out` — no
@@ -253,54 +392,30 @@ impl Allreduce {
         contribution: &[f64],
         out: &mut [f64],
     ) -> Result<(), CommError> {
-        assert_eq!(contribution.len(), self.width);
         assert_eq!(out.len(), self.width);
-        let mut st = self.state.lock();
-        if let Some(r) = st.poisoned {
-            return Err(CommError::PeerFailed { rank: r });
-        }
-        let my_gen = st.generation;
-        st.parts[rank * self.width..(rank + 1) * self.width].copy_from_slice(contribution);
-        st.arrived += 1;
-        if st.arrived == self.n {
-            let s = &mut *st;
-            s.result.fill(0.0);
-            for r in 0..self.n {
-                let slot = &s.parts[r * self.width..(r + 1) * self.width];
-                for (acc, &c) in s.result.iter_mut().zip(slot) {
-                    *acc += c;
-                }
-            }
-            st.arrived = 0;
-            st.generation += 1;
-            self.ops
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.cv.notify_all();
-            out.copy_from_slice(&st.result);
-            return Ok(());
-        }
-        let timed_out = self
-            .cv
-            .wait_while_for(
-                &mut st,
-                |s| s.generation == my_gen && s.poisoned.is_none(),
-                self.deadline,
-            )
-            .timed_out();
-        if st.generation != my_gen {
-            // The reduction completed (possibly racing a poison): the
-            // result is whole, hand it out.
-            out.copy_from_slice(&st.result);
-            return Ok(());
-        }
-        if let Some(r) = st.poisoned {
-            return Err(CommError::PeerFailed { rank: r });
-        }
-        debug_assert!(timed_out);
-        let _ = timed_out;
-        Err(CommError::ReduceTimeout {
-            deadline: self.deadline,
-        })
+        let st = self.arrive_and_wait(rank, contribution)?;
+        out.copy_from_slice(&st.result);
+        Ok(())
+    }
+
+    /// Allgather over the same barrier: every rank contributes `width`
+    /// values and receives *all* contributions, rank-slot ordered
+    /// (`out[r * width + k]` is rank r's k-th value). The imbalance
+    /// heartbeat uses this so rank 0 can compute cross-rank max/mean/min
+    /// of phase timings mid-run. Collective: do not mix a `gather_into`
+    /// generation with `reduce_into` calls on other ranks — though the
+    /// barrier itself would complete, each caller would read a different
+    /// view. The driver keeps a dedicated `Allreduce` for gathers.
+    pub fn gather_into(
+        &self,
+        rank: usize,
+        contribution: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), CommError> {
+        assert_eq!(out.len(), self.n * self.width);
+        let st = self.arrive_and_wait(rank, contribution)?;
+        out.copy_from_slice(&st.gathered);
+        Ok(())
     }
 
     /// Allocating convenience wrapper around [`Allreduce::reduce_into`].
@@ -347,8 +462,12 @@ mod tests {
     #[test]
     fn mesh_channels_are_pairwise_ordered() {
         let mesh = RankComm::mesh(2);
-        mesh[0].send(1, Msg::GhostPositions(vec![[1.0; 3]])).unwrap();
-        mesh[0].send(1, Msg::GhostPositions(vec![[2.0; 3]])).unwrap();
+        mesh[0]
+            .send(1, Msg::GhostPositions(vec![[1.0; 3]]))
+            .unwrap();
+        mesh[0]
+            .send(1, Msg::GhostPositions(vec![[2.0; 3]]))
+            .unwrap();
         let first = mesh[1].recv(0).unwrap();
         let second = mesh[1].recv(0).unwrap();
         match (first, second) {
@@ -487,6 +606,121 @@ mod tests {
             ar.reduce(0, &[1.0]).unwrap_err(),
             CommError::PeerFailed { rank: 2 }
         );
+    }
+
+    #[test]
+    fn gather_returns_every_ranks_slot_in_rank_order() {
+        let n = 3;
+        let width = 2;
+        let ar = Arc::new(Allreduce::new(n, width));
+        let views: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let ar = ar.clone();
+                    s.spawn(move || {
+                        let mut out = vec![0.0; n * width];
+                        ar.gather_into(r, &[r as f64, 10.0 * r as f64], &mut out)
+                            .unwrap();
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for v in views {
+            assert_eq!(v, vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn gather_generations_do_not_leak_stale_slots() {
+        let n = 2;
+        let ar = Arc::new(Allreduce::new(n, 1));
+        let rounds: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let ar = ar.clone();
+                    s.spawn(move || {
+                        let mut a = vec![0.0; n];
+                        let mut b = vec![0.0; n];
+                        ar.gather_into(r, &[(r + 1) as f64], &mut a).unwrap();
+                        ar.gather_into(r, &[(r + 1) as f64 * 100.0], &mut b)
+                            .unwrap();
+                        (a, b)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in rounds {
+            assert_eq!(a, vec![1.0, 2.0]);
+            assert_eq!(b, vec![100.0, 200.0]);
+        }
+    }
+
+    #[test]
+    fn dropped_message_leaves_a_detectable_seq_gap() {
+        use crate::fault::{FaultPlan, MsgSelector};
+        let plan = FaultPlan {
+            drop_msg: Some(MsgSelector {
+                from: 0,
+                to: 1,
+                seq: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        let faults = Arc::new(FaultState::new(plan, 2));
+        let mesh = RankComm::mesh_with(2, Duration::from_millis(100), Some(faults));
+        let before = dp_obs::counter("comm.seq_gap").get();
+        mesh[0]
+            .send(1, Msg::GhostPositions(vec![[1.0; 3]]))
+            .unwrap(); // dropped
+        mesh[0]
+            .send(1, Msg::GhostPositions(vec![[2.0; 3]]))
+            .unwrap(); // seq 1
+        let err = mesh[1].recv(0).unwrap_err();
+        assert!(
+            matches!(err, CommError::Protocol { from: 0, .. }),
+            "expected deterministic Protocol error, got {err:?}"
+        );
+        assert!(dp_obs::counter("comm.seq_gap").get() > before);
+    }
+
+    #[test]
+    fn reordered_message_is_a_protocol_error() {
+        let mesh = RankComm::mesh(2);
+        // Bypass send() to deliver out of order: seq 1 before seq 0.
+        let tx = mesh[0].to[1].as_ref().unwrap();
+        tx.send(Envelope {
+            seq: 1,
+            msg: Msg::GhostPositions(vec![[1.0; 3]]),
+        })
+        .unwrap();
+        tx.send(Envelope {
+            seq: 0,
+            msg: Msg::GhostPositions(vec![[2.0; 3]]),
+        })
+        .unwrap();
+        let before = dp_obs::counter("comm.seq_gap").get();
+        let err = mesh[1].recv(0).unwrap_err();
+        assert!(matches!(err, CommError::Protocol { from: 0, .. }));
+        assert!(dp_obs::counter("comm.seq_gap").get() > before);
+    }
+
+    #[test]
+    fn in_order_messages_pass_the_seq_check() {
+        let mesh = RankComm::mesh(2);
+        for i in 0..5 {
+            mesh[0]
+                .send(1, Msg::GhostPositions(vec![[i as f64; 3]]))
+                .unwrap();
+        }
+        for i in 0..5 {
+            match mesh[1].recv(0).unwrap() {
+                Msg::GhostPositions(v) => assert_eq!(v[0][0], i as f64),
+                other => panic!("wrong message {other:?}"),
+            }
+        }
     }
 
     #[test]

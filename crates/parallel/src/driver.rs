@@ -32,6 +32,19 @@
 //! * a resumed epoch reuses the checkpointed forces instead of
 //!   re-evaluating them, and all schedules (thermo, rebuild, checkpoint)
 //!   are keyed on the absolute step number.
+//!
+//! # Per-rank observability
+//!
+//! Each epoch creates one `dp_obs` [`Registry`] per rank and installs it
+//! thread-locally in the rank thread: spans, latency histograms
+//! (`comm.send_ns`, `comm.recv_wait_ns`, `comm.reduce_wait_ns`,
+//! `comm.ghost_bytes`, `step_wall_ns`) and trace events land in per-rank
+//! tables tagged with the rank id. After every epoch — clean or failed —
+//! the supervisor merges the rank trace lanes into the global recording
+//! (each rank is its own chrome-trace `tid`) and emits per-rank histogram
+//! summary lines into the metrics stream. `report_every` adds a live
+//! §7.3 heartbeat; the final [`ParallelRun::imbalance`] report breaks the
+//! run into compute/comm/wait across ranks.
 
 use crate::comm::{Allreduce, CkptAtom, CommError, GhostAtom, Migrant, Msg, RankComm};
 use crate::fault::{self, FaultPlan, FaultState};
@@ -40,6 +53,7 @@ use dp_ckpt::{CkptError, Rotation};
 use dp_md::checkpoint::MdCheckpoint;
 use dp_md::integrate::{MdOptions, MdProgress, ThermoSample};
 use dp_md::{units, NeighborList, NlScratch, Potential, PotentialOutput, System};
+use dp_obs::{ImbalanceReport, Registry};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -90,6 +104,12 @@ pub struct ParallelOptions {
     /// Deadline for point-to-point receives and reductions; a rank that
     /// hears nothing for this long declares the peer dead.
     pub comm_deadline: Duration,
+    /// Live load-balance heartbeat stride: every `report_every` steps the
+    /// ranks gather their per-phase time deltas (an extra width-4
+    /// allgather on the same collective schedule) and rank 0 prints a
+    /// one-line §7.3-style breakdown, also emitted into the metrics
+    /// stream as an `imbalance_heartbeat` event. 0 disables (default).
+    pub report_every: usize,
 }
 
 impl Default for ParallelOptions {
@@ -103,6 +123,7 @@ impl Default for ParallelOptions {
             faults: None,
             max_recoveries: 2,
             comm_deadline: crate::comm::DEFAULT_DEADLINE,
+            report_every: 0,
         }
     }
 }
@@ -117,10 +138,7 @@ pub enum RunError {
     RankFailure { failure: String },
     /// A rank failed and reloading a checkpoint for recovery also failed
     /// (no valid generation, or the snapshot is outside the run window).
-    Recovery {
-        failure: String,
-        source: CkptError,
-    },
+    Recovery { failure: String, source: CkptError },
     /// The supervisor recovered `attempts` times and the run still failed.
     RetriesExhausted { attempts: usize, last: String },
 }
@@ -136,7 +154,10 @@ impl std::fmt::Display for RunError {
                 write!(f, "{failure}; recovery failed: {source}")
             }
             RunError::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} recoveries; last failure: {last}")
+                write!(
+                    f,
+                    "retries exhausted after {attempts} recoveries; last failure: {last}"
+                )
             }
         }
     }
@@ -183,6 +204,13 @@ pub struct ParallelRun {
     /// with a `.1`/`.2` suffix means the newest generation was unusable
     /// and the rotation fell back.
     pub recovered_from: Vec<PathBuf>,
+    /// §7.3 cross-rank phase breakdown (compute/comm/wait) for the final
+    /// clean epoch. The compute row carries the achieved GFLOPS rate; the
+    /// modeled column is left for the caller to fill from `dp-perfmodel`.
+    pub imbalance: ImbalanceReport,
+    /// FLOPs the final clean epoch performed (the `"flops"` counter delta
+    /// over that epoch — consistent with the window `imbalance` covers).
+    pub flops: u64,
 }
 
 impl ParallelRun {
@@ -241,6 +269,9 @@ struct EpochOutcome {
     outcomes: Vec<RankOutcome>,
     reduce_operations: u64,
     wall: Duration,
+    /// Per-rank observability registries the rank threads recorded into
+    /// (spans, latency histograms, trace lanes), indexed by rank.
+    registries: Vec<Arc<Registry>>,
 }
 
 impl EpochOutcome {
@@ -313,6 +344,7 @@ pub fn run_parallel_md(
 
     loop {
         let epoch_sys = restored.as_ref().unwrap_or(sys);
+        let epoch_flops0 = dp_obs::counter("flops").get();
         let epoch = run_epoch(
             epoch_sys,
             &pot,
@@ -325,6 +357,10 @@ pub fn run_parallel_md(
             faults.clone(),
         );
         reduce_operations += epoch.reduce_operations;
+        // publish per-rank trace lanes and histogram summaries for clean
+        // AND failed epochs: a dying epoch's partial observability is
+        // often the most interesting part of the run
+        publish_epoch_obs(&epoch);
 
         let Some(failure) = epoch.failure().map(String::from) else {
             // clean epoch: the run is complete
@@ -353,6 +389,13 @@ pub fn run_parallel_md(
                 rank_stats.push(o.stats.clone());
             }
             rank_stats.sort_by_key(|s| s.rank);
+            let flops = dp_obs::counter("flops").get().saturating_sub(epoch_flops0);
+            let imbalance = build_imbalance(
+                &rank_stats,
+                grid.n_ranks(),
+                (end_step - start_step) as u64,
+                flops,
+            );
             let mut final_sys = System::new(sys.cell, positions, types, sys.masses.clone());
             final_sys.velocities = velocities;
             return Ok(ParallelRun {
@@ -364,6 +407,8 @@ pub fn run_parallel_md(
                 reduce_operations,
                 recoveries,
                 recovered_from,
+                imbalance,
+                flops,
             });
         };
 
@@ -419,7 +464,66 @@ pub fn run_parallel_md(
 fn record_failed_epoch_metrics(epoch: &EpochOutcome, start_step: usize, n_atoms: usize) {
     if dp_obs::metrics::active() {
         dp_obs::metrics::record_step(epoch.last_step(start_step) as u64, n_atoms, epoch.wall);
+        // The sink's writer is buffered and a failed epoch may be the
+        // last thing this process does: flush so the fault/recovery
+        // counters and the dying epoch's histogram rows reach disk even
+        // if uninstall never runs.
+        dp_obs::metrics::flush();
     }
+}
+
+/// Publish one epoch's per-rank observability: merge the rank trace lanes
+/// into the global recording (each rank keeps its own `tid`) and emit one
+/// histogram-summary line per (rank, histogram) into the metrics stream.
+fn publish_epoch_obs(epoch: &EpochOutcome) {
+    if dp_obs::trace::is_recording() {
+        let (events, _dropped) = dp_obs::registry::merge_traces(&epoch.registries);
+        dp_obs::trace::inject(events);
+    }
+    if dp_obs::metrics::active() {
+        for reg in &epoch.registries {
+            for (name, snap) in reg.hist_snapshots() {
+                if snap.count == 0 {
+                    continue;
+                }
+                dp_obs::metrics::emit_line(&format!(
+                    "{{\"event\":\"hist\",\"name\":\"{name}\",\"rank\":{},{}}}",
+                    reg.tag(),
+                    snap.json_fields()
+                ));
+            }
+        }
+    }
+}
+
+/// Build the end-of-run §7.3 breakdown from the final epoch's rank stats.
+/// The compute row gets the achieved aggregate GFLOPS (FLOPs over the
+/// mean per-rank compute seconds); the modeled column stays `None` for
+/// the caller to fill from `dp-perfmodel`.
+fn build_imbalance(
+    rank_stats: &[RankStats],
+    n_ranks: usize,
+    steps: u64,
+    flops: u64,
+) -> ImbalanceReport {
+    let secs = |f: fn(&RankStats) -> Duration| -> Vec<f64> {
+        rank_stats.iter().map(|s| f(s).as_secs_f64()).collect()
+    };
+    let mut report = ImbalanceReport::from_phase_times(
+        n_ranks,
+        steps,
+        &[
+            ("compute", secs(|s| s.compute_time)),
+            ("comm", secs(|s| s.comm_time)),
+            ("wait", secs(|s| s.reduce_time)),
+        ],
+    );
+    if let Some(p) = report.phase_mut("compute") {
+        if flops > 0 && p.mean_s > 0.0 {
+            p.gflops = Some(flops as f64 / p.mean_s / 1e9);
+        }
+    }
+    report
 }
 
 /// Scatter the state, spawn one thread per rank, run the step loop under
@@ -455,6 +559,24 @@ fn run_epoch(
     let mesh = RankComm::mesh_with(n_ranks, opts.comm_deadline, faults.clone());
     let thermo_reduce = Arc::new(Allreduce::with_deadline(n_ranks, 9, opts.comm_deadline));
     let flag_reduce = Arc::new(Allreduce::with_deadline(n_ranks, 1, opts.comm_deadline));
+    // dedicated barrier for the heartbeat allgather ([compute, comm,
+    // wait, wall] seconds per rank) so it never shares a generation with
+    // the thermo/flag reductions
+    let stats_gather = Arc::new(Allreduce::with_deadline(n_ranks, 4, opts.comm_deadline));
+    // one observability registry per rank: installed thread-locally in
+    // the rank thread, so its spans/histograms land in a per-rank table
+    // tagged with the rank id (the chrome-trace tid lane after merging)
+    let tracing = dp_obs::trace::is_recording();
+    let trace_cap = (dp_obs::trace::DEFAULT_CAPACITY / n_ranks).max(4096);
+    let registries: Vec<Arc<Registry>> = (0..n_ranks)
+        .map(|rank| {
+            let reg = Arc::new(Registry::new(rank as u64));
+            if tracing {
+                reg.enable_trace(trace_cap);
+            }
+            reg
+        })
+        .collect();
     let masses = sys.masses.clone();
     let cell = sys.cell;
     let start = Instant::now();
@@ -468,6 +590,8 @@ fn run_epoch(
                 let pot = pot.clone();
                 let thermo_reduce = thermo_reduce.clone();
                 let flag_reduce = flag_reduce.clone();
+                let stats_gather = stats_gather.clone();
+                let registry = registries[state.rank].clone();
                 let masses = masses.clone();
                 let faults = faults.clone();
                 scope.spawn(move || {
@@ -478,6 +602,7 @@ fn run_epoch(
                         ..RankStats::default()
                     };
                     let mut thermo = Vec::new();
+                    let _obs_scope = dp_obs::scope(registry);
                     let res = catch_unwind(AssertUnwindSafe(|| {
                         rank_loop(
                             &mut st,
@@ -493,6 +618,7 @@ fn run_epoch(
                             halo,
                             &thermo_reduce,
                             &flag_reduce,
+                            &stats_gather,
                             faults.as_deref(),
                             &mut stats,
                             &mut thermo,
@@ -508,6 +634,7 @@ fn run_epoch(
                         // mesh endpoints so blocked receivers disconnect
                         thermo_reduce.poison(rank);
                         flag_reduce.poison(rank);
+                        stats_gather.poison(rank);
                     }
                     drop(comm);
                     RankOutcome {
@@ -542,6 +669,7 @@ fn run_epoch(
         outcomes,
         reduce_operations: thermo_reduce.operations(),
         wall: start.elapsed(),
+        registries,
     }
 }
 
@@ -560,18 +688,25 @@ fn rank_loop(
     halo: f64,
     thermo_reduce: &Allreduce,
     flag_reduce: &Allreduce,
+    stats_gather: &Allreduce,
     faults: Option<&FaultState>,
     stats: &mut RankStats,
     thermo: &mut Vec<ThermoSample>,
 ) -> Result<(), CommError> {
     let dt = opts.md.dt;
+    let n_ranks = comm.to.len();
+    // heartbeat bookkeeping: phase-time marks at the last report, plus a
+    // reusable allgather buffer (step-determined schedule, so the gather
+    // is collective without extra synchronization)
+    let hb_every = opts.report_every;
+    let mut hb_all = vec![0.0f64; if hb_every > 0 { 4 * n_ranks } else { 0 }];
+    let mut hb_marks = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    let mut hb_wall = Instant::now();
 
     // initial exchange + list build; the local system, neighbor list (plus
     // scratch), and force output allocated here are reused by every later
     // step (§5.2.2 arena reuse)
-    let (res, d) = dp_obs::timed("ghost_exchange", || {
-        exchange(st, comm, grid, halo, stats)
-    });
+    let (res, d) = dp_obs::timed("ghost_exchange", || exchange(st, comm, grid, halo, stats));
     stats.comm_time += d;
     res?;
     let mut local = System::new(cell, Vec::new(), Vec::new(), masses.to_vec());
@@ -614,6 +749,7 @@ fn rank_loop(
     // identical because start_step is rank-uniform.
 
     for step in start_step + 1..=end_step {
+        let step_t0 = dp_obs::enabled().then(Instant::now);
         if let Some(f) = faults {
             if f.should_kill(st.rank, step) {
                 fault::kill_current_rank(st.rank, step);
@@ -758,10 +894,60 @@ fn rank_loop(
                 }
             }
         }
+
+        // live load-balance heartbeat on a step-determined (hence
+        // collective) schedule: allgather this interval's per-phase time
+        // deltas, rank 0 reports
+        if hb_every > 0 && step % hb_every == 0 {
+            let contribution = [
+                (stats.compute_time - hb_marks.0).as_secs_f64(),
+                (stats.comm_time - hb_marks.1).as_secs_f64(),
+                (stats.reduce_time - hb_marks.2).as_secs_f64(),
+                hb_wall.elapsed().as_secs_f64(),
+            ];
+            let (res, d) = dp_obs::timed("reduce", || {
+                stats_gather.gather_into(st.rank, &contribution, &mut hb_all)
+            });
+            stats.reduce_time += d;
+            res?;
+            if st.rank == 0 {
+                emit_heartbeat(step, n_ranks, hb_every, &hb_all);
+            }
+            hb_marks = (stats.compute_time, stats.comm_time, stats.reduce_time);
+            hb_wall = Instant::now();
+        }
+
+        if let Some(t0) = step_t0 {
+            dp_obs::hist::record("step_wall_ns", t0.elapsed().as_nanos() as u64);
+        }
     }
 
     stats.final_local = st.ids.len();
     Ok(())
+}
+
+/// Rank 0's heartbeat output: `gathered` holds `[compute, comm, wait,
+/// wall]` seconds per rank (rank-major) for the last `every` steps. One
+/// human line on stdout, one `imbalance_heartbeat` event in the metrics
+/// stream.
+fn emit_heartbeat(step: usize, n_ranks: usize, every: usize, gathered: &[f64]) {
+    let col = |i: usize| -> Vec<f64> { (0..n_ranks).map(|r| gathered[r * 4 + i]).collect() };
+    let report = ImbalanceReport::from_phase_times(
+        n_ranks,
+        every as u64,
+        &[("compute", col(0)), ("comm", col(1)), ("wait", col(2))],
+    );
+    let share = |name: &str| report.phase(name).map_or(0.0, |p| p.share * 100.0);
+    println!(
+        "[dpmd] step {step}: compute {:.1}% comm {:.1}% wait {:.1}% | imbalance {:.2} ({n_ranks} ranks, {every} steps)",
+        share("compute"),
+        share("comm"),
+        share("wait"),
+        report.imbalance,
+    );
+    if dp_obs::metrics::active() {
+        dp_obs::metrics::emit_line(&report.to_json("imbalance_heartbeat", Some(step as u64)));
+    }
 }
 
 /// Reduce `[pe, ke, virial(6), n]` and append one global thermo sample.
@@ -1205,8 +1391,8 @@ mod tests {
         let nl = NeighborList::build(&sys, pot.cutoff() + 2.0);
         let serial = pot.compute(&sys, &nl);
 
-        let run = run_parallel_md(&sys, pot.clone(), [2, 2, 2], &ParallelOptions::default(), 0)
-            .unwrap();
+        let run =
+            run_parallel_md(&sys, pot.clone(), [2, 2, 2], &ParallelOptions::default(), 0).unwrap();
         // thermo[0] carries the reduced energy
         let pe = run.thermo[0].potential_energy;
         assert!(
@@ -1455,7 +1641,11 @@ mod tests {
         };
         let run = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10).unwrap();
         let steps: Vec<usize> = run.thermo.iter().map(|t| t.step).collect();
-        assert_eq!(steps, vec![30], "expected only the step-30 sample, got {steps:?}");
+        assert_eq!(
+            steps,
+            vec![30],
+            "expected only the step-30 sample, got {steps:?}"
+        );
     }
 
     #[test]
@@ -1506,6 +1696,44 @@ mod tests {
             // must stay below the whole rest of the system
             assert!(s.max_ghosts < sys.len());
         }
+    }
+
+    #[test]
+    fn imbalance_report_covers_every_phase() {
+        let pot = lj();
+        let opts = ParallelOptions {
+            md: MdOptions {
+                dt: 2.0e-3,
+                thermo_every: 10,
+                ..MdOptions::default()
+            },
+            report_every: 5, // exercise the heartbeat allgather path
+            ..ParallelOptions::default()
+        };
+        let run = run_parallel_md(&test_system(), pot, [2, 1, 1], &opts, 10).unwrap();
+        let rep = &run.imbalance;
+        assert_eq!(rep.n_ranks, 2);
+        assert_eq!(rep.steps, 10);
+        for phase in ["compute", "comm", "wait"] {
+            let p = rep
+                .phase(phase)
+                .unwrap_or_else(|| panic!("missing {phase}"));
+            assert!(
+                p.min_s <= p.mean_s && p.mean_s <= p.max_s,
+                "{phase}: min {} mean {} max {}",
+                p.min_s,
+                p.mean_s,
+                p.max_s
+            );
+        }
+        assert!(rep.phase("compute").unwrap().mean_s > 0.0);
+        assert!(
+            rep.imbalance >= 1.0,
+            "max/mean busy below 1: {}",
+            rep.imbalance
+        );
+        let shares: f64 = rep.phases.iter().map(|p| p.share).sum();
+        assert!((shares - 1.0).abs() < 1e-9, "phase shares sum to {shares}");
     }
 
     #[test]

@@ -164,8 +164,7 @@ impl FaultState {
 
     /// Should the checkpoint generation just written at `step` be damaged?
     pub fn ckpt_sabotage(&self, step: usize) -> Option<CkptSabotage> {
-        if self.plan.torn_ckpt_step == Some(step)
-            && !self.torn_fired.swap(true, Ordering::Relaxed)
+        if self.plan.torn_ckpt_step == Some(step) && !self.torn_fired.swap(true, Ordering::Relaxed)
         {
             return Some(CkptSabotage::TornWrite);
         }
@@ -216,7 +215,10 @@ pub fn kill_current_rank(rank: usize, step: usize) -> ! {
 /// Human-readable description of a caught rank-thread unwind payload.
 pub fn describe_panic(rank: usize, payload: &(dyn Any + Send)) -> String {
     if let Some(f) = payload.downcast_ref::<InjectedFault>() {
-        format!("rank {} killed by injected fault at step {}", f.rank, f.step)
+        format!(
+            "rank {} killed by injected fault at step {}",
+            f.rank, f.step
+        )
     } else if let Some(s) = payload.downcast_ref::<&str>() {
         format!("rank {rank} panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -12,7 +12,10 @@ pub struct DomainGrid {
 
 impl DomainGrid {
     pub fn new(cell: Cell, dims: [usize; 3]) -> Self {
-        assert!(cell.periodic, "domain decomposition expects a periodic cell");
+        assert!(
+            cell.periodic,
+            "domain decomposition expects a periodic cell"
+        );
         assert!(dims.iter().all(|&d| d >= 1));
         Self { dims, cell }
     }

@@ -35,9 +35,7 @@ pub mod fault;
 pub mod grid;
 pub mod setup;
 
-pub use comm::{Allreduce, CommError, RankComm, DEFAULT_DEADLINE};
-pub use driver::{
-    run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun, RunError,
-};
+pub use comm::{Allreduce, CommError, Envelope, RankComm, DEFAULT_DEADLINE};
+pub use driver::{run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun, RunError};
 pub use fault::{CkptSabotage, DelaySpec, FaultPlan, FaultState, KillSpec, MsgSelector};
 pub use grid::DomainGrid;

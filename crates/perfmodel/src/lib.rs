@@ -103,6 +103,26 @@ impl SystemModel {
         }
     }
 
+    /// Look a calibration up by system name (`"water"` / `"copper"`).
+    /// The app layer uses this to attach modeled-FLOPS columns to the
+    /// load-imbalance analyzer without hard-coding the mapping twice.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "water" => Some(Self::water()),
+            "copper" => Some(Self::copper()),
+            _ => None,
+        }
+    }
+
+    /// Modeled FLOPs for one MD step of an `n_atoms` system — the work
+    /// term the paper's published totals imply (§6.1). Dividing by a
+    /// measured compute time yields the "modeled GFLOPS" column of the
+    /// imbalance report: the rate paper-scale per-atom work would demand
+    /// of the same compute window.
+    pub fn step_flops(&self, n_atoms: usize) -> f64 {
+        self.flops_per_atom * n_atoms as f64
+    }
+
     /// GPU efficiency (fraction of fp64 peak) at `a` atoms per GPU.
     pub fn efficiency(&self, atoms_per_gpu: f64) -> f64 {
         self.eff_p * atoms_per_gpu / (atoms_per_gpu + self.eff_h)
@@ -243,10 +263,7 @@ mod tests {
             (459.0, 3039.0),
         ] {
             let pred = m.ghosts_per_gpu(a);
-            assert!(
-                close(pred, g, 0.10),
-                "a={a}: predicted {pred} vs paper {g}"
-            );
+            assert!(close(pred, g, 0.10), "a={a}: predicted {pred} vs paper {g}");
         }
     }
 
@@ -336,6 +353,16 @@ mod tests {
         }
         // 4560-node point: paper 72.6 PFLOPS for the 403M water system
         assert!(close(series[4].flops, 72.6e15, 0.08), "{}", series[4].flops);
+    }
+
+    #[test]
+    fn step_flops_scales_with_atoms_and_resolves_by_name() {
+        let m = SystemModel::by_name("water").unwrap();
+        assert!(close(m.step_flops(2_000), 2.0 * m.step_flops(1_000), 1e-12));
+        // one step of the paper's 12.6M-atom water system is ~249 TFLOP
+        assert!(close(m.step_flops(12_582_912), 124.83e15 / 501.0, 1e-9));
+        assert_eq!(SystemModel::by_name("copper").unwrap().name, "copper");
+        assert!(SystemModel::by_name("argon").is_none());
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! parallel driver instead of the serial integrator: rank threads under a
 //! supervisor that recovers from rank failures via the checkpoint rotation
 //! (see `dp_parallel`). The `fault_*` keys inject deterministic faults into
-//! such a run for recovery drills.
+//! such a run for recovery drills. `"report_every": N` adds a live
+//! load-balance heartbeat, and `"imbalance_report": true` prints the §7.3
+//! cross-rank compute/comm/wait breakdown after the run.
 //!
 //! Every failure is a typed [`AppError`]; `dpmd` maps the variants to
 //! distinct process exit codes (see [`AppError::exit_code`]).
@@ -39,10 +41,12 @@ use dp_md::potential::eam::SuttonChen;
 use dp_md::potential::pair::{LennardJones, PairTable};
 use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
+use dp_obs::ImbalanceReport;
 use dp_parallel::{
     run_parallel_md, DelaySpec, FaultPlan, KillSpec, MsgSelector, ParallelCkpt, ParallelOptions,
     RunError,
 };
+use dp_perfmodel::SystemModel;
 use serde::Deserialize;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -53,18 +57,33 @@ use std::time::Duration;
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum SystemSpec {
     /// fcc crystal with lattice constant `a0`, `reps` unit cells per axis.
-    Fcc { a0: f64, reps: [usize; 3], mass: f64 },
+    Fcc {
+        a0: f64,
+        reps: [usize; 3],
+        mass: f64,
+    },
     /// Water molecules on a cubic molecular lattice.
-    Water { mols_per_axis: [usize; 3], spacing: f64 },
+    Water {
+        mols_per_axis: [usize; 3],
+        spacing: f64,
+    },
 }
 
 /// Which potential drives the forces.
 #[derive(Debug, Clone, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum PotentialSpec {
-    LennardJones { eps: f64, sigma: f64, rcut: f64 },
-    SuttonChenCu { short: bool },
-    WaterReference { rcut: f64 },
+    LennardJones {
+        eps: f64,
+        sigma: f64,
+        rcut: f64,
+    },
+    SuttonChenCu {
+        short: bool,
+    },
+    WaterReference {
+        rcut: f64,
+    },
     /// A trained Deep Potential model file (JSON `DpModelData`).
     DeepPotential {
         model: String,
@@ -160,6 +179,16 @@ pub struct AppConfig {
     /// rank waits for a peer before declaring it dead.
     #[serde(default)]
     pub fault_comm_deadline_ms: Option<u64>,
+    /// Parallel runs only: every `report_every` steps the ranks gather
+    /// per-phase time deltas and rank 0 prints a live load-balance
+    /// heartbeat (also an `imbalance_heartbeat` metrics event). 0 = off.
+    #[serde(default)]
+    pub report_every: usize,
+    /// Parallel runs only: print the §7.3-style cross-rank breakdown
+    /// table (compute/comm/wait, imbalance ratios, achieved vs. modeled
+    /// GFLOPS) after the run. Also settable as `dpmd --imbalance-report`.
+    #[serde(default)]
+    pub imbalance_report: bool,
 }
 
 fn default_thermo_every() -> usize {
@@ -235,6 +264,10 @@ pub struct RunSummary {
     /// Failed epochs the parallel supervisor recovered from (0 for serial
     /// runs and clean parallel runs).
     pub recoveries: usize,
+    /// §7.3 cross-rank phase breakdown with achieved and (when the system
+    /// has a paper calibration) modeled GFLOPS columns. `None` for serial
+    /// runs.
+    pub imbalance: Option<ImbalanceReport>,
 }
 
 fn build_system(spec: &SystemSpec) -> System {
@@ -364,6 +397,12 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, App
     if cfg.grid.is_none() && any_fault_key(cfg) {
         return Err(AppError::Deck(
             "fault_* keys require a parallel run: set \"grid\": [nx, ny, nz]".into(),
+        ));
+    }
+    if cfg.grid.is_none() && (cfg.report_every > 0 || cfg.imbalance_report) {
+        return Err(AppError::Deck(
+            "report_every/imbalance_report require a parallel run: set \"grid\": [nx, ny, nz]"
+                .into(),
         ));
     }
 
@@ -623,6 +662,7 @@ fn run_serial_deck(
         final_system: sys.clone(),
         potential_name: pot.name(),
         recoveries: 0,
+        imbalance: None,
     })
 }
 
@@ -655,6 +695,7 @@ fn run_parallel_deck(
         comm_deadline: cfg
             .fault_comm_deadline_ms
             .map_or(dp_parallel::DEFAULT_DEADLINE, Duration::from_millis),
+        report_every: cfg.report_every,
     };
     let name = pot.name();
     let pot: Arc<dyn Potential> = Arc::from(pot);
@@ -694,11 +735,36 @@ fn run_parallel_deck(
         run.time_to_solution(run.system.len())
     ));
 
+    // §7.3 analyzer output: attach the perfmodel's modeled-GFLOPS column
+    // (the rate the paper's per-atom work estimate would demand of the
+    // same compute window), emit the summary into the metrics stream,
+    // and print the breakdown table when the deck asks for it.
+    let mut imbalance = run.imbalance.clone();
+    let model = match &cfg.system {
+        SystemSpec::Water { .. } => SystemModel::by_name("water"),
+        SystemSpec::Fcc { .. } => SystemModel::by_name("copper"),
+    };
+    let window_steps = imbalance.steps as f64;
+    if let (Some(m), Some(p)) = (model, imbalance.phase_mut("compute")) {
+        if p.mean_s > 0.0 {
+            p.modeled_gflops = Some(m.step_flops(run.system.len()) * window_steps / p.mean_s / 1e9);
+        }
+    }
+    if dp_obs::metrics::active() {
+        dp_obs::metrics::emit_line(&imbalance.to_json("imbalance", None));
+    }
+    if cfg.imbalance_report {
+        for line in imbalance.to_table().lines() {
+            log(line);
+        }
+    }
+
     Ok(RunSummary {
         thermo: run.thermo,
         final_system: run.system,
         potential_name: name,
         recoveries: run.recoveries,
+        imbalance: Some(imbalance),
     })
 }
 

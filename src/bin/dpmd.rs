@@ -1,13 +1,16 @@
 //! `dpmd` — run an MD simulation from a JSON input deck.
 //!
 //! Usage: `dpmd <input.json> [--resume <checkpoint>] [--trace <file>]
-//! [--metrics <file>]`; see `deepmd_repro::app` for the deck format.
-//! `--resume` restarts from the newest valid generation of the given
-//! checkpoint rotation (overriding any `resume` key in the deck) and
-//! appends to the deck's trajectory instead of truncating it. `--trace`
-//! writes a chrome://tracing JSON of the run's spans; `--metrics` writes
-//! per-step JSONL metrics (s/step/atom, achieved GFLOPS). Both override
-//! the corresponding `trace_path` / `metrics_path` deck keys.
+//! [--metrics <file>] [--imbalance-report]`; see `deepmd_repro::app` for
+//! the deck format. `--resume` restarts from the newest valid generation
+//! of the given checkpoint rotation (overriding any `resume` key in the
+//! deck) and appends to the deck's trajectory instead of truncating it.
+//! `--trace` writes a chrome://tracing JSON of the run's spans (parallel
+//! runs get one lane per rank); `--metrics` writes per-step JSONL metrics
+//! (s/step/atom, achieved GFLOPS, per-rank latency histograms). Both
+//! override the corresponding `trace_path` / `metrics_path` deck keys.
+//! `--imbalance-report` prints the cross-rank compute/comm/wait breakdown
+//! table after a parallel run (deck key `imbalance_report`).
 //!
 //! Exit codes distinguish failure classes (see `app::AppError`):
 //! 2 = bad deck/usage, 3 = I/O failure, 4 = unusable checkpoint,
@@ -15,7 +18,7 @@
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>]"
+        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>] [--imbalance-report]"
     );
     std::process::exit(2);
 }
@@ -25,9 +28,11 @@ fn main() {
     let mut resume: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut imbalance_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--imbalance-report" => imbalance_report = true,
             "--resume" => match args.next() {
                 Some(path) => resume = Some(path),
                 None => {
@@ -83,6 +88,9 @@ fn main() {
     }
     if metrics.is_some() {
         cfg.metrics_path = metrics;
+    }
+    if imbalance_report {
+        cfg.imbalance_report = true;
     }
     if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
         eprintln!("dpmd: {e}");

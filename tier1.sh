@@ -103,6 +103,34 @@ grep -q 'fault.detected' "$DIR/fault-metrics.jsonl"
 grep -q 'recovery.success' "$DIR/fault-metrics.jsonl"
 echo "tier1: injected rank kill recovered bit-exactly via checkpoint"
 
+# Per-rank observability smoke: a parallel deck driven with --trace
+# --metrics --imbalance-report must produce one merged chrome trace with a
+# tid lane per rank, per-rank histogram rows plus heartbeat and imbalance
+# events in the JSONL, and the breakdown table on stdout.
+cat > "$DIR/obs.json" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 30,
+  "thermo_every": 10,
+  "grid": [2, 1, 1],
+  "report_every": 10,
+  "seed": 7
+}
+EOF
+"$DPMD" "$DIR/obs.json" --trace "$DIR/obs-trace.json" \
+  --metrics "$DIR/obs-metrics.jsonl" --imbalance-report > "$DIR/obs.out"
+grep -q 'rank imbalance' "$DIR/obs.out"
+grep -q '"tid":0' "$DIR/obs-trace.json"
+grep -q '"tid":1' "$DIR/obs-trace.json"
+grep -q '"event":"hist"' "$DIR/obs-metrics.jsonl"
+grep -q '"p95":' "$DIR/obs-metrics.jsonl"
+grep -q '"event":"imbalance_heartbeat"' "$DIR/obs-metrics.jsonl"
+grep -q '"event":"imbalance"' "$DIR/obs-metrics.jsonl"
+echo "tier1: per-rank trace and imbalance analyzer artifacts validated"
+
 # An unrecoverable fault (re-killed every epoch, retry budget 1) must exit
 # with the dedicated fault code 5, a typed message, and no panic spew.
 cat > "$DIR/fatal.json" <<EOF

@@ -132,4 +132,8 @@ for t in it_alloc_regression it_workspace_reuse it_parallel_dp it_virial; do
     echo "== run $t"
     "$OUT/$t"
 done
+# The per-rank observability drill drives run_parallel_md directly with
+# string-level JSONL asserts; the deck-level half needs real serde_json.
+echo "== run it_imbalance (driver-level)"
+"$OUT/it_imbalance" --test-threads=1 driver_level
 echo "offline check OK"
