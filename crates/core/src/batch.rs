@@ -1,0 +1,214 @@
+//! Cross-request batching of formatted environments (§5.2.1 across
+//! systems).
+//!
+//! The fixed-shape padded layout makes every atom contribute exactly
+//! `Nm = Σ sel[t]` rows to the environment matrix, independent of which
+//! *system* the atom belongs to. Concatenating the formatted tables of
+//! several standalone configurations therefore yields one taller table of
+//! the same shape class, and a single [`crate::eval::evaluate_into`] call
+//! over it runs the same tall GEMMs the paper uses to batch atoms within
+//! one system — now amortized across requests (the serving scheduler's
+//! coalescing primitive).
+//!
+//! Correctness argument for bit-identical per-request results: every
+//! pipeline stage is per-atom-row independent (embedding GEMM rows,
+//! elementwise activations, per-atom descriptor contraction, per-row
+//! fitting, per-slot force gradients), neighbor indices never cross a
+//! request boundary after offsetting, the force scatter visits slots in
+//! row-major order (so each request's accumulation order is unchanged),
+//! and a request's energy is the left-to-right sum of its contiguous
+//! `per_atom_energy` slice — the same summation the solo evaluation
+//! performs. The one global quantity is the virial, which is accumulated
+//! across the whole table and is therefore *not* attributable to a single
+//! request; batched results omit it.
+//!
+//! Only standalone configurations batch: every atom must be local
+//! (`n_local == len`), because the joined table indexes one flat atom
+//! array and a ghost region would interleave the offsets.
+
+use crate::config::DpConfig;
+use crate::format::{FormattedEnv, NONE};
+
+/// Reset a table to an empty batch accumulator for `cfg`, keeping the
+/// backing capacity (steady-state appends never reallocate).
+pub fn reset_joined(dst: &mut FormattedEnv, cfg: &DpConfig) {
+    dst.sel.clear();
+    dst.sel.extend_from_slice(&cfg.sel);
+    dst.nm = cfg.nm();
+    dst.n_atoms = 0;
+    dst.indices.clear();
+    dst.env.clear();
+    dst.denv.clear();
+    dst.disp.clear();
+    dst.overflowed = 0;
+}
+
+/// Append one request's formatted table to the joined batch table,
+/// shifting its neighbor indices into the batch's flat atom numbering
+/// (`atom_offset` = atoms appended so far). Padding slots stay `NONE`.
+pub fn append_joined(dst: &mut FormattedEnv, src: &FormattedEnv, atom_offset: usize) {
+    assert_eq!(dst.sel, src.sel, "batched requests must share one model config");
+    assert_eq!(dst.nm, src.nm);
+    let off = atom_offset as i32;
+    dst.n_atoms += src.n_atoms;
+    dst.indices
+        .extend(src.indices.iter().map(|&j| if j == NONE { NONE } else { j + off }));
+    dst.env.extend_from_slice(&src.env);
+    dst.denv.extend_from_slice(&src.denv);
+    dst.disp.extend_from_slice(&src.disp);
+    dst.overflowed += src.overflowed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DpConfig;
+    use crate::format::format_optimized_into;
+    use crate::potential_impl::{BatchItem, DeepPotential, PrecisionMode};
+    use crate::model::DpModel;
+    use crate::codec::Codec;
+    use dp_md::{lattice, units, NeighborList, Potential, System};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_systems() -> Vec<System> {
+        let mut rng = StdRng::seed_from_u64(97);
+        // heterogeneous sizes so batch offsets are non-trivial; every
+        // axis ≥ 3 cells keeps the 4.5 Å cutoff under the minimum-image
+        // limit (3 · 3.615 / 2 = 5.42)
+        [[3, 3, 3], [4, 3, 3], [4, 4, 4]]
+            .into_iter()
+            .map(|reps| {
+                let mut s = lattice::fcc(3.615, reps, units::MASS_CU);
+                s.perturb(0.12, &mut rng);
+                s
+            })
+            .collect()
+    }
+
+    fn potential() -> DeepPotential {
+        let cfg = DpConfig::small(1, 4.5, 16);
+        let mut rng = StdRng::seed_from_u64(31);
+        DeepPotential::new(DpModel::<f64>::new_random(cfg, &mut rng), PrecisionMode::Double)
+    }
+
+    #[test]
+    fn joined_table_is_the_concatenation_with_offset_indices() {
+        let cfg = DpConfig::small(1, 4.5, 16);
+        let systems = sample_systems();
+        let mut joined = FormattedEnv::alloc(0, &cfg);
+        reset_joined(&mut joined, &cfg);
+        let mut parts = Vec::new();
+        let mut off = 0usize;
+        for sys in &systems {
+            let nl = NeighborList::build(sys, cfg.rcut);
+            let mut fmt = FormattedEnv::alloc(sys.len(), &cfg);
+            format_optimized_into(&mut fmt, sys, &nl, &cfg, Codec::auto(1, sys.len(), cfg.rcut));
+            append_joined(&mut joined, &fmt, off);
+            parts.push((fmt, off));
+            off += sys.len();
+        }
+        assert_eq!(joined.n_atoms, systems.iter().map(|s| s.len()).sum::<usize>());
+        let mut slot = 0usize;
+        for (fmt, off) in &parts {
+            for (k, &j) in fmt.indices.iter().enumerate() {
+                let joined_j = joined.indices[slot + k];
+                if j == NONE {
+                    assert_eq!(joined_j, NONE);
+                } else {
+                    assert_eq!(joined_j, j + *off as i32);
+                }
+            }
+            let rows = fmt.n_atoms * fmt.nm;
+            assert_eq!(
+                &joined.env[slot * 4..(slot + rows) * 4],
+                &fmt.env[..rows * 4],
+                "environment rows must concatenate unchanged"
+            );
+            slot += rows;
+        }
+    }
+
+    #[test]
+    fn batched_eval_is_bit_identical_to_serial_in_every_mode() {
+        let pot = potential();
+        let systems = sample_systems();
+        let nls: Vec<NeighborList> =
+            systems.iter().map(|s| NeighborList::build(s, pot.cutoff())).collect();
+        for mode in [
+            PrecisionMode::Double,
+            PrecisionMode::Mixed,
+            PrecisionMode::HalfEmulated,
+        ] {
+            let items: Vec<BatchItem> = systems
+                .iter()
+                .zip(&nls)
+                .map(|(sys, nl)| BatchItem { sys, nl })
+                .collect();
+            let batched = pot.compute_batch(&items, mode);
+            assert_eq!(batched.len(), systems.len());
+            for ((sys, nl), res) in systems.iter().zip(&nls).zip(&batched) {
+                let solo = DeepPotential::new(pot.model().clone(), mode);
+                let out = solo.compute(sys, nl);
+                assert_eq!(
+                    res.energy.to_bits(),
+                    out.energy.to_bits(),
+                    "energy must be bit-identical in {mode:?}"
+                );
+                assert_eq!(res.forces.len(), out.forces.len());
+                for (a, b) in res.forces.iter().zip(&out.forces) {
+                    for k in 0..3 {
+                        assert_eq!(
+                            a[k].to_bits(),
+                            b[k].to_bits(),
+                            "forces must be bit-identical in {mode:?}"
+                        );
+                    }
+                }
+                let slice_sum: f64 = res.per_atom_energy.iter().sum();
+                assert_eq!(slice_sum.to_bits(), res.energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_batch_matches_compute_into() {
+        let pot = potential();
+        let systems = sample_systems();
+        let sys = &systems[2];
+        let nl = NeighborList::build(sys, pot.cutoff());
+        let batched = pot.compute_batch(&[BatchItem { sys, nl: &nl }], PrecisionMode::Mixed);
+        let solo = DeepPotential::new(pot.model().clone(), PrecisionMode::Mixed).compute(sys, &nl);
+        assert_eq!(batched[0].energy.to_bits(), solo.energy.to_bits());
+    }
+
+    #[test]
+    fn steady_state_batch_reuses_the_joined_capacity() {
+        let cfg = DpConfig::small(1, 4.5, 16);
+        let systems = sample_systems();
+        let mut joined = FormattedEnv::alloc(0, &cfg);
+        let mut fmts = Vec::new();
+        for sys in &systems {
+            let nl = NeighborList::build(sys, cfg.rcut);
+            let mut fmt = FormattedEnv::alloc(sys.len(), &cfg);
+            format_optimized_into(&mut fmt, sys, &nl, &cfg, Codec::auto(1, sys.len(), cfg.rcut));
+            fmts.push(fmt);
+        }
+        let fill = |joined: &mut FormattedEnv| {
+            reset_joined(joined, &cfg);
+            let mut off = 0;
+            for fmt in &fmts {
+                append_joined(joined, fmt, off);
+                off += fmt.n_atoms;
+            }
+        };
+        fill(&mut joined);
+        let cap = (joined.indices.capacity(), joined.env.capacity());
+        fill(&mut joined);
+        assert_eq!(
+            cap,
+            (joined.indices.capacity(), joined.env.capacity()),
+            "re-filling the same batch must not grow the joined table"
+        );
+    }
+}

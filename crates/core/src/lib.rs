@@ -18,6 +18,9 @@
 //!   bias/tanh/skip kernels, and the ProdForce / ProdVirial operators,
 //! * [`baseline`] — the unoptimized per-atom reference implementation
 //!   standing in for the 2018 serial DeePMD-kit (the paper's baseline),
+//! * [`batch`] — cross-request concatenation of formatted tables: the
+//!   serving scheduler's coalescing primitive (§5.2.1 applied across
+//!   systems, bit-identical per-request results),
 //! * [`potential_impl`] — [`DeepPotential`], the `dp_md::Potential`
 //!   implementation with double / mixed / single / emulated-fp16 precision
 //!   modes (§5.2.3),
@@ -28,6 +31,7 @@
 //!   compression: no embedding GEMMs or tanh in the MD hot path.
 
 pub mod baseline;
+pub mod batch;
 pub mod codec;
 pub mod compress;
 pub mod config;
@@ -42,4 +46,4 @@ pub mod workspace;
 pub use config::DpConfig;
 pub use model::DpModel;
 pub use workspace::EvalWorkspace;
-pub use potential_impl::{DeepPotential, PrecisionMode};
+pub use potential_impl::{BatchItem, BatchResult, DeepPotential, PrecisionMode};

@@ -28,10 +28,45 @@ pub enum PrecisionMode {
 /// One caller's complete evaluation arena (§5.2.2 "trunk of memory"):
 /// the formatted environment, the precision-specific eval workspaces, and
 /// the raw evaluation output. Boxed so pool pushes move a pointer.
+/// Each precision mode owns its trunk — `HalfEmulated` gets `ws16`
+/// rather than borrowing `ws32`, so a server alternating modes never
+/// re-warms another mode's buffers.
 struct DpScratch {
     fmt: FormattedEnv,
     ws64: EvalWorkspace<f64>,
     ws32: EvalWorkspace<f32>,
+    ws16: EvalWorkspace<f32>,
+    out: EvalOutput,
+}
+
+/// One request in a cross-request batch: a standalone configuration
+/// (every atom local — `n_local == len`) plus its neighbor list.
+pub struct BatchItem<'a> {
+    pub sys: &'a System,
+    pub nl: &'a NeighborList,
+}
+
+/// Per-request result of a batched evaluation, bit-identical to what a
+/// solo [`Potential::compute`] of the same system produces (see
+/// [`crate::batch`]). The virial is omitted: it is accumulated globally
+/// over the joined table and cannot be attributed to one request.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    pub energy: f64,
+    pub per_atom_energy: Vec<f64>,
+    pub forces: Vec<[f64; 3]>,
+}
+
+/// Arena for [`DeepPotential::compute_batch`]: one per-request formatting
+/// table, the joined batch table, and the per-mode workspaces.
+struct BatchScratch {
+    item: FormattedEnv,
+    joined: FormattedEnv,
+    types: Vec<usize>,
+    offsets: Vec<usize>,
+    ws64: EvalWorkspace<f64>,
+    ws32: EvalWorkspace<f32>,
+    ws16: EvalWorkspace<f32>,
     out: EvalOutput,
 }
 
@@ -48,6 +83,8 @@ pub struct DeepPotential {
     /// (and warm up) their own arena. The lock is held only for the
     /// pop/push, never during evaluation.
     scratch: Mutex<Vec<Box<DpScratch>>>,
+    /// Same pooling scheme for the cross-request batch arenas.
+    batch_scratch: Mutex<Vec<Box<BatchScratch>>>,
 }
 
 impl DeepPotential {
@@ -68,6 +105,7 @@ impl DeepPotential {
             mode,
             profiler: None,
             scratch: Mutex::new(Vec::new()),
+            batch_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -88,6 +126,98 @@ impl DeepPotential {
     fn codec(&self, sys: &System) -> Codec {
         Codec::auto(self.model64.config.n_types(), sys.len(), self.model64.config.rcut)
     }
+
+    /// Evaluate several standalone configurations as ONE forward/backward
+    /// pass over their concatenated §5.2.1 tables (see [`crate::batch`]).
+    /// Per-request energies and forces are bit-identical to evaluating
+    /// each system alone in the same `mode`. The serving scheduler uses
+    /// this to coalesce concurrent `/v1/eval` requests.
+    pub fn compute_batch(&self, items: &[BatchItem], mode: PrecisionMode) -> Vec<BatchResult> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        for it in items {
+            assert_eq!(
+                it.sys.n_local,
+                it.sys.len(),
+                "only standalone configurations (no ghost region) can batch"
+            );
+        }
+        let prof = self.profiler.as_deref();
+        let cfg = &self.model64.config;
+        let mut sc = self.batch_scratch.lock().unwrap().pop().unwrap_or_else(|| {
+            Box::new(BatchScratch {
+                item: FormattedEnv::alloc(0, cfg),
+                joined: FormattedEnv::alloc(0, cfg),
+                types: Vec::new(),
+                offsets: Vec::new(),
+                ws64: EvalWorkspace::new(cfg),
+                ws32: EvalWorkspace::new(&self.model32.config),
+                ws16: EvalWorkspace::new(&self.model16.config),
+                out: EvalOutput {
+                    energy: 0.0,
+                    per_atom_energy: Vec::new(),
+                    forces: Vec::new(),
+                    virial: [0.0; 6],
+                },
+            })
+        });
+        crate::batch::reset_joined(&mut sc.joined, cfg);
+        sc.types.clear();
+        sc.offsets.clear();
+        sc.offsets.push(0);
+        {
+            let _span = dp_obs::span("batch_environment");
+            for it in items {
+                let off = *sc.offsets.last().unwrap();
+                crate::profile::maybe_time(prof, crate::profile::Kernel::Custom, || {
+                    format_optimized_into(&mut sc.item, it.sys, it.nl, cfg, self.codec(it.sys));
+                });
+                crate::batch::append_joined(&mut sc.joined, &sc.item, off);
+                sc.types.extend_from_slice(&it.sys.types[..it.sys.n_local]);
+                sc.offsets.push(off + it.sys.len());
+            }
+        }
+        let n_total = *sc.offsets.last().unwrap();
+        let BatchScratch {
+            joined,
+            types,
+            offsets,
+            ws64,
+            ws32,
+            ws16,
+            out,
+            ..
+        } = &mut *sc;
+        match mode {
+            PrecisionMode::Double => {
+                evaluate_into(&self.model64, joined, types, n_total, prof, ws64, out)
+            }
+            PrecisionMode::Mixed => {
+                evaluate_into(&self.model32, joined, types, n_total, prof, ws32, out)
+            }
+            PrecisionMode::HalfEmulated => {
+                for x in &mut joined.env {
+                    *x = truncate_to_f16(*x);
+                }
+                evaluate_into(&self.model16, joined, types, n_total, prof, ws16, out)
+            }
+        }
+        let results = (0..items.len())
+            .map(|k| {
+                let (a, b) = (offsets[k], offsets[k + 1]);
+                BatchResult {
+                    // left-to-right sum over the request's contiguous
+                    // slice — the same order the solo evaluation uses
+                    energy: out.per_atom_energy[a..b].iter().sum(),
+                    per_atom_energy: out.per_atom_energy[a..b].to_vec(),
+                    forces: out.forces[a..b].to_vec(),
+                }
+            })
+            .collect();
+        self.batch_scratch.lock().unwrap().push(sc);
+        results
+    }
 }
 
 impl Potential for DeepPotential {
@@ -106,6 +236,7 @@ impl Potential for DeepPotential {
                 fmt: FormattedEnv::alloc(0, &self.model64.config),
                 ws64: EvalWorkspace::new(&self.model64.config),
                 ws32: EvalWorkspace::new(&self.model32.config),
+                ws16: EvalWorkspace::new(&self.model16.config),
                 out: EvalOutput {
                     energy: 0.0,
                     per_atom_energy: Vec::new(),
@@ -125,6 +256,7 @@ impl Potential for DeepPotential {
             fmt,
             ws64,
             ws32,
+            ws16,
             out: eval_out,
         } = &mut *sc;
         match self.mode {
@@ -140,7 +272,7 @@ impl Potential for DeepPotential {
                 for x in &mut fmt.env {
                     *x = truncate_to_f16(*x);
                 }
-                evaluate_into(&self.model16, fmt, types, sys.len(), prof, ws32, eval_out)
+                evaluate_into(&self.model16, fmt, types, sys.len(), prof, ws16, eval_out)
             }
         }
         out.energy = eval_out.energy;

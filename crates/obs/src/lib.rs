@@ -28,7 +28,10 @@
 //!   min/mean/max across ranks, compute/comm/wait shares, imbalance
 //!   ratios, achieved-vs-modeled FLOPS columns,
 //! * [`report`] — the stable `BENCH_*.json` schema seeding the repo's
-//!   machine-readable performance trajectory.
+//!   machine-readable performance trajectory,
+//! * [`serve`] — the serving daemon's canonical metric names
+//!   (request/batch counters, latency histograms) and the `/metrics`
+//!   snapshot payload.
 //!
 //! # Cost model
 //!
@@ -46,6 +49,7 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod span;
 pub mod trace;
 

@@ -62,6 +62,11 @@ pub enum CkptSabotage {
 }
 
 /// A deterministic schedule of faults to inject into one parallel run.
+///
+/// The `Option` fields are the original single-fault drills; the `Vec`
+/// fields carry a *schedule* of additional one-shot faults (chaos mode,
+/// [`crate::chaos`]) and default to empty, so existing
+/// `..FaultPlan::default()` construction is unaffected.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     pub kill: Option<KillSpec>,
@@ -74,6 +79,12 @@ pub struct FaultPlan {
     pub torn_ckpt_step: Option<usize>,
     /// Flip a byte in the checkpoint generation written at this step.
     pub corrupt_ckpt_step: Option<usize>,
+    /// Scheduled additional kills; each fires per its own `every_epoch`.
+    pub kills: Vec<KillSpec>,
+    /// Scheduled additional message drops; each fires once.
+    pub drops: Vec<MsgSelector>,
+    /// Scheduled additional message delays; each fires once.
+    pub delays: Vec<DelaySpec>,
 }
 
 impl FaultPlan {
@@ -83,6 +94,22 @@ impl FaultPlan {
             && self.delay_msg.is_none()
             && self.torn_ckpt_step.is_none()
             && self.corrupt_ckpt_step.is_none()
+            && self.kills.is_empty()
+            && self.drops.is_empty()
+            && self.delays.is_empty()
+    }
+
+    /// Worst-case failed epochs this plan can cause: every kill and every
+    /// drop fails one epoch (delays only fail when longer than the comm
+    /// deadline — counted too, to be safe; sabotaged checkpoints fail no
+    /// epoch by themselves). Sizes the supervisor's retry budget.
+    pub fn max_failures(&self) -> usize {
+        usize::from(self.kill.is_some())
+            + usize::from(self.drop_msg.is_some())
+            + usize::from(self.delay_msg.is_some())
+            + self.kills.len()
+            + self.drops.len()
+            + self.delays.len()
     }
 }
 
@@ -108,10 +135,17 @@ pub struct FaultState {
     delay_fired: AtomicBool,
     torn_fired: AtomicBool,
     corrupt_fired: AtomicBool,
+    /// One-shot flags per scheduled entry, same indexing as the plan's
+    /// `kills` / `drops` / `delays` vectors.
+    kills_fired: Vec<AtomicBool>,
+    drops_fired: Vec<AtomicBool>,
+    delays_fired: Vec<AtomicBool>,
 }
 
 impl FaultState {
     pub fn new(plan: FaultPlan, n_ranks: usize) -> Self {
+        let flags = |n: usize| (0..n).map(|_| AtomicBool::new(false)).collect();
+        let (nk, nd, nl) = (plan.kills.len(), plan.drops.len(), plan.delays.len());
         Self {
             plan,
             n_ranks,
@@ -121,6 +155,9 @@ impl FaultState {
             delay_fired: AtomicBool::new(false),
             torn_fired: AtomicBool::new(false),
             corrupt_fired: AtomicBool::new(false),
+            kills_fired: flags(nk),
+            drops_fired: flags(nd),
+            delays_fired: flags(nl),
         }
     }
 
@@ -130,12 +167,23 @@ impl FaultState {
 
     /// Should `rank` die at the top of `step`?
     pub fn should_kill(&self, rank: usize, step: usize) -> bool {
-        match self.plan.kill {
-            Some(k) if k.rank == rank && k.step == step => {
-                k.every_epoch || !self.kill_fired.swap(true, Ordering::Relaxed)
+        if let Some(k) = self.plan.kill {
+            if k.rank == rank
+                && k.step == step
+                && (k.every_epoch || !self.kill_fired.swap(true, Ordering::Relaxed))
+            {
+                return true;
             }
-            _ => false,
         }
+        for (i, k) in self.plan.kills.iter().enumerate() {
+            if k.rank == rank
+                && k.step == step
+                && (k.every_epoch || !self.kills_fired[i].swap(true, Ordering::Relaxed))
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// Count an outgoing message and decide its fate.
@@ -155,6 +203,24 @@ impl FaultState {
                 && d.msg.to == to
                 && d.msg.seq == seq
                 && !self.delay_fired.swap(true, Ordering::Relaxed)
+            {
+                return SendAction::Delay(d.delay);
+            }
+        }
+        for (i, sel) in self.plan.drops.iter().enumerate() {
+            if sel.from == from
+                && sel.to == to
+                && sel.seq == seq
+                && !self.drops_fired[i].swap(true, Ordering::Relaxed)
+            {
+                return SendAction::Drop;
+            }
+        }
+        for (i, d) in self.plan.delays.iter().enumerate() {
+            if d.msg.from == from
+                && d.msg.to == to
+                && d.msg.seq == seq
+                && !self.delays_fired[i].swap(true, Ordering::Relaxed)
             {
                 return SendAction::Delay(d.delay);
             }
@@ -300,6 +366,66 @@ mod tests {
         assert_eq!(st.ckpt_sabotage(20), None);
         assert_eq!(st.ckpt_sabotage(40), Some(CkptSabotage::BitFlip));
         assert_eq!(st.ckpt_sabotage(40), None);
+    }
+
+    #[test]
+    fn scheduled_kills_and_drops_fire_once_each() {
+        let st = FaultState::new(
+            FaultPlan {
+                kills: vec![
+                    KillSpec {
+                        rank: 0,
+                        step: 5,
+                        every_epoch: false,
+                    },
+                    KillSpec {
+                        rank: 1,
+                        step: 9,
+                        every_epoch: false,
+                    },
+                ],
+                drops: vec![
+                    MsgSelector {
+                        from: 0,
+                        to: 1,
+                        seq: 0,
+                    },
+                    MsgSelector {
+                        from: 0,
+                        to: 1,
+                        seq: 2,
+                    },
+                ],
+                delays: vec![DelaySpec {
+                    msg: MsgSelector {
+                        from: 1,
+                        to: 0,
+                        seq: 1,
+                    },
+                    delay: Duration::from_millis(5),
+                }],
+                ..FaultPlan::default()
+            },
+            2,
+        );
+        assert!(!st.plan().is_empty());
+        assert_eq!(st.plan().max_failures(), 5);
+
+        assert!(st.should_kill(0, 5));
+        assert!(!st.should_kill(0, 5), "scheduled kill fired twice");
+        assert!(st.should_kill(1, 9));
+        assert!(!st.should_kill(1, 5), "wrong (rank, step) fired");
+
+        assert_eq!(st.on_send(0, 1), SendAction::Drop); // seq 0
+        assert_eq!(st.on_send(0, 1), SendAction::Deliver); // seq 1
+        assert_eq!(st.on_send(0, 1), SendAction::Drop); // seq 2
+        assert_eq!(st.on_send(0, 1), SendAction::Deliver); // seq 3
+        assert_eq!(st.on_send(1, 0), SendAction::Deliver); // seq 0
+        assert_eq!(
+            st.on_send(1, 0),
+            SendAction::Delay(Duration::from_millis(5)) // seq 1
+        );
+        assert_eq!(st.on_send(1, 0), SendAction::Deliver); // seq 2
     }
 
     #[test]

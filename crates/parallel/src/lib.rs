@@ -29,12 +29,14 @@
 //! generation reloaded, and the run resumed bit-exactly — or a typed
 //! [`RunError`] surfaces once the retry budget is spent.
 
+pub mod chaos;
 pub mod comm;
 pub mod driver;
 pub mod fault;
 pub mod grid;
 pub mod setup;
 
+pub use chaos::{expand_chaos, ChaosSpec};
 pub use comm::{Allreduce, CommError, Envelope, RankComm, DEFAULT_DEADLINE};
 pub use driver::{run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun, RunError};
 pub use fault::{CkptSabotage, DelaySpec, FaultPlan, FaultState, KillSpec, MsgSelector};

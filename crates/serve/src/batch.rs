@@ -1,0 +1,404 @@
+//! Cross-request coalescing scheduler.
+//!
+//! Concurrent `/v1/eval` requests against the same model are funneled
+//! into a per-model queue; a dedicated worker drains the queue and hands
+//! *batches* of requests to the backend in one call. The backend (the
+//! root crate) concatenates the fixed-shape padded environment tables of
+//! §5.2.1 so the whole batch runs through the tall-GEMM pipeline as a
+//! single evaluation — each request's answer is bit-identical to what a
+//! serial evaluation would have produced (see `deepmd_core::batch` for
+//! the proof and its test).
+//!
+//! The queue is bounded: once `max_depth` requests are waiting, further
+//! submissions fail fast with [`SubmitError::QueueFull`] and the HTTP
+//! layer answers 429, which is the backpressure contract. A short
+//! `linger` lets a worker that found only one request wait for peers to
+//! arrive before evaluating, trading a bounded latency bump for a much
+//! higher coalescing rate under concurrent load.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes one batch of requests. Implementations group by whatever the
+/// request encodes (model, precision) and may split a batch internally;
+/// they must return exactly one response per request, in order.
+pub trait BatchBackend: Send + Sync + 'static {
+    type Req: Send + 'static;
+    type Resp: Send + 'static;
+
+    fn run_batch(&self, requests: Vec<Self::Req>) -> Vec<Self::Resp>;
+}
+
+/// Tuning knobs for the scheduler.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Most requests coalesced into one backend call.
+    pub max_batch: usize,
+    /// Most requests waiting in the queue; beyond this, submissions are
+    /// rejected (429).
+    pub max_depth: usize,
+    /// How long a worker holding a non-full batch waits for more arrivals
+    /// before evaluating what it has.
+    pub linger: Duration,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_depth: 256,
+            linger: Duration::from_millis(2),
+            workers: 1,
+        }
+    }
+}
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at `max_depth`; the caller should answer 429.
+    QueueFull,
+    /// The batcher is draining for shutdown.
+    ShuttingDown,
+}
+
+struct Ticket<B: BatchBackend> {
+    request: B::Req,
+    reply: mpsc::Sender<B::Resp>,
+    enqueued: Instant,
+}
+
+struct Shared<B: BatchBackend> {
+    queue: Mutex<QueueState<B>>,
+    arrived: Condvar,
+    backend: B,
+    opts: BatchOptions,
+}
+
+struct QueueState<B: BatchBackend> {
+    pending: VecDeque<Ticket<B>>,
+    draining: bool,
+}
+
+/// The coalescing scheduler: submit requests from any thread, workers
+/// evaluate them in batches.
+pub struct Batcher<B: BatchBackend> {
+    shared: Arc<Shared<B>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<B: BatchBackend> Batcher<B> {
+    pub fn new(backend: B, opts: BatchOptions) -> Self {
+        assert!(opts.max_batch >= 1, "max_batch must be at least 1");
+        assert!(opts.workers >= 1, "need at least one batch worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                draining: false,
+            }),
+            arrived: Condvar::new(),
+            backend,
+            opts,
+        });
+        let workers = (0..shared.opts.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dp-batch-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueue a request and block until its response is ready.
+    ///
+    /// Returns `QueueFull` immediately when the queue is at `max_depth`
+    /// — the caller maps that to 429 without ever blocking, which is
+    /// what keeps an overloaded daemon responsive.
+    pub fn submit(&self, request: B::Req) -> Result<B::Resp, SubmitError> {
+        let (reply, inbox) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if q.pending.len() >= self.shared.opts.max_depth {
+                dp_obs::counter(dp_obs::serve::EVAL_REJECTED).add(1);
+                return Err(SubmitError::QueueFull);
+            }
+            q.pending.push_back(Ticket {
+                request,
+                reply,
+                enqueued: Instant::now(),
+            });
+            self.shared.arrived.notify_one();
+        }
+        // A dropped sender (worker panic) surfaces as ShuttingDown rather
+        // than a poisoned wait.
+        inbox.recv().map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Current queue depth (for /metrics and tests).
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().pending.len()
+    }
+
+    /// Stop accepting work, evaluate everything already queued, and join
+    /// the workers. Idempotent by construction: called once from drop or
+    /// explicitly.
+    pub fn drain(mut self) {
+        self.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.draining = true;
+        self.shared.arrived.notify_all();
+    }
+}
+
+impl<B: BatchBackend> Drop for Batcher<B> {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop<B: BatchBackend>(shared: &Shared<B>) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            // Wait for work (or the drain signal).
+            while q.pending.is_empty() {
+                if q.draining {
+                    return;
+                }
+                q = shared.arrived.wait(q).unwrap();
+            }
+            // Linger: a lone request waits briefly for company so that a
+            // concurrent burst coalesces instead of racing through one
+            // at a time. Full batches and draining skip the wait.
+            let deadline = Instant::now() + shared.opts.linger;
+            while q.pending.len() < shared.opts.max_batch && !q.draining {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .arrived
+                    .wait_timeout(q, deadline - now)
+                    .unwrap();
+                q = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = q.pending.len().min(shared.opts.max_batch);
+            q.pending.drain(..take).collect::<Vec<_>>()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        let now = Instant::now();
+        for t in &batch {
+            dp_obs::hist::global(dp_obs::serve::EVAL_WAIT_US)
+                .record(now.duration_since(t.enqueued).as_micros() as u64);
+        }
+        dp_obs::counter(dp_obs::serve::EVAL_BATCHES).add(1);
+        dp_obs::counter(dp_obs::serve::EVAL_BATCHED_REQUESTS).add(batch.len() as u64);
+        if batch.len() >= 2 {
+            dp_obs::counter(dp_obs::serve::EVAL_COALESCED).add(1);
+        }
+        dp_obs::hist::global(dp_obs::serve::EVAL_BATCH_SIZE).record(batch.len() as u64);
+
+        let (requests, replies): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .map(|t| (t.request, t.reply))
+            .unzip();
+        let responses = shared.backend.run_batch(requests);
+        assert_eq!(
+            responses.len(),
+            replies.len(),
+            "backend must answer every request in the batch"
+        );
+        for (resp, reply) in responses.into_iter().zip(replies) {
+            // A receiver gone away just means the client disconnected.
+            let _ = reply.send(resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Backend that tags every response with the batch it ran in, so
+    /// tests can observe coalescing directly.
+    struct Recorder {
+        batches: AtomicUsize,
+        delay: Duration,
+    }
+
+    impl BatchBackend for Recorder {
+        type Req = u64;
+        type Resp = (u64, usize, usize); // (input doubled, batch seq, batch size)
+
+        fn run_batch(&self, requests: Vec<u64>) -> Vec<Self::Resp> {
+            let seq = self.batches.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.delay);
+            let size = requests.len();
+            requests.into_iter().map(|r| (r * 2, seq, size)).collect()
+        }
+    }
+
+    fn recorder(delay_ms: u64) -> Recorder {
+        Recorder {
+            batches: AtomicUsize::new(0),
+            delay: Duration::from_millis(delay_ms),
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_into_one_batch() {
+        let batcher = Arc::new(Batcher::new(
+            recorder(0),
+            BatchOptions {
+                max_batch: 16,
+                max_depth: 64,
+                linger: Duration::from_millis(200),
+                workers: 1,
+            },
+        ));
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(i).unwrap())
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, (doubled, _, _)) in results.iter().enumerate() {
+            assert_eq!(*doubled, (i as u64) * 2);
+        }
+        // The linger is generous relative to thread spawn time, so all 8
+        // requests land in one batch.
+        let batch_of_first = results[0].1;
+        assert!(
+            results.iter().all(|(_, seq, _)| *seq == batch_of_first),
+            "expected one coalesced batch, got {results:?}"
+        );
+        assert_eq!(results[0].2, 8);
+    }
+
+    #[test]
+    fn batches_never_exceed_max_batch() {
+        let batcher = Arc::new(Batcher::new(
+            recorder(0),
+            BatchOptions {
+                max_batch: 3,
+                max_depth: 64,
+                linger: Duration::from_millis(100),
+                workers: 1,
+            },
+        ));
+        let handles: Vec<_> = (0..9u64)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let (_, _, size) = h.join().unwrap();
+            assert!(size <= 3, "batch of {size} exceeds max_batch=3");
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        // One slow worker, queue depth 2: the third concurrent submit
+        // must bounce while the first occupies the worker.
+        let batcher = Arc::new(Batcher::new(
+            recorder(300),
+            BatchOptions {
+                max_batch: 1,
+                max_depth: 2,
+                linger: Duration::ZERO,
+                workers: 1,
+            },
+        ));
+        // Occupy the worker…
+        let b0 = Arc::clone(&batcher);
+        let first = std::thread::spawn(move || b0.submit(1).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        // …fill the queue…
+        let fillers: Vec<_> = (0..2u64)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(10 + i))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(batcher.depth(), 2);
+        // …and watch the next submission bounce immediately.
+        let t = Instant::now();
+        assert_eq!(batcher.submit(99), Err(SubmitError::QueueFull));
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "backpressure must not block"
+        );
+        first.join().unwrap();
+        for f in fillers {
+            f.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn drain_finishes_queued_work_then_rejects() {
+        let batcher = Batcher::new(
+            recorder(20),
+            BatchOptions {
+                max_batch: 4,
+                max_depth: 16,
+                linger: Duration::ZERO,
+                workers: 2,
+            },
+        );
+        let batcher = Arc::new(batcher);
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(i))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Everything submitted before the drain completes successfully.
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().0, (i as u64) * 2);
+        }
+        let owned = Arc::try_unwrap(batcher).unwrap_or_else(|arc| {
+            // All submitters joined, so this is the only strong ref.
+            panic!("{} refs still alive", Arc::strong_count(&arc))
+        });
+        owned.drain();
+    }
+
+    #[test]
+    fn submissions_after_drain_are_rejected() {
+        let batcher = Batcher::new(recorder(0), BatchOptions::default());
+        batcher.begin_drain();
+        assert_eq!(batcher.submit(1), Err(SubmitError::ShuttingDown));
+    }
+}

@@ -43,8 +43,8 @@ use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
 use dp_obs::ImbalanceReport;
 use dp_parallel::{
-    run_parallel_md, DelaySpec, FaultPlan, KillSpec, MsgSelector, ParallelCkpt, ParallelOptions,
-    RunError,
+    expand_chaos, run_parallel_md, ChaosSpec, DelaySpec, FaultPlan, KillSpec, MsgSelector,
+    ParallelCkpt, ParallelOptions, RunError,
 };
 use dp_perfmodel::SystemModel;
 use serde::Deserialize;
@@ -171,6 +171,14 @@ pub struct AppConfig {
     /// (silent corruption; the CRC must reject it on reload).
     #[serde(default)]
     pub fault_corrupt_ckpt_step: Option<usize>,
+    /// Chaos mode (parallel runs only): expand a seed into a deterministic
+    /// randomized schedule of rank kills, message drops, and message delays
+    /// spread over the run — a long-soak drill in one deck key. Kills and
+    /// drops require checkpointing; the schedule is constructed so every
+    /// fault is survivable (see `dp_parallel::chaos`), and the retry budget
+    /// is automatically sized to cover it.
+    #[serde(default)]
+    pub fault_chaos: Option<ChaosConfig>,
     /// How many failed epochs the supervisor may recover from before the
     /// run fails with a typed error.
     #[serde(default = "default_max_retries")]
@@ -189,6 +197,32 @@ pub struct AppConfig {
     /// GFLOPS) after the run. Also settable as `dpmd --imbalance-report`.
     #[serde(default)]
     pub imbalance_report: bool,
+}
+
+/// The `fault_chaos` deck key: how much randomized fault traffic to
+/// schedule. The seed *is* the schedule — same seed, same deck, same
+/// faults, bit-exact — so a chaos soak that fails is replayable.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChaosConfig {
+    /// Deterministic schedule seed.
+    pub seed: u64,
+    /// Rank kills to schedule (each after a checkpoint exists).
+    #[serde(default)]
+    pub kills: usize,
+    /// Messages to silently drop.
+    #[serde(default)]
+    pub drops: usize,
+    /// Messages to delay.
+    #[serde(default)]
+    pub delays: usize,
+    /// Upper bound on each scheduled delay, milliseconds.
+    #[serde(default = "default_chaos_delay_ms")]
+    pub max_delay_ms: u64,
+}
+
+fn default_chaos_delay_ms() -> u64 {
+    50
 }
 
 fn default_thermo_every() -> usize {
@@ -379,6 +413,20 @@ fn build_fault_plan(cfg: &AppConfig, grid: [usize; 3]) -> Result<Option<FaultPla
     }
     plan.torn_ckpt_step = cfg.fault_torn_ckpt_step;
     plan.corrupt_ckpt_step = cfg.fault_corrupt_ckpt_step;
+    if let Some(chaos) = &cfg.fault_chaos {
+        let spec = ChaosSpec {
+            seed: chaos.seed,
+            kills: chaos.kills,
+            drops: chaos.drops,
+            delays: chaos.delays,
+            max_delay_ms: chaos.max_delay_ms,
+        };
+        let expanded = expand_chaos(&spec, n_ranks, cfg.steps, cfg.checkpoint_every)
+            .map_err(|e| AppError::Deck(format!("fault_chaos: {e}")))?;
+        plan.kills.extend(expanded.kills);
+        plan.drops.extend(expanded.drops);
+        plan.delays.extend(expanded.delays);
+    }
     Ok((!plan.is_empty()).then_some(plan))
 }
 
@@ -389,6 +437,7 @@ fn any_fault_key(cfg: &AppConfig) -> bool {
         || cfg.fault_delay_msg_ms.is_some()
         || cfg.fault_torn_ckpt_step.is_some()
         || cfg.fault_corrupt_ckpt_step.is_some()
+        || cfg.fault_chaos.is_some()
 }
 
 /// Run the deck; `log` receives one line per thermo sample.
@@ -681,6 +730,14 @@ fn run_parallel_deck(
     log: &mut impl FnMut(&str),
 ) -> Result<RunSummary, AppError> {
     let faults = build_fault_plan(cfg, grid)?;
+    // A chaos schedule may carry more faults than the deck's default retry
+    // budget; grow the budget to cover the whole schedule so "chaos with N
+    // faults" never fails just because N > fault_max_retries.
+    let max_recoveries = faults
+        .as_ref()
+        .map_or(cfg.fault_max_retries, |p| {
+            cfg.fault_max_retries.max(p.max_failures())
+        });
     let popts = ParallelOptions {
         md: *opts,
         blocking_reduce: cfg.blocking_reduce,
@@ -691,7 +748,7 @@ fn run_parallel_deck(
             rotation,
         }),
         faults,
-        max_recoveries: cfg.fault_max_retries,
+        max_recoveries,
         comm_deadline: cfg
             .fault_comm_deadline_ms
             .map_or(dp_parallel::DEFAULT_DEADLINE, Duration::from_millis),

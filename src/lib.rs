@@ -1,7 +1,11 @@
 //! Meta-crate re-exporting the DeePMD-rs workspace, plus the `dpmd`
-//! application layer (JSON input decks -> MD runs).
+//! application layer (JSON input decks -> MD runs) and the `dpmd serve`
+//! inference daemon (models loaded once, jobs and batched evaluations
+//! multiplexed over HTTP).
 pub mod app;
+pub mod serve_app;
 pub use deepmd_core as core;
+pub use dp_serve as serve;
 pub use dp_obs as obs;
 pub use dp_autograd as autograd;
 pub use dp_linalg as linalg;

@@ -88,6 +88,56 @@ fn steady_state_dp_step_is_allocation_free() {
 }
 
 #[test]
+fn alternating_precision_modes_are_allocation_free() {
+    // Regression for the shared-trunk hazard: Mixed and HalfEmulated both
+    // evaluate in f32, but the half path truncates the formatted
+    // environment in place, so when the two modes shared one f32 workspace
+    // every switch re-warmed it (capacity thrash = steady-state
+    // allocations). With a dedicated half-precision trunk, cycling
+    // Double -> Mixed -> HalfEmulated every call must stay at zero
+    // allocations once all three trunks are warm.
+    const MODES: [PrecisionMode; 3] = [
+        PrecisionMode::Double,
+        PrecisionMode::Mixed,
+        PrecisionMode::HalfEmulated,
+    ];
+    let cfg = DpConfig::small(1, 4.5, 16);
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = DpModel::<f64>::new_random(cfg, &mut rng);
+    let mut sys = lattice::fcc(3.615, [3, 3, 3], units::MASS_CU);
+    sys.perturb(0.1, &mut rng);
+    let mut pot = DeepPotential::new(model, PrecisionMode::Double);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| {
+        let nl = NeighborList::build(&sys, pot.cutoff());
+        let mut out = PotentialOutput::zeros(sys.len());
+        for _ in 0..6 {
+            for mode in MODES {
+                pot.set_mode(mode);
+                pot.compute_into(&sys, &nl, &mut out);
+            }
+        }
+        let before = allocs();
+        for _ in 0..3 {
+            for mode in MODES {
+                pot.set_mode(mode);
+                pot.compute_into(&sys, &nl, &mut out);
+            }
+        }
+        let delta = allocs() - before;
+        assert_eq!(
+            delta, 0,
+            "alternating precision modes allocated {delta} times at steady state"
+        );
+        assert!(out.energy.is_finite());
+    });
+}
+
+#[test]
 fn full_md_step_is_allocation_free_at_steady_state() {
     // The end-to-end version of the invariant: a whole `run_md_resumable`
     // step (kick-drift, thermostat, force eval, sampling) must not touch

@@ -15,8 +15,8 @@ use deepmd_repro::md::potential::pair::LennardJones;
 use deepmd_repro::md::rng::CounterRng;
 use deepmd_repro::md::{lattice, Potential, System};
 use deepmd_repro::parallel::{
-    run_parallel_md, Allreduce, CommError, DelaySpec, FaultPlan, KillSpec, MsgSelector,
-    ParallelCkpt, ParallelOptions, ParallelRun, RunError,
+    expand_chaos, run_parallel_md, Allreduce, ChaosSpec, CommError, DelaySpec, FaultPlan,
+    KillSpec, MsgSelector, ParallelCkpt, ParallelOptions, ParallelRun, RunError,
 };
 use dp_ckpt::Rotation;
 use std::path::PathBuf;
@@ -245,6 +245,44 @@ fn delayed_message_within_deadline_is_survivable() {
 
     assert_eq!(delayed.recoveries, 0, "a 100ms delay must be survivable");
     assert_bit_exact(&straight, &delayed, "delayed message 1->0 seq 5");
+}
+
+#[test]
+fn chaos_schedule_recovers_bit_exact() {
+    // Chaos mode: a seed expands into a multi-fault schedule (kills,
+    // drops, delays) and the soaked run must still match the clean run to
+    // the last bit. Both kills are guaranteed to fire (distinct steps
+    // after the first checkpoint); the drop/delay picks may or may not
+    // reach their sequence numbers — chaos promises at most
+    // `max_failures()` failed epochs, not an exact count.
+    let dir = test_dir("dpft-chaos");
+    let sys = argon();
+
+    let straight =
+        run_parallel_md(&sys, lj(), [2, 1, 1], &opts(Some(ckpt(&dir, "a.ckpt")), None), 60)
+            .unwrap();
+
+    let spec = ChaosSpec {
+        seed: 7,
+        kills: 2,
+        drops: 1,
+        delays: 2,
+        max_delay_ms: 20,
+    };
+    let plan = expand_chaos(&spec, 2, 60, 10).unwrap();
+    assert_eq!(plan, expand_chaos(&spec, 2, 60, 10).unwrap(), "schedule must replay");
+    let mut o = opts(Some(ckpt(&dir, "b.ckpt")), Some(plan.clone()));
+    o.comm_deadline = Duration::from_secs(2);
+    o.max_recoveries = plan.max_failures();
+    let chaotic = run_parallel_md(&sys, lj(), [2, 1, 1], &o, 60).unwrap();
+
+    assert!(
+        chaotic.recoveries >= 2,
+        "both scheduled kills must fail an epoch each (got {} recoveries)",
+        chaotic.recoveries
+    );
+    assert!(chaotic.recoveries <= plan.max_failures());
+    assert_bit_exact(&straight, &chaotic, "chaos seed 7 on [2,1,1]");
 }
 
 #[test]

@@ -162,3 +162,68 @@ if grep -q 'panicked' "$DIR/fatal.err"; then
   exit 1
 fi
 echo "tier1: unrecoverable fault exits with typed code 5"
+
+# Chaos smoke: one deck key expands a seed into a deterministic schedule
+# of kills/drops/delays; the run must recover from all of them and exit 0.
+cat > "$DIR/chaos.json" <<EOF
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 60,
+  "thermo_every": 10,
+  "grid": [2, 1, 1],
+  "checkpoint_every": 10,
+  "checkpoint_path": "$DIR/chaos.ckpt",
+  "fault_chaos": {"seed": 7, "kills": 2, "drops": 1, "delays": 2, "max_delay_ms": 20},
+  "fault_comm_deadline_ms": 2000,
+  "seed": 7
+}
+EOF
+"$DPMD" "$DIR/chaos.json" | grep -q 'recovered from'
+echo "tier1: fault_chaos schedule recovered via checkpoint rotation"
+
+# Serve smoke: daemon on an ephemeral port, one deck job polled to done,
+# one eval, /metrics quantiles, then a graceful drain that exits 0.
+"$DPMD" serve --addr 127.0.0.1:0 --addr-file "$DIR/serve.addr" \
+  --state-dir "$DIR/serve-state" > "$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  test -s "$DIR/serve.addr" && break
+  sleep 0.1
+done
+ADDR=$(cat "$DIR/serve.addr")
+
+deck 40 "$DIR/serve-job.json" "$DIR/serve-job.ckpt"
+"$DPMD" request POST "http://$ADDR/v1/jobs" --body "$DIR/serve-job.json" \
+  > "$DIR/submit.json"
+grep -q '"id":"job-1"' "$DIR/submit.json"
+for _ in $(seq 1 300); do
+  "$DPMD" request GET "http://$ADDR/v1/jobs/job-1" > "$DIR/job-status.json" || true
+  grep -q '"state":"done"' "$DIR/job-status.json" && break
+  sleep 0.1
+done
+grep -q '"state":"done"' "$DIR/job-status.json"
+grep -q '"potential":"lennard-jones"' "$DIR/job-status.json"
+
+printf '{"cell": [20,12,12], "positions": [[1,5,5],[3,5,5],[5,5,5]]}' \
+  > "$DIR/eval.json"
+"$DPMD" request POST "http://$ADDR/v1/eval" --body "$DIR/eval.json" \
+  | grep -q '"energy":'
+"$DPMD" request GET "http://$ADDR/metrics" > "$DIR/serve-metrics.json"
+grep -q 'serve.http.latency_us' "$DIR/serve-metrics.json"
+grep -q '"p95":' "$DIR/serve-metrics.json"
+grep -q '"done":1' "$DIR/serve-metrics.json"
+
+"$DPMD" request POST "http://$ADDR/v1/admin/shutdown" | grep -q draining
+wait $SERVE_PID
+echo "tier1: serve daemon ran a job and an eval, then drained cleanly"
+
+# Bad serve flags must exit with the usage code, not hang or panic.
+set +e
+"$DPMD" serve --bogus-flag 2> /dev/null
+code=$?
+set -e
+test "$code" -eq 2
+echo "tier1: serve flag errors exit with typed code 2"

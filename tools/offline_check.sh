@@ -35,6 +35,7 @@ EXTERNS_MD="$(ext dp_obs) $(ext dp_ckpt) $(ext rand) $(ext rayon) $(ext serde)"
 
 echo "== libs"
 $RUSTC --crate-type rlib --crate-name dp_obs crates/obs/src/lib.rs
+$RUSTC --crate-type rlib --crate-name dp_serve crates/serve/src/lib.rs $(ext dp_obs)
 $RUSTC --crate-type rlib --crate-name dp_ckpt crates/ckpt/src/lib.rs
 $RUSTC --crate-type rlib --crate-name dp_md crates/md/src/lib.rs $EXTERNS_MD
 $RUSTC --crate-type rlib --crate-name dp_parallel crates/parallel/src/lib.rs \
@@ -57,7 +58,7 @@ $RUSTC --crate-type rlib --crate-name dp_perfmodel crates/perfmodel/src/lib.rs \
 CARGO_MANIFEST_DIR="$PWD/crates/bench" \
     $RUSTC --crate-type rlib --crate-name dp_bench crates/bench/src/lib.rs \
     $EXTERNS_ALL $(ext dp_train) $(ext dp_perfmodel)
-EXTERNS_ALL="$EXTERNS_ALL $(ext dp_train) $(ext dp_perfmodel) $(ext dp_bench)"
+EXTERNS_ALL="$EXTERNS_ALL $(ext dp_train) $(ext dp_perfmodel) $(ext dp_bench) $(ext dp_serve)"
 $RUSTC --crate-type rlib --crate-name deepmd_repro src/lib.rs $EXTERNS_ALL
 EXTERNS_ALL="$EXTERNS_ALL $(ext deepmd_repro)"
 
@@ -72,6 +73,7 @@ done
 
 echo "== unit tests"
 $RUSTC --test --crate-name dp_obs_t crates/obs/src/lib.rs
+$RUSTC --test --crate-name dp_serve_t crates/serve/src/lib.rs $(ext dp_obs)
 $RUSTC --test --crate-name dp_ckpt_t crates/ckpt/src/lib.rs
 $RUSTC --test --crate-name dp_md_t crates/md/src/lib.rs $EXTERNS_MD
 $RUSTC --test --crate-name dp_parallel_t crates/parallel/src/lib.rs \
@@ -89,6 +91,7 @@ $RUSTC --test --crate-name dp_train_t crates/train/src/lib.rs $EXTERNS_ALL
 $RUSTC --test --crate-name dp_perfmodel_t crates/perfmodel/src/lib.rs $(ext serde)
 CARGO_MANIFEST_DIR="$PWD/crates/bench" \
     $RUSTC --test --crate-name dp_bench_t crates/bench/src/lib.rs $EXTERNS_ALL
+$RUSTC --test --crate-name deepmd_repro_t src/lib.rs $EXTERNS_ALL
 
 echo "== integration tests (compile)"
 # CARGO_BIN_EXE_dpmd is a cargo-ism; point it at the rustc-built binary so
@@ -103,8 +106,9 @@ done
 # serde_derive stub is a no-op, so serialization returns Err offline.
 # Everything else runs (dp-ckpt/dp-md round-trips use their own codec and
 # stay in the run set).
-for t in dp_obs_t dp_ckpt_t dp_md_t dp_parallel_t dp_linalg_t dp_autograd_t \
-         dp_nn_t deepmd_core_t dp_train_t dp_perfmodel_t dp_bench_t; do
+for t in dp_obs_t dp_serve_t dp_ckpt_t dp_md_t dp_parallel_t dp_linalg_t \
+         dp_autograd_t dp_nn_t deepmd_core_t dp_train_t dp_perfmodel_t \
+         dp_bench_t deepmd_repro_t; do
     echo "== run $t"
     case "$t" in
     dp_nn_t | deepmd_core_t)
@@ -127,11 +131,17 @@ done
 echo "== run it_fault_tolerance (library-level drills)"
 "$OUT/it_fault_tolerance" --test-threads=1 \
     killed_rank corrupted torn_checkpoint dropped_message delayed_message \
-    rank_failure_without retries_exhausted_is_typed dead_rank_in_allreduce
+    rank_failure_without retries_exhausted_is_typed dead_rank_in_allreduce \
+    chaos_schedule
 for t in it_alloc_regression it_workspace_reuse it_parallel_dp it_virial; do
     echo "== run $t"
     "$OUT/$t"
 done
+# The serve e2e drives a real daemon subprocess over loopback; eval uses
+# the daemon's own std-only JSON codec, so everything except the deck-job
+# tests (serde_json at runtime) runs offline.
+echo "== run it_serve (daemon e2e, deck-job tests skipped)"
+"$OUT/it_serve" --test-threads=2 --skip job_
 # The per-rank observability drill drives run_parallel_md directly with
 # string-level JSONL asserts; the deck-level half needs real serde_json.
 echo "== run it_imbalance (driver-level)"
