@@ -9,26 +9,35 @@
 //! analyzer's taxonomy). Untrained models: weights don't change the
 //! arithmetic being timed.
 //!
-//! Run with: `cargo run --release -p dp-bench --bin bench_dpmd --
-//! [--steps N] [--reps X,Y,Z] [--out BENCH.json]`
+//! A third `ensemble` row times the multi-replica engine: the same water
+//! replicas advanced through one cross-replica batched evaluation per
+//! step versus one replica at a time, reporting the throughput ratio as
+//! `speedup_vs_serial` (gated by `benchcheck --compare` once committed).
 //!
-//! `--steps` overrides the per-workload step count and `--reps` the box
-//! size (unit-cell/molecule repetitions per axis for both workloads), so
-//! CI can time a longer, steadier run and `benchcheck --compare` it
-//! against the committed baseline without editing this file.
+//! Run with: `cargo run --release -p dp-bench --bin bench_dpmd --
+//! [--steps N] [--reps X,Y,Z] [--replicas N] [--out BENCH.json]`
+//!
+//! `--steps` overrides the per-workload step count, `--reps` the box
+//! size (unit-cell/molecule repetitions per axis for both workloads), and
+//! `--replicas` the ensemble-row ladder size, so CI can time a longer,
+//! steadier run and `benchcheck --compare` it against the committed
+//! baseline without editing this file.
 
 use deepmd_core::model::DpModel;
 use deepmd_core::{DeepPotential, PrecisionMode};
 use dp_bench::workloads;
 use dp_linalg::flops::FlopCounter;
 use dp_md::integrate::{run_md, MdOptions};
-use dp_md::{lattice, Potential};
+use dp_md::{lattice, CounterRng, Potential, System};
 use dp_obs::report::{BenchReport, BenchRow, PhaseFractions};
+use dp_replica::{replica_seed, EnsembleEngine, EnsembleOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Instant;
 
 const DEFAULT_STEPS: usize = 5;
+const DEFAULT_REPLICAS: usize = 8;
 
 fn bench_workload(
     name: &str,
@@ -64,8 +73,80 @@ fn bench_workload(
     BenchRow::from_run(name, sys.len(), run.steps, run.loop_time, flops).with_phases(phases)
 }
 
+/// Time the multi-replica engine against the same trajectories run one
+/// replica at a time (same model, same seeds, same step count), and
+/// report the full-job throughput ratio. Both sides are NVE (every step
+/// costs exactly one force evaluation per replica) and both timings
+/// include their own setup — per-replica neighbor lists and the initial
+/// force evaluation — so the ratio is a pure batched-vs-serial
+/// evaluation comparison, not a setup-accounting artifact.
+fn bench_ensemble(
+    cfg: deepmd_core::DpConfig,
+    base_sys: &System,
+    replicas: usize,
+    seed: u64,
+    steps: usize,
+) -> BenchRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = DpModel::<f64>::new_random(cfg, &mut rng);
+    let pot = Arc::new(DeepPotential::new(model, PrecisionMode::Mixed));
+    let opts = EnsembleOptions {
+        dt: 1e-4,
+        skin: ((base_sys.cell.max_cutoff() - pot.cutoff()) * 0.9).clamp(0.0, 1.0),
+        exchange_every: 0,
+        seed,
+        ..EnsembleOptions::default()
+    };
+    let temps = vec![300.0; replicas];
+    let systems: Vec<System> = (0..replicas)
+        .map(|k| {
+            let mut sys = base_sys.clone();
+            let mut rng = CounterRng::new(replica_seed(seed, k));
+            sys.init_velocities(temps[k], &mut rng);
+            sys
+        })
+        .collect();
+
+    // Untimed warm-up so neither side pays first-touch costs (workspace
+    // allocation, model weights entering cache).
+    {
+        let mut sys = systems[0].clone();
+        run_md(&mut sys, pot.as_ref(), &opts.md_options_for(temps[0], 0), 1, |_| {});
+    }
+
+    // Serial baseline: the identical trajectories, one replica at a time.
+    let serial_systems: Vec<System> = systems.iter().cloned().collect();
+    let serial_start = Instant::now();
+    for (k, mut sys) in serial_systems.into_iter().enumerate() {
+        let md = opts.md_options_for(temps[k], k);
+        run_md(&mut sys, pot.as_ref(), &md, steps, |_| {});
+    }
+    let serial_time = serial_start.elapsed();
+
+    // Batched: all replicas through one fixed-shape evaluation per step.
+    // Engine construction (neighbor lists + initial batched evaluation)
+    // is inside the timed region, mirroring what run_md's loop_time
+    // covers on the serial side.
+    let flops = FlopCounter::start();
+    let batched_start = Instant::now();
+    let mut engine = EnsembleEngine::new(pot, systems, &temps, opts);
+    engine.run(steps);
+    let batched_time = batched_start.elapsed();
+    let flops = flops.elapsed();
+
+    let speedup = serial_time.as_secs_f64() / batched_time.as_secs_f64().max(1e-12);
+    BenchRow::from_run(
+        "ensemble",
+        base_sys.len() * replicas,
+        steps,
+        batched_time,
+        flops,
+    )
+    .with_ensemble(replicas, speedup)
+}
+
 fn usage() -> ! {
-    eprintln!("usage: bench_dpmd [--steps N] [--reps X,Y,Z] [--out BENCH.json]");
+    eprintln!("usage: bench_dpmd [--steps N] [--reps X,Y,Z] [--replicas N] [--out BENCH.json]");
     std::process::exit(2);
 }
 
@@ -73,11 +154,16 @@ fn main() {
     let mut out = "BENCH_dpmd.json".to_string();
     let mut steps = DEFAULT_STEPS;
     let mut reps: Option<[usize; 3]> = None;
+    let mut replicas = DEFAULT_REPLICAS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--steps" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => steps = n,
+                _ => usage(),
+            },
+            "--replicas" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => replicas = n,
                 _ => usage(),
             },
             "--reps" => {
@@ -132,10 +218,29 @@ fn main() {
         72,
         steps,
     ));
+    let ensemble_base = match reps {
+        Some(r) => lattice::water_box(r, 3.104),
+        None => workloads::water_training_base(),
+    };
+    eprintln!(
+        "[bench_dpmd] ensemble ({steps} steps, {replicas} x {} atoms)...",
+        ensemble_base.len()
+    );
+    report.push(bench_ensemble(
+        workloads::water_config_small(),
+        &ensemble_base,
+        replicas,
+        73,
+        steps,
+    ));
 
     for r in &report.rows {
+        let tail = match (r.replicas, r.speedup_vs_serial) {
+            (Some(n), Some(s)) => format!(", {n} replicas, {s:.2}x vs serial"),
+            _ => String::new(),
+        };
         println!(
-            "{:>8}: {} atoms, {} steps, {:.3e} s/step/atom, {:.2} GFLOPS",
+            "{:>8}: {} atoms, {} steps, {:.3e} s/step/atom, {:.2} GFLOPS{tail}",
             r.workload, r.n_atoms, r.steps, r.s_per_step_per_atom, r.gflops
         );
     }

@@ -16,12 +16,62 @@
 //!   per-workload `s_per_step_per_atom` between a committed baseline and a
 //!   fresh run; exits non-zero if any workload got slower than
 //!   `old * FACTOR` (default 3.0 — wide enough for cross-machine and CI
-//!   noise, tight enough to catch an accidental hot-path regression) or if
-//!   a baseline workload disappeared.
+//!   noise, tight enough to catch an accidental hot-path regression), if a
+//!   baseline workload disappeared, or if a baseline
+//!   `speedup_vs_serial` (ensemble rows) shrank by more than the same
+//!   factor. Compare failures are typed [`CompareError`]s with distinct
+//!   exit codes: 3 = a file is missing/unreadable, 4 = the schema version
+//!   differs from this binary's `dpmd-bench/1`, 1 = a real regression.
 
-use dp_obs::report::{BenchReport, BenchRow};
+use dp_obs::report::{BenchReport, BenchRow, BENCH_SCHEMA};
 use serde_json::Value;
 use std::time::Duration;
+
+/// Why `--compare` could not pass. Each variant maps to a distinct exit
+/// code so CI can tell "baseline missing" (fix the checkout) from "schema
+/// drift" (regenerate the baseline) from "perf regression" (fix the code)
+/// without parsing stderr.
+#[derive(Debug)]
+enum CompareError {
+    /// A compared file cannot be read (most commonly: the committed
+    /// baseline is missing). Exit 3.
+    Unreadable { path: String, reason: String },
+    /// A compared file is not a `dpmd-bench` document of this binary's
+    /// schema version — regenerate it rather than comparing apples to
+    /// oranges. Exit 4.
+    SchemaMismatch { path: String, found: String },
+    /// A compared file parses but violates the row contract. Exit 4.
+    Malformed { path: String, reason: String },
+    /// The measurement got worse than the tolerance allows. Exit 1.
+    Regression(String),
+}
+
+impl CompareError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CompareError::Unreadable { .. } => 3,
+            CompareError::SchemaMismatch { .. } | CompareError::Malformed { .. } => 4,
+            CompareError::Regression(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::Unreadable { path, reason } => {
+                write!(f, "cannot read {path}: {reason}")
+            }
+            CompareError::SchemaMismatch { path, found } => write!(
+                f,
+                "{path}: schema \"{found}\" does not match this binary's \"{BENCH_SCHEMA}\"; \
+                 regenerate the file before comparing"
+            ),
+            CompareError::Malformed { path, reason } => write!(f, "{path}: {reason}"),
+            CompareError::Regression(msg) => write!(f, "{msg}"),
+        }
+    }
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("benchcheck: {msg}");
@@ -124,60 +174,109 @@ fn aggregate(metrics: &str, workload: &str, out: &str) {
     println!("{out}: aggregated {steps} steps from {metrics}");
 }
 
-/// `workload -> s_per_step_per_atom` from a validated-shape BENCH file.
-fn load_rows(path: &str) -> Vec<(String, f64)> {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let doc: Value = serde_json::from_str(&text)
-        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+/// One comparable row of a BENCH file.
+struct CompareRow {
+    workload: String,
+    s_per_step_per_atom: f64,
+    speedup_vs_serial: Option<f64>,
+}
+
+/// Load a BENCH file for comparison. Unlike `validate` (a gate that dies
+/// on first violation), every failure here is a typed [`CompareError`].
+fn load_rows(path: &str) -> Result<Vec<CompareRow>, CompareError> {
+    let unreadable = |reason: String| CompareError::Unreadable {
+        path: path.to_string(),
+        reason,
+    };
+    let malformed = |reason: String| CompareError::Malformed {
+        path: path.to_string(),
+        reason,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| unreadable(e.to_string()))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| malformed(format!("not valid JSON: {e}")))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("missing \"schema\" string".into()))?;
+    if schema != BENCH_SCHEMA {
+        return Err(CompareError::SchemaMismatch {
+            path: path.to_string(),
+            found: schema.to_string(),
+        });
+    }
     let rows = doc
         .get("rows")
         .and_then(Value::as_array)
-        .unwrap_or_else(|| fail(&format!("{path}: missing \"rows\" array")));
+        .ok_or_else(|| malformed("missing \"rows\" array".into()))?;
     rows.iter()
         .map(|row| {
             let workload = row
                 .get("workload")
                 .and_then(Value::as_str)
-                .unwrap_or_else(|| fail(&format!("{path}: row without a workload name")));
+                .ok_or_else(|| malformed("row without a workload name".into()))?;
             let tts = row
                 .get("s_per_step_per_atom")
                 .and_then(Value::as_f64)
                 .filter(|t| t.is_finite() && *t > 0.0)
-                .unwrap_or_else(|| {
-                    fail(&format!(
-                        "{path}: {workload} has no positive s_per_step_per_atom"
-                    ))
-                });
-            (workload.to_string(), tts)
+                .ok_or_else(|| {
+                    malformed(format!("{workload} has no positive s_per_step_per_atom"))
+                })?;
+            Ok(CompareRow {
+                workload: workload.to_string(),
+                s_per_step_per_atom: tts,
+                speedup_vs_serial: row.get("speedup_vs_serial").and_then(Value::as_f64),
+            })
         })
         .collect()
 }
 
-fn compare(old_path: &str, new_path: &str, tol: f64) {
+fn compare(old_path: &str, new_path: &str, tol: f64) -> Result<(), CompareError> {
     if !(tol.is_finite() && tol >= 1.0) {
         fail(&format!("--tol must be a factor >= 1.0, got {tol}"));
     }
-    let old = load_rows(old_path);
-    let new = load_rows(new_path);
+    let old = load_rows(old_path)?;
+    let new = load_rows(new_path)?;
     let mut worst = 0.0f64;
-    for (workload, old_tts) in &old {
-        let Some((_, new_tts)) = new.iter().find(|(w, _)| w == workload) else {
-            fail(&format!("{new_path}: workload \"{workload}\" disappeared"));
+    for o in &old {
+        let workload = &o.workload;
+        let Some(n) = new.iter().find(|n| n.workload == *workload) else {
+            return Err(CompareError::Regression(format!(
+                "{new_path}: workload \"{workload}\" disappeared"
+            )));
         };
+        let (old_tts, new_tts) = (o.s_per_step_per_atom, n.s_per_step_per_atom);
         let ratio = new_tts / old_tts;
         println!(
             "{workload:>8}: {old_tts:.3e} -> {new_tts:.3e} s/step/atom (x{ratio:.2}, tol x{tol})"
         );
         if ratio > tol {
-            fail(&format!(
+            return Err(CompareError::Regression(format!(
                 "{workload} regressed x{ratio:.2} ({old_tts:.3e} -> {new_tts:.3e} \
                  s/step/atom), tolerance is x{tol}"
-            ));
+            )));
         }
         worst = worst.max(ratio);
+        // Ensemble rows also gate the batched-over-serial speedup: once
+        // the baseline records it, it may not shrink past the tolerance.
+        if let Some(old_sp) = o.speedup_vs_serial {
+            let Some(new_sp) = n.speedup_vs_serial else {
+                return Err(CompareError::Regression(format!(
+                    "{workload}: baseline has speedup_vs_serial {old_sp:.2} but the new run \
+                     does not report one"
+                )));
+            };
+            println!("{workload:>8}: speedup_vs_serial {old_sp:.2} -> {new_sp:.2}");
+            if new_sp * tol < old_sp {
+                return Err(CompareError::Regression(format!(
+                    "{workload} speedup_vs_serial collapsed {old_sp:.2} -> {new_sp:.2}, \
+                     tolerance is x{tol}"
+                )));
+            }
+        }
     }
     println!("compare OK: worst ratio x{worst:.2} within tolerance x{tol}");
+    Ok(())
 }
 
 fn main() {
@@ -208,7 +307,10 @@ fn main() {
         let [old, new] = paths.as_slice() else {
             fail("--compare needs exactly <old.json> <new.json>");
         };
-        compare(old, new, tol);
+        if let Err(e) = compare(old, new, tol) {
+            eprintln!("benchcheck: {e}");
+            std::process::exit(e.exit_code());
+        }
     } else if args[0] == "--from-metrics" {
         let mut metrics = None;
         let mut workload = None;

@@ -183,6 +183,41 @@ mod tests {
     }
 
     #[test]
+    fn flat_batch_output_matches_per_request_results() {
+        use crate::potential_impl::BatchOutput;
+        let pot = potential();
+        let systems = sample_systems();
+        let nls: Vec<NeighborList> =
+            systems.iter().map(|s| NeighborList::build(s, pot.cutoff())).collect();
+        let items: Vec<BatchItem> = systems
+            .iter()
+            .zip(&nls)
+            .map(|(sys, nl)| BatchItem { sys, nl })
+            .collect();
+        let per_request = pot.compute_batch(&items, PrecisionMode::Mixed);
+        let mut flat = BatchOutput::new();
+        pot.compute_batch_into(&items, PrecisionMode::Mixed, &mut flat);
+        assert_eq!(flat.len(), per_request.len());
+        for (k, res) in per_request.iter().enumerate() {
+            assert_eq!(flat.energies[k].to_bits(), res.energy.to_bits());
+            assert_eq!(flat.forces_of(k).len(), res.forces.len());
+            for (a, b) in flat.forces_of(k).iter().zip(&res.forces) {
+                for d in 0..3 {
+                    assert_eq!(a[d].to_bits(), b[d].to_bits());
+                }
+            }
+            for (a, b) in flat.per_atom_energy_of(k).iter().zip(&res.per_atom_energy) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // steady state: re-dispatching the same batch must not grow the
+        // flat output (the ensemble engine calls this once per tick)
+        let cap = (flat.forces.capacity(), flat.per_atom_energy.capacity());
+        pot.compute_batch_into(&items, PrecisionMode::Mixed, &mut flat);
+        assert_eq!(cap, (flat.forces.capacity(), flat.per_atom_energy.capacity()));
+    }
+
+    #[test]
     fn steady_state_batch_reuses_the_joined_capacity() {
         let cfg = DpConfig::small(1, 4.5, 16);
         let systems = sample_systems();

@@ -46,4 +46,4 @@ pub mod workspace;
 pub use config::DpConfig;
 pub use model::DpModel;
 pub use workspace::EvalWorkspace;
-pub use potential_impl::{BatchItem, BatchResult, DeepPotential, PrecisionMode};
+pub use potential_impl::{BatchItem, BatchOutput, BatchResult, DeepPotential, PrecisionMode};

@@ -57,6 +57,48 @@ pub struct BatchResult {
     pub forces: Vec<[f64; 3]>,
 }
 
+/// Reusable flat output of [`DeepPotential::compute_batch_into`]: all
+/// requests' per-atom quantities live in shared buffers addressed through
+/// `offsets`, so a caller stepping many replicas every tick (the ensemble
+/// engine) copies slices instead of allocating per-request `Vec`s.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutput {
+    /// Prefix sums: request `k` owns atoms `offsets[k]..offsets[k + 1]`.
+    pub offsets: Vec<usize>,
+    /// Total energy per request (left-to-right sum of its slice, the same
+    /// summation the solo evaluation performs — bit-identical).
+    pub energies: Vec<f64>,
+    /// Per-atom energies, concatenated in request order.
+    pub per_atom_energy: Vec<f64>,
+    /// Forces, concatenated in request order.
+    pub forces: Vec<[f64; 3]>,
+}
+
+impl BatchOutput {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of requests in the last batch.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Force slice of request `k`.
+    pub fn forces_of(&self, k: usize) -> &[[f64; 3]] {
+        &self.forces[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// Per-atom-energy slice of request `k`.
+    pub fn per_atom_energy_of(&self, k: usize) -> &[f64] {
+        &self.per_atom_energy[self.offsets[k]..self.offsets[k + 1]]
+    }
+}
+
 /// Arena for [`DeepPotential::compute_batch`]: one per-request formatting
 /// table, the joined batch table, and the per-mode workspaces.
 struct BatchScratch {
@@ -133,8 +175,33 @@ impl DeepPotential {
     /// each system alone in the same `mode`. The serving scheduler uses
     /// this to coalesce concurrent `/v1/eval` requests.
     pub fn compute_batch(&self, items: &[BatchItem], mode: PrecisionMode) -> Vec<BatchResult> {
+        let mut out = BatchOutput::new();
+        self.compute_batch_into(items, mode, &mut out);
+        (0..items.len())
+            .map(|k| BatchResult {
+                energy: out.energies[k],
+                per_atom_energy: out.per_atom_energy_of(k).to_vec(),
+                forces: out.forces_of(k).to_vec(),
+            })
+            .collect()
+    }
+
+    /// [`Self::compute_batch`] writing into a caller-owned flat
+    /// [`BatchOutput`], so steady-state callers (the multi-replica engine
+    /// dispatching one batch per tick) reuse the same buffers every call.
+    pub fn compute_batch_into(
+        &self,
+        items: &[BatchItem],
+        mode: PrecisionMode,
+        res: &mut BatchOutput,
+    ) {
+        res.offsets.clear();
+        res.offsets.push(0);
+        res.energies.clear();
+        res.per_atom_energy.clear();
+        res.forces.clear();
         if items.is_empty() {
-            return Vec::new();
+            return;
         }
         for it in items {
             assert_eq!(
@@ -203,20 +270,17 @@ impl DeepPotential {
                 evaluate_into(&self.model16, joined, types, n_total, prof, ws16, out)
             }
         }
-        let results = (0..items.len())
-            .map(|k| {
-                let (a, b) = (offsets[k], offsets[k + 1]);
-                BatchResult {
-                    // left-to-right sum over the request's contiguous
-                    // slice — the same order the solo evaluation uses
-                    energy: out.per_atom_energy[a..b].iter().sum(),
-                    per_atom_energy: out.per_atom_energy[a..b].to_vec(),
-                    forces: out.forces[a..b].to_vec(),
-                }
-            })
-            .collect();
+        res.offsets.clone_from(offsets);
+        res.per_atom_energy
+            .extend_from_slice(&out.per_atom_energy[..n_total]);
+        res.forces.extend_from_slice(&out.forces[..n_total]);
+        for k in 0..items.len() {
+            let (a, b) = (offsets[k], offsets[k + 1]);
+            // left-to-right sum over the request's contiguous slice —
+            // the same order the solo evaluation uses
+            res.energies.push(out.per_atom_energy[a..b].iter().sum());
+        }
         self.batch_scratch.lock().unwrap().push(sc);
-        results
     }
 }
 

@@ -86,6 +86,12 @@ pub struct BenchRow {
     pub gflops: f64,
     /// Optional compute/comm/wait breakdown of the timed loop.
     pub phases: Option<PhaseFractions>,
+    /// Ensemble rows: how many replicas advanced concurrently
+    /// (`n_atoms` is then the whole-ensemble atom count).
+    pub replicas: Option<usize>,
+    /// Ensemble rows: throughput ratio of the cross-replica batched
+    /// engine over the same trajectories run one replica at a time.
+    pub speedup_vs_serial: Option<f64>,
 }
 
 impl BenchRow {
@@ -112,12 +118,22 @@ impl BenchRow {
                 0.0
             },
             phases: None,
+            replicas: None,
+            speedup_vs_serial: None,
         }
     }
 
     /// Attach a compute/comm/wait breakdown (builder style).
     pub fn with_phases(mut self, phases: PhaseFractions) -> Self {
         self.phases = Some(phases);
+        self
+    }
+
+    /// Mark this as an ensemble row (builder style): replica count and
+    /// the batched-over-serial throughput ratio.
+    pub fn with_ensemble(mut self, replicas: usize, speedup_vs_serial: f64) -> Self {
+        self.replicas = Some(replicas);
+        self.speedup_vs_serial = Some(speedup_vs_serial);
         self
     }
 
@@ -139,6 +155,12 @@ impl BenchRow {
                 json::num(p.comm),
                 json::num(p.wait)
             ));
+        }
+        if let Some(r) = self.replicas {
+            row.push_str(&format!(",\"replicas\":{r}"));
+        }
+        if let Some(s) = self.speedup_vs_serial {
+            row.push_str(&format!(",\"speedup_vs_serial\":{}", json::num(s)));
         }
         row.push('}');
         row
@@ -258,5 +280,18 @@ mod tests {
         // rows without phases keep the original shape
         let bare = BenchRow::from_run("copper", 3, 2, Duration::from_millis(6), 600).to_json();
         assert!(!bare.contains("phases"));
+    }
+
+    #[test]
+    fn ensemble_fields_serialize_only_when_set() {
+        let row = BenchRow::from_run("ensemble", 648, 10, Duration::from_millis(6), 600)
+            .with_ensemble(8, 2.4);
+        let s = row.to_json();
+        assert!(s.contains("\"replicas\":8"), "{s}");
+        assert!(s.contains("\"speedup_vs_serial\":2.4e0"), "{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        let bare = BenchRow::from_run("water", 3, 2, Duration::from_millis(6), 600).to_json();
+        assert!(!bare.contains("replicas"));
+        assert!(!bare.contains("speedup_vs_serial"));
     }
 }

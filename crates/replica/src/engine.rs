@@ -1,0 +1,818 @@
+//! The ensemble engine: N replicas of a small system advanced in lockstep
+//! against one shared [`DeepPotential`], with every tick's force calls
+//! coalesced into a single cross-replica batched evaluation.
+//!
+//! Bit-exactness contract: a tick performs, per replica, exactly the
+//! operations of one `dp_md::integrate::run_md_resumable` step — same
+//! order, same arithmetic — with the solo `compute_into` replaced by the
+//! replica's slice of one `compute_batch_into` call, which `crates/core`
+//! proves bit-identical to the solo evaluation. An engine holding one
+//! replica therefore reproduces the serial integrator byte-for-byte, and
+//! an engine holding N replicas reproduces N serial runs byte-for-byte
+//! (as long as exchange moves are disabled, which couple the replicas on
+//! purpose). `tests in this module and `dp_train`'s deviation suite
+//! byte-diff both claims.
+
+use crate::exchange;
+use crate::metrics;
+use deepmd_core::{BatchItem, BatchOutput, DeepPotential, PrecisionMode};
+use dp_ckpt::{CkptError, CkptWriter, Dec, Enc, Rotation};
+use dp_md::checkpoint::MdCheckpoint;
+use dp_md::integrate::{Berendsen, Langevin, MdOptions, MdProgress};
+use dp_md::neighbor::NlScratch;
+use dp_md::{units, CounterRng, NeighborList, Potential, System};
+use rand::Rng;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Checkpoint kind of the ensemble metadata container (per-replica state
+/// reuses `dp_ckpt::KIND_MD` files alongside it).
+pub const KIND_ENSEMBLE: u32 = 3;
+
+/// Derive replica `k`'s Langevin seed from the deck seed — the same
+/// splitmix64 odd-constant stride the RNG itself uses, so replica streams
+/// never collide and a serial rerun of one replica can reconstruct its
+/// exact stream.
+pub fn replica_seed(base: u64, k: usize) -> u64 {
+    base ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Engine-wide integration parameters (per-replica target temperatures
+/// live on the [`Replica`]s; exchange moves swap them).
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleOptions {
+    /// Time step (ps).
+    pub dt: f64,
+    /// Neighbor-list skin (Å).
+    pub skin: f64,
+    /// Steps between displacement checks / forced rebuilds.
+    pub rebuild_every: usize,
+    /// Steps between thermodynamic samples.
+    pub thermo_every: usize,
+    /// Berendsen coupling time (ps); `Some` enables per-replica Berendsen
+    /// thermostats at each replica's ladder temperature.
+    pub berendsen_tau: Option<f64>,
+    /// Langevin friction γ (1/ps); `Some` enables per-replica Langevin
+    /// thermostats (mutually exclusive with `berendsen_tau`).
+    pub langevin_gamma: Option<f64>,
+    /// Precision of the batched evaluation.
+    pub mode: PrecisionMode,
+    /// Steps between replica-exchange attempt rounds (0 disables).
+    pub exchange_every: usize,
+    /// Base seed: replica Langevin streams and the swap schedule derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// OS threads for the batched evaluation: the batch splits into this
+    /// many contiguous sub-batches evaluated concurrently (each replica's
+    /// forces are independent of batch grouping, so results stay
+    /// bit-identical to the single-threaded path). `0` = one thread per
+    /// available core, `1` = evaluate in the calling thread.
+    pub eval_threads: usize,
+}
+
+impl Default for EnsembleOptions {
+    fn default() -> Self {
+        Self {
+            dt: 1.0e-3,
+            skin: 2.0,
+            rebuild_every: 50,
+            thermo_every: 20,
+            berendsen_tau: None,
+            langevin_gamma: None,
+            mode: PrecisionMode::Mixed,
+            exchange_every: 0,
+            seed: 0,
+            eval_threads: 0,
+        }
+    }
+}
+
+impl EnsembleOptions {
+    /// The exact `MdOptions` under which replica `k` (target temperature
+    /// `target_t`) evolves — running `run_md_resumable` with these
+    /// reproduces the engine's trajectory for that replica byte-for-byte
+    /// (exchange disabled). The byte-diff tests lean on this.
+    pub fn md_options_for(&self, target_t: f64, k: usize) -> MdOptions {
+        MdOptions {
+            dt: self.dt,
+            skin: self.skin,
+            rebuild_every: self.rebuild_every,
+            thermo_every: self.thermo_every,
+            thermostat: self.berendsen_tau.map(|tau| Berendsen { target_t, tau }),
+            langevin: self.langevin_gamma.map(|gamma| Langevin {
+                target_t,
+                gamma,
+                seed: replica_seed(self.seed, k),
+            }),
+            barostat: None,
+        }
+    }
+}
+
+/// One thermodynamic sample of one replica. Pressure is omitted: the
+/// batched evaluation cannot attribute the virial to one replica.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaThermo {
+    pub step: usize,
+    pub potential_energy: f64,
+    pub kinetic_energy: f64,
+    pub temperature: f64,
+}
+
+/// One trajectory: its atoms, neighbor list, thermostat state, and the
+/// rung of the temperature ladder it currently samples.
+pub struct Replica {
+    pub sys: System,
+    /// Thermostat target temperature (K); exchange moves swap these
+    /// between neighboring replicas.
+    pub target_t: f64,
+    /// Completed steps (all replicas advance in lockstep).
+    pub step: usize,
+    /// Potential energy from the latest force evaluation.
+    pub potential_energy: f64,
+    /// Langevin kick stream, `None` unless `langevin_gamma` is set.
+    pub rng: Option<CounterRng>,
+    /// Thermo samples recorded this session (a resume does not re-emit).
+    pub thermo: Vec<ReplicaThermo>,
+    nl: NeighborList,
+    nl_scratch: NlScratch,
+}
+
+impl Replica {
+    fn record_thermo(&mut self) {
+        self.thermo.push(ReplicaThermo {
+            step: self.step,
+            potential_energy: self.potential_energy,
+            kinetic_energy: self.sys.kinetic_energy(),
+            temperature: self.sys.temperature(),
+        });
+    }
+}
+
+/// The scheduler: owns the replicas, the shared potential, the flat batch
+/// output arena, and the exchange state.
+pub struct EnsembleEngine {
+    pub opts: EnsembleOptions,
+    pub replicas: Vec<Replica>,
+    /// Global step counter (lockstep with every replica's `step`).
+    pub step: usize,
+    /// Structured log of every exchange attempt this session.
+    pub swap_log: Vec<exchange::SwapEvent>,
+    pub exchange_attempts: u64,
+    pub exchange_accepted: u64,
+    pot: Arc<DeepPotential>,
+    swap_rng: CounterRng,
+    batch_out: BatchOutput,
+    /// Per-worker outputs for the threaded sub-batch dispatch, kept so
+    /// steady-state ticks reuse the same buffers.
+    thread_outs: Vec<BatchOutput>,
+    cutoff: f64,
+    nl_rebuilds: u64,
+    evaluations: u64,
+}
+
+impl EnsembleEngine {
+    /// Build an engine over `systems`, replica `k` thermostatted at
+    /// `temps[k]`. Performs the initial batched force evaluation and
+    /// records each replica's step-0 thermo sample, exactly as a fresh
+    /// `run_md_resumable` does.
+    pub fn new(
+        pot: Arc<DeepPotential>,
+        systems: Vec<System>,
+        temps: &[f64],
+        opts: EnsembleOptions,
+    ) -> Self {
+        assert!(!systems.is_empty(), "need at least one replica");
+        assert_eq!(systems.len(), temps.len(), "one temperature per replica");
+        assert!(
+            !(opts.berendsen_tau.is_some() && opts.langevin_gamma.is_some()),
+            "pick one thermostat"
+        );
+        assert!(opts.dt > 0.0, "time step must be positive");
+        let cutoff = pot.cutoff() + opts.skin;
+        let replicas = systems
+            .into_iter()
+            .zip(temps)
+            .enumerate()
+            .map(|(k, (sys, &target_t))| {
+                assert_eq!(
+                    sys.n_local,
+                    sys.len(),
+                    "replicas must be standalone configurations"
+                );
+                let mut r = Replica {
+                    sys,
+                    target_t,
+                    step: 0,
+                    potential_energy: 0.0,
+                    rng: opts
+                        .langevin_gamma
+                        .map(|_| CounterRng::new(replica_seed(opts.seed, k))),
+                    thermo: Vec::new(),
+                    nl: NeighborList::empty(),
+                    nl_scratch: NlScratch::default(),
+                };
+                r.nl.build_into(&r.sys, cutoff, &mut r.nl_scratch);
+                r
+            })
+            .collect();
+        let mut engine = Self {
+            opts,
+            replicas,
+            step: 0,
+            swap_log: Vec::new(),
+            exchange_attempts: 0,
+            exchange_accepted: 0,
+            pot,
+            swap_rng: CounterRng::new(exchange::swap_seed(opts.seed)),
+            batch_out: BatchOutput::new(),
+            thread_outs: Vec::new(),
+            cutoff,
+            nl_rebuilds: 0,
+            evaluations: 0,
+        };
+        engine.nl_rebuilds += engine.replicas.len() as u64;
+        engine.batched_eval_and_store();
+        for r in &mut engine.replicas {
+            r.record_thermo();
+        }
+        engine
+    }
+
+    pub fn potential(&self) -> &Arc<DeepPotential> {
+        &self.pot
+    }
+
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Total replica-steps advanced (for throughput accounting).
+    pub fn replica_steps(&self) -> u64 {
+        self.step as u64 * self.replicas.len() as u64
+    }
+
+    /// Batched force evaluations dispatched so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Neighbor-list rebuilds across all replicas (initial builds included).
+    pub fn nl_rebuilds(&self) -> u64 {
+        self.nl_rebuilds
+    }
+
+    /// Worker count for the batched evaluation: `eval_threads` resolved
+    /// against the machine (0 = auto) and clamped to the replica count.
+    fn eval_workers(&self) -> usize {
+        let t = match self.opts.eval_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        };
+        t.clamp(1, self.replicas.len())
+    }
+
+    /// One cross-replica batched force evaluation; forces and energies
+    /// land back on the replicas. With more than one eval worker the
+    /// batch splits into contiguous sub-batches evaluated on scoped OS
+    /// threads — each replica's slice of the joined table is independent
+    /// of how the batch is grouped, so the results are bit-identical to
+    /// the single-threaded dispatch (asserted by the unit tests).
+    fn batched_eval_and_store(&mut self) {
+        let n = self.replicas.len();
+        let workers = self.eval_workers();
+        if workers <= 1 {
+            let items: Vec<BatchItem> = self
+                .replicas
+                .iter()
+                .map(|r| BatchItem {
+                    sys: &r.sys,
+                    nl: &r.nl,
+                })
+                .collect();
+            self.pot
+                .compute_batch_into(&items, self.opts.mode, &mut self.batch_out);
+            for (k, r) in self.replicas.iter_mut().enumerate() {
+                r.sys.forces.clear();
+                r.sys.forces.extend_from_slice(self.batch_out.forces_of(k));
+                r.potential_energy = self.batch_out.energies[k];
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            while self.thread_outs.len() < workers {
+                self.thread_outs.push(BatchOutput::new());
+            }
+            let pot = &self.pot;
+            let mode = self.opts.mode;
+            let replicas = &self.replicas;
+            std::thread::scope(|s| {
+                for (w, out) in self.thread_outs.iter_mut().take(workers).enumerate() {
+                    let slice = &replicas[(w * chunk).min(n)..((w + 1) * chunk).min(n)];
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    s.spawn(move || {
+                        let items: Vec<BatchItem> = slice
+                            .iter()
+                            .map(|r| BatchItem {
+                                sys: &r.sys,
+                                nl: &r.nl,
+                            })
+                            .collect();
+                        pot.compute_batch_into(&items, mode, out);
+                    });
+                }
+            });
+            for (w, out) in self.thread_outs.iter().take(workers).enumerate() {
+                let lo = (w * chunk).min(n);
+                for (j, r) in self.replicas[lo..(lo + chunk).min(n)].iter_mut().enumerate() {
+                    r.sys.forces.clear();
+                    r.sys.forces.extend_from_slice(out.forces_of(j));
+                    r.potential_energy = out.energies[j];
+                }
+            }
+        }
+        dp_obs::hist::record(metrics::BATCH_OCCUPANCY, n as u64);
+        dp_obs::counter(metrics::BATCHES).add(1);
+        self.evaluations += 1;
+    }
+
+    /// Advance every replica by one MD step: per-replica half-kick +
+    /// drift, neighbor maintenance on the integrator's schedule, ONE
+    /// batched force evaluation, then the second half-kick and
+    /// thermostats per replica — followed by an exchange round when due.
+    pub fn tick(&mut self) {
+        let dt = self.opts.dt;
+        let step = self.step + 1;
+
+        {
+            let _span = dp_obs::span("integrate");
+            for r in &mut self.replicas {
+                for i in 0..r.sys.n_local {
+                    let inv_m = units::FORCE_TO_ACCEL / r.sys.masses[r.sys.types[i]];
+                    for d in 0..3 {
+                        r.sys.velocities[i][d] += 0.5 * dt * r.sys.forces[i][d] * inv_m;
+                        r.sys.positions[i][d] += dt * r.sys.velocities[i][d];
+                    }
+                }
+                r.sys.wrap_positions();
+            }
+        }
+
+        if step % self.opts.rebuild_every == 0 {
+            let _span = dp_obs::span("neighbor_rebuild");
+            for r in &mut self.replicas {
+                if r.nl.needs_rebuild(&r.sys, self.opts.skin) {
+                    r.nl.build_into(&r.sys, self.cutoff, &mut r.nl_scratch);
+                    self.nl_rebuilds += 1;
+                    dp_obs::counter(metrics::NL_REBUILDS).add(1);
+                }
+            }
+        }
+
+        {
+            let _span = dp_obs::span("force_eval");
+            self.batched_eval_and_store();
+        }
+
+        let kick_span = dp_obs::span("integrate");
+        let (tau, gamma) = (self.opts.berendsen_tau, self.opts.langevin_gamma);
+        for r in &mut self.replicas {
+            for i in 0..r.sys.n_local {
+                let inv_m = units::FORCE_TO_ACCEL / r.sys.masses[r.sys.types[i]];
+                for d in 0..3 {
+                    r.sys.velocities[i][d] += 0.5 * dt * r.sys.forces[i][d] * inv_m;
+                }
+            }
+
+            if let Some(tau) = tau {
+                let t = r.sys.temperature();
+                if t > 0.0 {
+                    let lambda = (1.0 + dt / tau * (r.target_t / t - 1.0)).sqrt();
+                    for v in &mut r.sys.velocities[..r.sys.n_local] {
+                        for d in 0..3 {
+                            v[d] *= lambda;
+                        }
+                    }
+                }
+            }
+
+            if let (Some(gamma), Some(rng)) = (gamma, r.rng.as_mut()) {
+                // BAOAB-style O step, identical to the serial integrator's
+                let c = (-gamma * dt).exp();
+                let amp_base = (1.0 - c * c) * units::KB * r.target_t * units::FORCE_TO_ACCEL;
+                for i in 0..r.sys.n_local {
+                    let amp = (amp_base / r.sys.masses[r.sys.types[i]]).sqrt();
+                    for d in 0..3 {
+                        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        let xi = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        r.sys.velocities[i][d] = c * r.sys.velocities[i][d] + amp * xi;
+                    }
+                }
+            }
+
+            r.step = step;
+            if step % self.opts.thermo_every == 0 {
+                r.record_thermo();
+            }
+        }
+        drop(kick_span);
+
+        self.step = step;
+        dp_obs::counter(metrics::TICKS).add(1);
+
+        if self.opts.exchange_every > 0 && step % self.opts.exchange_every == 0 {
+            exchange::attempt_round(self);
+        }
+    }
+
+    /// Run `n_steps` ticks; records each replica's final thermo sample
+    /// (mirroring the serial integrator's `step == end_step` clause) and
+    /// publishes a replica-steps/sec gauge.
+    pub fn run(&mut self, n_steps: usize) {
+        let t0 = Instant::now();
+        for _ in 0..n_steps {
+            self.tick();
+        }
+        let step = self.step;
+        for r in &mut self.replicas {
+            if r.thermo.last().map(|s| s.step) != Some(step) {
+                r.record_thermo();
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 && n_steps > 0 {
+            let rate = (n_steps as u64 * self.replicas.len() as u64) as f64 / secs;
+            dp_obs::counter(metrics::REPLICAS_PER_SEC).set(rate as u64);
+        }
+    }
+
+    /// Replace the shared model (active learning's retrain step): rebuild
+    /// every neighbor list against the new cutoff and refresh forces with
+    /// one batched evaluation, so the next tick's first half-kick uses
+    /// forces consistent with the new potential energy surface.
+    pub fn swap_model(&mut self, pot: Arc<DeepPotential>) {
+        self.pot = pot;
+        self.cutoff = self.pot.cutoff() + self.opts.skin;
+        for r in &mut self.replicas {
+            r.nl.build_into(&r.sys, self.cutoff, &mut r.nl_scratch);
+            self.nl_rebuilds += 1;
+        }
+        self.batched_eval_and_store();
+        dp_obs::counter(metrics::MODEL_SWAPS).add(1);
+    }
+
+    /// Write one rotation generation per replica (`<base>.rK`, reusing the
+    /// MD checkpoint format) plus an ensemble metadata container
+    /// (`<base>.meta`: step, swap-RNG position, ladder temperatures,
+    /// per-replica energies, exchange tallies). Neighbor lists are rebuilt
+    /// first, mirroring the serial integrator's checkpoint sink, so the
+    /// saving engine and a resumed engine continue from identical state.
+    pub fn save_checkpoint(&mut self, base: &Path, keep: usize) -> Result<(), CkptError> {
+        for (k, r) in self.replicas.iter_mut().enumerate() {
+            r.nl.build_into(&r.sys, self.cutoff, &mut r.nl_scratch);
+            self.nl_rebuilds += 1;
+            let progress = MdProgress {
+                step: r.step,
+                rng_draws: r.rng.as_ref().map_or(0, |g| g.draws()),
+            };
+            let ck = MdCheckpoint::capture(&r.sys, progress);
+            ck.save(&Rotation::new(replica_path(base, k), keep))
+                .map_err(CkptError::Io)?;
+        }
+        let mut meta = Enc::new();
+        meta.put_u64(self.replicas.len() as u64);
+        meta.put_u64(self.step as u64);
+        meta.put_u64(self.swap_rng.draws());
+        meta.put_u64(self.exchange_attempts);
+        meta.put_u64(self.exchange_accepted);
+        let mut temps = Enc::new();
+        temps.put_f64s(&self.replicas.iter().map(|r| r.target_t).collect::<Vec<_>>());
+        let mut energies = Enc::new();
+        energies.put_f64s(
+            &self
+                .replicas
+                .iter()
+                .map(|r| r.potential_energy)
+                .collect::<Vec<_>>(),
+        );
+        let mut w = CkptWriter::new(KIND_ENSEMBLE);
+        w.add_section(*b"META", meta.into_bytes());
+        w.add_section(*b"TEMP", temps.into_bytes());
+        w.add_section(*b"PE  ", energies.into_bytes());
+        Rotation::new(meta_path(base), keep)
+            .save(&w)
+            .map_err(CkptError::Io)?;
+        Ok(())
+    }
+
+    /// Rebuild an engine from [`Self::save_checkpoint`] artifacts. Stored
+    /// forces are reused (never recomputed) for the first half-kick, the
+    /// Langevin and swap RNG streams resume at their exact draw counters,
+    /// and no thermo samples are re-emitted — the same resume semantics
+    /// as `run_md_resumable`.
+    pub fn resume(
+        pot: Arc<DeepPotential>,
+        opts: EnsembleOptions,
+        base: &Path,
+        keep: usize,
+    ) -> Result<Self, CkptError> {
+        let (reader, _) = Rotation::new(meta_path(base), keep).load_newest_valid(KIND_ENSEMBLE)?;
+        let mut meta = Dec::new(reader.section(*b"META")?);
+        let n = meta.get_u64()? as usize;
+        let step = meta.get_u64()? as usize;
+        let swap_draws = meta.get_u64()?;
+        let exchange_attempts = meta.get_u64()?;
+        let exchange_accepted = meta.get_u64()?;
+        let temps = Dec::new(reader.section(*b"TEMP")?).get_f64s()?;
+        let energies = Dec::new(reader.section(*b"PE  ")?).get_f64s()?;
+        if temps.len() != n || energies.len() != n {
+            return Err(CkptError::Malformed(format!(
+                "ensemble meta declares {n} replicas but carries {} temps / {} energies",
+                temps.len(),
+                energies.len()
+            )));
+        }
+        let cutoff = pot.cutoff() + opts.skin;
+        let mut replicas = Vec::with_capacity(n);
+        for k in 0..n {
+            let (ck, _) = MdCheckpoint::load(&Rotation::new(replica_path(base, k), keep))?;
+            let (sys, progress) = ck.restore();
+            if progress.step != step {
+                return Err(CkptError::Malformed(format!(
+                    "replica {k} checkpoint at step {} but ensemble meta at step {step}",
+                    progress.step
+                )));
+            }
+            let mut r = Replica {
+                sys,
+                target_t: temps[k],
+                step,
+                potential_energy: energies[k],
+                rng: opts
+                    .langevin_gamma
+                    .map(|_| CounterRng::with_draws(replica_seed(opts.seed, k), progress.rng_draws)),
+                thermo: Vec::new(),
+                nl: NeighborList::empty(),
+                nl_scratch: NlScratch::default(),
+            };
+            r.nl.build_into(&r.sys, cutoff, &mut r.nl_scratch);
+            replicas.push(r);
+        }
+        Ok(Self {
+            opts,
+            replicas,
+            step,
+            swap_log: Vec::new(),
+            exchange_attempts,
+            exchange_accepted,
+            pot,
+            swap_rng: CounterRng::with_draws(exchange::swap_seed(opts.seed), swap_draws),
+            batch_out: BatchOutput::new(),
+            thread_outs: Vec::new(),
+            cutoff,
+            nl_rebuilds: n as u64,
+            evaluations: 0,
+        })
+    }
+
+    pub(crate) fn swap_rng_mut(&mut self) -> &mut CounterRng {
+        &mut self.swap_rng
+    }
+}
+
+fn replica_path(base: &Path, k: usize) -> std::path::PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".r{k}"));
+    std::path::PathBuf::from(os)
+}
+
+fn meta_path(base: &Path) -> std::path::PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".meta");
+    std::path::PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmd_core::{DpConfig, DpModel};
+    use dp_md::integrate::run_md_resumable;
+    use dp_md::lattice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_potential() -> Arc<DeepPotential> {
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(31);
+        Arc::new(DeepPotential::new(
+            DpModel::<f64>::new_random(cfg, &mut rng),
+            PrecisionMode::Mixed,
+        ))
+    }
+
+    fn replica_systems(n: usize, seed: u64) -> Vec<System> {
+        (0..n)
+            .map(|k| {
+                let mut sys = lattice::fcc(4.2, [2, 2, 2], dp_md::units::MASS_CU);
+                let mut rng = CounterRng::new(replica_seed(seed ^ 0xABCD, k));
+                sys.perturb(0.05, &mut rng);
+                sys.init_velocities(120.0 + 20.0 * k as f64, &mut rng);
+                sys
+            })
+            .collect()
+    }
+
+    fn opts() -> EnsembleOptions {
+        EnsembleOptions {
+            dt: 2.0e-3,
+            skin: 0.15,
+            rebuild_every: 5,
+            thermo_every: 4,
+            langevin_gamma: Some(2.0),
+            seed: 9,
+            ..EnsembleOptions::default()
+        }
+    }
+
+    /// Threaded sub-batch dispatch returns exactly the bits of the
+    /// single-threaded batch: 5 replicas over 3 workers exercises the
+    /// ragged final chunk, exchange on so the energies feed swaps too.
+    #[test]
+    fn threaded_eval_matches_single_thread_bit_for_bit() {
+        let systems = replica_systems(5, 11);
+        let temps = [100.0, 120.0, 140.0, 160.0, 180.0];
+        let mut base = opts();
+        base.exchange_every = 3;
+        let run_with = |eval_threads: usize| {
+            let o = EnsembleOptions {
+                eval_threads,
+                ..base
+            };
+            let mut engine = EnsembleEngine::new(small_potential(), systems.clone(), &temps, o);
+            engine.run(9);
+            engine
+        };
+        let one = run_with(1);
+        let three = run_with(3);
+        assert_eq!(one.swap_log.len(), three.swap_log.len());
+        for (a, b) in one.swap_log.iter().zip(&three.swap_log) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+        for (ra, rb) in one.replicas.iter().zip(&three.replicas) {
+            assert_eq!(
+                ra.potential_energy.to_bits(),
+                rb.potential_energy.to_bits()
+            );
+            for (pa, pb) in ra.sys.positions.iter().zip(&rb.sys.positions) {
+                for d in 0..3 {
+                    assert_eq!(pa[d].to_bits(), pb[d].to_bits());
+                }
+            }
+            for (va, vb) in ra.sys.velocities.iter().zip(&rb.sys.velocities) {
+                for d in 0..3 {
+                    assert_eq!(va[d].to_bits(), vb[d].to_bits());
+                }
+            }
+        }
+    }
+
+    /// The headline bit-exactness claim: N engine-batched replicas are
+    /// byte-identical to N independent serial `run_md_resumable` runs.
+    #[test]
+    fn batched_ensemble_is_bit_identical_to_serial_runs() {
+        let pot = small_potential();
+        let systems = replica_systems(3, 7);
+        let temps = [100.0, 140.0, 180.0];
+        let opts = opts();
+        let steps = 12;
+
+        let mut engine = EnsembleEngine::new(pot.clone(), systems.clone(), &temps, opts);
+        engine.run(steps);
+
+        for (k, (mut sys, &t)) in systems.into_iter().zip(&temps).enumerate() {
+            let md = opts.md_options_for(t, k);
+            let run = run_md_resumable(
+                &mut sys,
+                pot.as_ref(),
+                &md,
+                steps,
+                MdProgress::default(),
+                |_| {},
+                None,
+            );
+            let r = &engine.replicas[k];
+            assert_eq!(r.step, steps);
+            for i in 0..sys.len() {
+                for d in 0..3 {
+                    assert_eq!(
+                        sys.positions[i][d].to_bits(),
+                        r.sys.positions[i][d].to_bits(),
+                        "replica {k} position [{i}][{d}] diverged"
+                    );
+                    assert_eq!(
+                        sys.velocities[i][d].to_bits(),
+                        r.sys.velocities[i][d].to_bits(),
+                        "replica {k} velocity [{i}][{d}] diverged"
+                    );
+                    assert_eq!(
+                        sys.forces[i][d].to_bits(),
+                        r.sys.forces[i][d].to_bits(),
+                        "replica {k} force [{i}][{d}] diverged"
+                    );
+                }
+            }
+            // thermo streams match sample-for-sample (pressure excepted:
+            // the batched path cannot attribute the virial per replica)
+            assert_eq!(run.thermo.len(), r.thermo.len());
+            for (a, b) in run.thermo.iter().zip(&r.thermo) {
+                assert_eq!(a.step, b.step);
+                assert_eq!(a.potential_energy.to_bits(), b.potential_energy.to_bits());
+                assert_eq!(a.kinetic_energy.to_bits(), b.kinetic_energy.to_bits());
+                assert_eq!(a.temperature.to_bits(), b.temperature.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_exact() {
+        let pot = small_potential();
+        let systems = replica_systems(2, 21);
+        let temps = [90.0, 150.0];
+        let mut opts = opts();
+        opts.exchange_every = 4;
+
+        let dir = std::env::temp_dir().join(format!("dp-replica-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ens.ckpt");
+
+        // straight: 12 ticks, checkpoint at 6
+        let mut straight = EnsembleEngine::new(pot.clone(), systems.clone(), &temps, opts);
+        straight.run(6);
+        straight.save_checkpoint(&base, 2).unwrap();
+        straight.run(6);
+
+        // resumed: restore at 6, run the remaining 6
+        let mut resumed = EnsembleEngine::resume(pot, opts, &base, 2).unwrap();
+        assert_eq!(resumed.step, 6);
+        resumed.run(6);
+
+        for (a, b) in straight.replicas.iter().zip(&resumed.replicas) {
+            assert_eq!(a.target_t.to_bits(), b.target_t.to_bits());
+            for i in 0..a.sys.len() {
+                for d in 0..3 {
+                    assert_eq!(a.sys.positions[i][d].to_bits(), b.sys.positions[i][d].to_bits());
+                    assert_eq!(
+                        a.sys.velocities[i][d].to_bits(),
+                        b.sys.velocities[i][d].to_bits()
+                    );
+                }
+            }
+        }
+        // identical swap decisions after the restart
+        let tail: Vec<_> = straight.swap_log.iter().filter(|e| e.step > 6).collect();
+        assert_eq!(tail.len(), resumed.swap_log.len());
+        for (a, b) in tail.iter().zip(&resumed.swap_log) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.delta.to_bits(), b.delta.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_swap_changes_the_potential_surface() {
+        let pot = small_potential();
+        let systems = replica_systems(2, 3);
+        let mut engine = EnsembleEngine::new(pot, systems, &[100.0, 120.0], opts());
+        engine.run(2);
+        let e_before: Vec<f64> = engine.replicas.iter().map(|r| r.potential_energy).collect();
+
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(77);
+        let other = Arc::new(DeepPotential::new(
+            DpModel::<f64>::new_random(cfg, &mut rng),
+            PrecisionMode::Mixed,
+        ));
+        engine.swap_model(other);
+        let e_after: Vec<f64> = engine.replicas.iter().map(|r| r.potential_energy).collect();
+        assert!(e_before
+            .iter()
+            .zip(&e_after)
+            .any(|(a, b)| (a - b).abs() > 1e-9));
+        engine.run(2);
+        for r in &engine.replicas {
+            assert!(r.potential_energy.is_finite());
+        }
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000 {
+            assert!(seen.insert(replica_seed(42, k)));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Multi-replica ensemble engine: many small MD trajectories sharing one
+//! Deep Potential, advanced in lockstep so every tick's force calls
+//! coalesce into ONE cross-replica §5.2.1 fixed-shape batched evaluation
+//! (`DeepPotential::compute_batch_into`), bit-identical to stepping each
+//! replica serially.
+//!
+//! * [`engine`] — per-replica state + the tick scheduler: half-kick/drift
+//!   every replica, harvest all of them into one `BatchItem` list, one
+//!   batched force evaluation, then finish the Velocity–Verlet step and
+//!   thermostats per replica. The step schedule replicates
+//!   `dp_md::integrate::run_md_resumable` operation-for-operation, so a
+//!   single-replica engine is byte-identical to the serial integrator.
+//! * [`exchange`] — replica-exchange / parallel-tempering moves over a
+//!   temperature ladder, with a deterministic [`dp_md::CounterRng`]-derived
+//!   swap schedule (persistable as `(seed, draws)`) and a structured
+//!   [`exchange::SwapEvent`] log.
+//! * [`active`] — a DP-GEN-style active-learning loop on top of the
+//!   engine: explore across the whole ensemble, screen snapshots by
+//!   ensemble force deviation (`dp_train::deviation`), label selected
+//!   frames with a reference potential, retrain, and hot-swap the new
+//!   model into the running engine.
+
+pub mod active;
+pub mod engine;
+pub mod exchange;
+
+pub use active::{run_active_learning, ActiveLearnOptions, ActiveRound};
+pub use engine::{replica_seed, EnsembleEngine, EnsembleOptions, Replica, ReplicaThermo};
+pub use exchange::SwapEvent;
+
+/// Pinned dp-obs metric names (same convention as `dp_obs::serve`): string
+/// literals are interned by the registry, so every call site must share
+/// one constant.
+pub mod metrics {
+    /// Histogram: replicas coalesced into each batched force evaluation.
+    pub const BATCH_OCCUPANCY: &str = "replica.batch.occupancy";
+    /// Gauge: replica-steps per second over the last `run()` call.
+    pub const REPLICAS_PER_SEC: &str = "replica.steps_per_sec";
+    /// Counter: engine ticks executed (one tick = one step of every replica).
+    pub const TICKS: &str = "replica.ticks";
+    /// Counter: cross-replica batched force evaluations dispatched.
+    pub const BATCHES: &str = "replica.batches";
+    /// Counter: neighbor-list rebuilds across all replicas.
+    pub const NL_REBUILDS: &str = "replica.nl_rebuilds";
+    /// Counter: replica-exchange attempts.
+    pub const EXCHANGE_ATTEMPTS: &str = "replica.exchange.attempts";
+    /// Counter: accepted replica-exchange moves.
+    pub const EXCHANGE_ACCEPTED: &str = "replica.exchange.accepted";
+    /// Counter: models hot-swapped into the engine by active learning.
+    pub const MODEL_SWAPS: &str = "replica.model_swaps";
+    /// Counter: active-learning rounds completed.
+    pub const ACTIVE_ROUNDS: &str = "replica.active.rounds";
+    /// Counter: frames labeled and added to the dataset by active learning.
+    pub const ACTIVE_LABELED: &str = "replica.active.labeled";
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn metric_names_are_distinct() {
+            let names = [
+                super::BATCH_OCCUPANCY,
+                super::REPLICAS_PER_SEC,
+                super::TICKS,
+                super::BATCHES,
+                super::NL_REBUILDS,
+                super::EXCHANGE_ATTEMPTS,
+                super::EXCHANGE_ACCEPTED,
+                super::MODEL_SWAPS,
+                super::ACTIVE_ROUNDS,
+                super::ACTIVE_LABELED,
+            ];
+            for (i, a) in names.iter().enumerate() {
+                for b in &names[i + 1..] {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -111,6 +111,87 @@ mod tests {
     }
 
     #[test]
+    fn selection_thresholds_are_half_open() {
+        // Pin the bucket boundaries: dev < lo => accurate, lo <= dev < hi
+        // => selected, dev >= hi => failed. Probe with thresholds placed
+        // exactly AT the measured deviation to catch off-by-one
+        // comparisons.
+        let models = ensemble(2);
+        let mut sys = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+        sys.perturb(0.15, &mut StdRng::seed_from_u64(9));
+        let dev = max_force_deviation(&models, &sys);
+        assert!(dev > 0.0 && dev.is_finite());
+        let candidates = vec![sys];
+        let next = f64::from_bits(dev.to_bits() + 1);
+
+        // lo just above dev -> accurate
+        let (a, s, f) = select_candidates(&models, &candidates, next, next);
+        assert_eq!((a.len(), s.len(), f.len()), (1, 0, 0));
+        // lo exactly dev -> NOT accurate (strict <), lands in selected
+        let (a, s, f) = select_candidates(&models, &candidates, dev, next);
+        assert_eq!((a.len(), s.len(), f.len()), (0, 1, 0));
+        // hi exactly dev -> NOT selected (strict <), lands in failed
+        let (a, s, f) = select_candidates(&models, &candidates, dev / 2.0, dev);
+        assert_eq!((a.len(), s.len(), f.len()), (0, 0, 1));
+    }
+
+    #[test]
+    fn ensemble_batched_evaluation_matches_serial_byte_for_byte() {
+        // The replica engine screens snapshots it advanced through
+        // cross-replica batched evaluation; this pins the contract that
+        // batching N ensemble members' snapshots changes NOTHING: forces
+        // and energies are byte-identical to evaluating each snapshot
+        // alone, so deviation-based selection is independent of batching.
+        use deepmd_core::{BatchItem, DeepPotential, PrecisionMode};
+        use dp_md::Potential;
+
+        let cfg = DpConfig::small(1, 4.0, 14);
+        let mut rng = StdRng::seed_from_u64(41);
+        let model = DpModel::<f64>::new_random(cfg, &mut rng);
+        let snapshots: Vec<System> = (0..4)
+            .map(|_| {
+                let mut s = lattice::fcc(4.0, [2, 2, 2], units::MASS_CU);
+                s.perturb(0.12, &mut rng);
+                s
+            })
+            .collect();
+        for mode in [
+            PrecisionMode::Double,
+            PrecisionMode::Mixed,
+            PrecisionMode::HalfEmulated,
+        ] {
+            let pot = DeepPotential::new(model.clone(), mode);
+            let nls: Vec<NeighborList> = snapshots
+                .iter()
+                .map(|s| NeighborList::build(s, pot.cutoff()))
+                .collect();
+            let items: Vec<BatchItem> = snapshots
+                .iter()
+                .zip(&nls)
+                .map(|(sys, nl)| BatchItem { sys, nl })
+                .collect();
+            let batched = pot.compute_batch(&items, mode);
+            for ((sys, nl), res) in snapshots.iter().zip(&nls).zip(&batched) {
+                let solo = pot.compute(sys, nl);
+                assert_eq!(
+                    res.energy.to_bits(),
+                    solo.energy.to_bits(),
+                    "energy diverged in {mode:?}"
+                );
+                for (a, b) in res.forces.iter().zip(&solo.forces) {
+                    for d in 0..3 {
+                        assert_eq!(
+                            a[d].to_bits(),
+                            b[d].to_bits(),
+                            "force diverged in {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn selection_buckets_partition() {
         let models = ensemble(2);
         let mut rng = StdRng::seed_from_u64(4);

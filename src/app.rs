@@ -304,7 +304,7 @@ pub struct RunSummary {
     pub imbalance: Option<ImbalanceReport>,
 }
 
-fn build_system(spec: &SystemSpec) -> System {
+pub(crate) fn build_system(spec: &SystemSpec) -> System {
     match *spec {
         SystemSpec::Fcc { a0, reps, mass } => lattice::fcc(a0, reps, mass),
         SystemSpec::Water {
@@ -314,7 +314,7 @@ fn build_system(spec: &SystemSpec) -> System {
     }
 }
 
-fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, AppError> {
+pub(crate) fn build_potential(spec: &PotentialSpec) -> Result<Box<dyn Potential>, AppError> {
     Ok(match spec {
         PotentialSpec::LennardJones { eps, sigma, rcut } => {
             Box::new(LennardJones::new(*eps, *sigma, *rcut))

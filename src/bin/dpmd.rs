@@ -19,6 +19,11 @@
 //!   [--state-dir DIR]` — start the inference daemon; see
 //!   `deepmd_repro::serve_app`. Runs until `POST /v1/admin/shutdown`
 //!   drains it, then exits 0.
+//! * `dpmd ensemble <deck.json> [--resume]` — advance a ladder of
+//!   replicas against one shared model with cross-replica batched
+//!   evaluation, replica exchange, and optional active learning; see
+//!   `deepmd_repro::ensemble_app` for the deck format. `--resume`
+//!   restarts from the deck's `checkpoint_path` rotation.
 //! * `dpmd request METHOD URL [--data JSON | --body FILE]` — tiny HTTP
 //!   client for the daemon (no curl needed): prints the response body to
 //!   stdout and exits non-zero on HTTP errors. URL is
@@ -32,7 +37,7 @@ use std::io::{Read, Write};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>] [--imbalance-report]\n       dpmd serve [--addr host:port | --unix path] [--model NAME=SOURCE]... [options]\n       dpmd request METHOD URL [--data JSON | --body FILE]"
+        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>] [--imbalance-report]\n       dpmd ensemble <deck.json> [--resume]\n       dpmd serve [--addr host:port | --unix path] [--model NAME=SOURCE]... [options]\n       dpmd request METHOD URL [--data JSON | --body FILE]"
     );
     std::process::exit(2);
 }
@@ -42,7 +47,52 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => run_serve(&args[1..]),
         Some("request") => run_request(&args[1..]),
+        Some("ensemble") => run_ensemble(&args[1..]),
         _ => run_deck(&args),
+    }
+}
+
+fn run_ensemble(args: &[String]) -> ! {
+    let mut deck: Option<String> = None;
+    let mut resume = false;
+    for arg in args {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "-h" | "--help" => usage(),
+            _ if deck.is_none() => deck = Some(arg.clone()),
+            other => {
+                eprintln!("dpmd ensemble: unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let path = match deck {
+        Some(p) => p,
+        None => usage(),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dpmd ensemble: cannot read {path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    let mut cfg = match deepmd_repro::ensemble_app::parse_config(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dpmd ensemble: {e}");
+            std::process::exit(2);
+        }
+    };
+    if resume {
+        cfg.resume = true;
+    }
+    match deepmd_repro::ensemble_app::run(&cfg, |line| println!("{line}")) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("dpmd ensemble: {e}");
+            std::process::exit(e.exit_code());
+        }
     }
 }
 

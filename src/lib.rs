@@ -3,8 +3,10 @@
 //! inference daemon (models loaded once, jobs and batched evaluations
 //! multiplexed over HTTP).
 pub mod app;
+pub mod ensemble_app;
 pub mod serve_app;
 pub use deepmd_core as core;
+pub use dp_replica as replica;
 pub use dp_serve as serve;
 pub use dp_obs as obs;
 pub use dp_autograd as autograd;

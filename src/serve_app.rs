@@ -7,20 +7,25 @@
 //!   [`DeepPotential`] whose §5.2.2 evaluation workspaces stay warm for
 //!   the daemon's lifetime,
 //! * the **eval backend** — concurrent `POST /v1/eval` requests against
-//!   one model are drained by the batcher into a single
+//!   one model are drained by that model's batcher into a single
 //!   [`DeepPotential::compute_batch`] call, which concatenates their
 //!   fixed-shape padded environment tables (§5.2.1) and evaluates once;
 //!   per-request results are bit-identical to serial evaluation, so
-//!   batching is invisible to clients,
+//!   batching is invisible to clients. Each model owns its own batcher
+//!   queue and worker, so a deep queue on one model never head-of-line
+//!   blocks evaluations against another,
 //! * the **deck runner** — `POST /v1/jobs` decks execute through the
 //!   same [`crate::app::run`] as the CLI, with per-job state
 //!   directories, default checkpoint rotations, and typed failure
-//!   classes mirroring the CLI exit codes,
+//!   classes mirroring the CLI exit codes. Decks with a top-level
+//!   `"replicas"` key route to [`crate::ensemble_app::run`] instead —
+//!   multi-replica ensemble runs are a first-class job type,
 //! * the **metrics endpoint** — always-on `dp-obs` counters and
 //!   latency histograms (request latency, batch sizes, queue waits)
 //!   snapshotted as JSON.
 
 use crate::app::{self, AppError};
+use crate::ensemble_app;
 use deepmd_core::config::DpConfig;
 use deepmd_core::model::{DpModel, DpModelData};
 use deepmd_core::{BatchItem, DeepPotential, PrecisionMode};
@@ -476,8 +481,67 @@ fn fail(e: AppError) -> JobFailure {
     }
 }
 
+impl DeckRunner {
+    /// Ensemble decks (top-level `"replicas"` key) run through the
+    /// multi-replica engine, with the same job-dir confinement and
+    /// restart-resume conveniences as plain MD decks.
+    fn run_ensemble(&self, id: &str, deck: &str) -> Result<String, JobFailure> {
+        let mut cfg = ensemble_app::parse_config(deck).map_err(fail)?;
+        let job_dir = self.state_dir.join(id);
+        std::fs::create_dir_all(&job_dir)
+            .map_err(|e| fail(AppError::Io(format!("cannot create job dir: {e}"))))?;
+        let in_job_dir = |p: &str| job_dir.join(p).to_string_lossy().into_owned();
+
+        if cfg.checkpoint_every > 0 && cfg.checkpoint_path.is_none() {
+            cfg.checkpoint_path = Some(in_job_dir("ckpt"));
+        }
+        if let Some(p) = &cfg.swap_log {
+            if !p.starts_with('/') {
+                cfg.swap_log = Some(in_job_dir(p));
+            }
+        }
+        // Resubmitted after a daemon restart: continue from the existing
+        // ensemble checkpoint (its meta container marks a valid save).
+        if !cfg.resume && cfg.checkpoint_every > 0 {
+            if let Some(base) = &cfg.checkpoint_path {
+                if std::path::Path::new(&format!("{base}.meta")).exists() {
+                    cfg.resume = true;
+                }
+            }
+        }
+
+        let mut log_file = std::fs::File::create(job_dir.join("log.txt"))
+            .map_err(|e| fail(AppError::Io(format!("cannot create job log: {e}"))))?;
+        let summary = ensemble_app::run(&cfg, |line| {
+            let _ = writeln!(log_file, "{line}");
+        })
+        .map_err(fail)?;
+
+        let mut fields = vec![
+            ("kind", json::str("ensemble")),
+            ("replicas", json::num(summary.replicas as f64)),
+            ("steps", json::num(summary.steps as f64)),
+            (
+                "exchange_attempts",
+                json::num(summary.exchange_attempts as f64),
+            ),
+            (
+                "exchange_accepted",
+                json::num(summary.exchange_accepted as f64),
+            ),
+        ];
+        if let Some(n) = summary.dataset_size {
+            fields.push(("dataset_size", json::num(n as f64)));
+        }
+        Ok(json::obj(fields).to_string())
+    }
+}
+
 impl JobRunner for DeckRunner {
     fn run(&self, id: &str, deck: &str) -> Result<String, JobFailure> {
+        if ensemble_app::is_ensemble_deck(deck) {
+            return self.run_ensemble(id, deck);
+        }
         let mut cfg = app::parse_config(deck).map_err(fail)?;
         let job_dir = self.state_dir.join(id);
         std::fs::create_dir_all(&job_dir)
@@ -588,15 +652,28 @@ pub fn run_serve(opts: &ServeOptions, mut log: impl FnMut(&str)) -> Result<(), A
     });
     let workers = dp_serve::job::spawn_workers(&store, runner, opts.workers);
 
-    let batcher = Arc::new(Batcher::new(
-        EvalBackend,
-        BatchOptions {
-            max_batch: opts.max_batch,
-            max_depth: opts.queue_depth,
-            linger: opts.linger,
-            workers: 1,
-        },
-    ));
+    // One batcher (queue + worker) PER MODEL: requests only ever coalesce
+    // with peers against the same potential, and a deep backlog on one
+    // model cannot head-of-line block another model's evaluations.
+    let batchers: Arc<HashMap<String, Arc<Batcher<EvalBackend>>>> = Arc::new(
+        models
+            .keys()
+            .map(|name| {
+                (
+                    name.clone(),
+                    Arc::new(Batcher::new(
+                        EvalBackend,
+                        BatchOptions {
+                            max_batch: opts.max_batch,
+                            max_depth: opts.queue_depth,
+                            linger: opts.linger,
+                            workers: 1,
+                        },
+                    )),
+                )
+            })
+            .collect(),
+    );
 
     let shutdown = ShutdownHandle::new();
     let bind = match (&opts.addr, &opts.unix) {
@@ -620,12 +697,12 @@ pub fn run_serve(opts: &ServeOptions, mut log: impl FnMut(&str)) -> Result<(), A
     let handler: dp_serve::Handler = {
         let models = Arc::clone(&models);
         let store = store.clone();
-        let batcher = Arc::clone(&batcher);
+        let batchers = Arc::clone(&batchers);
         let shutdown = shutdown.clone();
         let state_dir = opts.state_dir.clone();
         Arc::new(move |req: &Request| {
             handle(
-                req, &models, &store, &batcher, &shutdown, &state_dir, started,
+                req, &models, &store, &batchers, &shutdown, &state_dir, started,
             )
         })
     };
@@ -644,7 +721,7 @@ fn handle(
     req: &Request,
     models: &HashMap<String, Arc<ModelEntry>>,
     store: &JobStore,
-    batcher: &Arc<Batcher<EvalBackend>>,
+    batchers: &HashMap<String, Arc<Batcher<EvalBackend>>>,
     shutdown: &ShutdownHandle,
     state_dir: &std::path::Path,
     started: Instant,
@@ -691,7 +768,20 @@ fn handle(
                         ("failed", json::num(failed as f64)),
                     ]),
                 ),
-                ("eval_queue_depth", json::num(batcher.depth() as f64)),
+                (
+                    "eval_queue_depth",
+                    json::num(batchers.values().map(|b| b.depth()).sum::<usize>() as f64),
+                ),
+                ("eval_queue_depths", {
+                    let mut names: Vec<&String> = batchers.keys().collect();
+                    names.sort();
+                    json::obj(
+                        names
+                            .into_iter()
+                            .map(|n| (n.as_str(), json::num(batchers[n].depth() as f64)))
+                            .collect(),
+                    )
+                }),
                 ("obs", obs),
             ]);
             Response::json(200, doc.to_string())
@@ -701,8 +791,14 @@ fn handle(
                 return Response::error(400, "deck is not UTF-8");
             };
             // Validate the deck up front so a typo answers 400 now, not a
-            // failed job later.
-            if let Err(e) = app::parse_config(text) {
+            // failed job later. Ensemble decks validate against their own
+            // schema.
+            let validated = if ensemble_app::is_ensemble_deck(text) {
+                ensemble_app::parse_config(text).map(|_| ())
+            } else {
+                app::parse_config(text).map(|_| ())
+            };
+            if let Err(e) = validated {
                 return Response::error(400, &e.to_string());
             }
             match store.submit(text.to_string()) {
@@ -748,6 +844,9 @@ fn handle(
                 Ok(j) => j,
                 Err((status, msg)) => return Response::error(status, &msg),
             };
+            // Route to the target model's own queue; parse_eval already
+            // guaranteed the model exists in the registry.
+            let batcher = &batchers[&job.model.name];
             match batcher.submit(job) {
                 Ok(body) => Response::json(200, body),
                 Err(SubmitError::QueueFull) => {

@@ -53,12 +53,14 @@ EXTERNS_ALL="$EXTERNS_MD $(ext serde_json) $(ext crossbeam) $(ext parking_lot) \
     $(ext dp_md) $(ext dp_parallel) $(ext dp_linalg) $(ext dp_autograd) \
     $(ext dp_nn) $(ext deepmd_core)"
 $RUSTC --crate-type rlib --crate-name dp_train crates/train/src/lib.rs $EXTERNS_ALL
+$RUSTC --crate-type rlib --crate-name dp_replica crates/replica/src/lib.rs \
+    $EXTERNS_ALL $(ext dp_train)
 $RUSTC --crate-type rlib --crate-name dp_perfmodel crates/perfmodel/src/lib.rs \
     $(ext serde)
 CARGO_MANIFEST_DIR="$PWD/crates/bench" \
     $RUSTC --crate-type rlib --crate-name dp_bench crates/bench/src/lib.rs \
     $EXTERNS_ALL $(ext dp_train) $(ext dp_perfmodel)
-EXTERNS_ALL="$EXTERNS_ALL $(ext dp_train) $(ext dp_perfmodel) $(ext dp_bench) $(ext dp_serve)"
+EXTERNS_ALL="$EXTERNS_ALL $(ext dp_train) $(ext dp_replica) $(ext dp_perfmodel) $(ext dp_bench) $(ext dp_serve)"
 $RUSTC --crate-type rlib --crate-name deepmd_repro src/lib.rs $EXTERNS_ALL
 EXTERNS_ALL="$EXTERNS_ALL $(ext deepmd_repro)"
 
@@ -88,6 +90,7 @@ $RUSTC --test --crate-name deepmd_core_t crates/core/src/lib.rs \
     $(ext dp_obs) $(ext dp_linalg) $(ext dp_nn) $(ext dp_md) $(ext rayon) \
     $(ext serde) $(ext rand) $(ext serde_json)
 $RUSTC --test --crate-name dp_train_t crates/train/src/lib.rs $EXTERNS_ALL
+$RUSTC --test --crate-name dp_replica_t crates/replica/src/lib.rs $EXTERNS_ALL
 $RUSTC --test --crate-name dp_perfmodel_t crates/perfmodel/src/lib.rs $(ext serde)
 CARGO_MANIFEST_DIR="$PWD/crates/bench" \
     $RUSTC --test --crate-name dp_bench_t crates/bench/src/lib.rs $EXTERNS_ALL
@@ -107,8 +110,8 @@ done
 # Everything else runs (dp-ckpt/dp-md round-trips use their own codec and
 # stay in the run set).
 for t in dp_obs_t dp_serve_t dp_ckpt_t dp_md_t dp_parallel_t dp_linalg_t \
-         dp_autograd_t dp_nn_t deepmd_core_t dp_train_t dp_perfmodel_t \
-         dp_bench_t deepmd_repro_t; do
+         dp_autograd_t dp_nn_t deepmd_core_t dp_train_t dp_replica_t \
+         dp_perfmodel_t dp_bench_t deepmd_repro_t; do
     echo "== run $t"
     case "$t" in
     dp_nn_t | deepmd_core_t)

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full test suite, then two end-to-end
+# smokes that the unit tests can't cover because they need the real
+# binaries:
+#
+#  1. Ensemble smoke — an 8-replica parallel-tempering deck (2 exchange
+#     rounds) run twice through `dpmd ensemble`; the deterministic
+#     CounterRng swap schedule means the two swap logs must byte-diff
+#     equal, and the stdout reports must match line-for-line.
+#  2. Bench gate — a fresh `bench_dpmd` run compared against the
+#     committed BENCH_dpmd.json with `benchcheck --compare --tol`, which
+#     also gates the ensemble row's `speedup_vs_serial`.
+#
+# Run from anywhere; it cds to the repo root. CI calls this after the
+# workspace tests, but it is also the one-command local gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+# CI runs the test suite as its own step; `--skip-tests` avoids doing it
+# twice there. The local one-command gate runs everything.
+if [ "${1:-}" != "--skip-tests" ]; then
+    cargo test -q --workspace
+fi
+
+DPMD=target/release/dpmd
+BENCH=target/release/bench_dpmd
+CHECK=target/release/benchcheck
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# --- 1. ensemble smoke: 8 replicas, 2 exchange rounds, repeatable ---
+# steps=20 with exchange_every=10 gives exchange rounds at steps 10 and
+# 20: 4 even-phase pairs then 3 odd-phase pairs = 7 attempts logged.
+deck() {
+    cat > "$TMP/ensemble-$1.json" <<DECK
+{
+  "replicas": 8,
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [2, 2, 2], "mass": 63.546},
+  "model": {"kind": "synthetic", "seed": 7, "rcut": 4.0},
+  "t_min": 100.0,
+  "t_max": 400.0,
+  "steps": 20,
+  "dt_fs": 2.0,
+  "exchange_every": 10,
+  "perturb": 0.05,
+  "swap_log": "$TMP/swaps-$1.jsonl",
+  "seed": 1
+}
+DECK
+}
+deck a
+deck b
+"$DPMD" ensemble "$TMP/ensemble-a.json" > "$TMP/out-a.txt"
+"$DPMD" ensemble "$TMP/ensemble-b.json" > "$TMP/out-b.txt"
+
+attempts=$(wc -l < "$TMP/swaps-a.jsonl")
+if [ "$attempts" -ne 7 ]; then
+    echo "tier1: expected 7 swap attempts in the log, got $attempts" >&2
+    exit 1
+fi
+if ! cmp -s "$TMP/swaps-a.jsonl" "$TMP/swaps-b.jsonl"; then
+    echo "tier1: swap logs differ between identical decks (lost determinism)" >&2
+    diff "$TMP/swaps-a.jsonl" "$TMP/swaps-b.jsonl" >&2 || true
+    exit 1
+fi
+# stdout embeds per-run paths; compare everything but the swap-log line
+if ! diff <(grep -v '^swap log:' "$TMP/out-a.txt") \
+          <(grep -v '^swap log:' "$TMP/out-b.txt") > /dev/null; then
+    echo "tier1: ensemble reports differ between identical decks" >&2
+    exit 1
+fi
+grep -q '^exchange: .* accepted / 7 attempted$' "$TMP/out-a.txt" || {
+    echo "tier1: ensemble report is missing the exchange summary" >&2
+    exit 1
+}
+echo "tier1: ensemble smoke OK (8 replicas, 7 deterministic swap attempts)"
+
+# --- 2. bench gate: fresh run vs committed baseline ---
+"$BENCH" --out "$TMP/BENCH_new.json"
+"$CHECK" "$TMP/BENCH_new.json"
+"$CHECK" --compare BENCH_dpmd.json "$TMP/BENCH_new.json" --tol 3.0
+
+echo "tier1: OK"
