@@ -68,6 +68,64 @@ fn bench_tanh_fusion(c: &mut Criterion) {
     g.finish();
 }
 
+/// SIMD dispatch ablation: the scalar baseline vs every backend the host
+/// can run, on the two vectorized hot kernels (GEMM row microkernel and
+/// fused tanh). Complements the `kernels` row `bench_dpmd` commits to
+/// `BENCH_dpmd.json` — this is the shape-resolved criterion view.
+fn bench_simd_backends(c: &mut Criterion) {
+    use dp_linalg::simd::{self, Backend};
+    let (rows, k, n) = (2048usize, 64usize, 64usize);
+    let a: Vec<f64> = (0..rows * k).map(|i| (i % 97) as f64 * 1e-2 - 0.5).collect();
+    let b_op: Vec<f64> = (0..k * n).map(|i| (i % 89) as f64 * 1e-2 - 0.4).collect();
+    let x: Vec<f64> = (0..rows * n).map(|i| (i % 101) as f64 * 4e-2 - 2.0).collect();
+    let mut out = vec![0.0f64; rows * n];
+    let mut t = vec![0.0f64; rows * n];
+    let mut grad = vec![0.0f64; rows * n];
+
+    let mut g = c.benchmark_group("simd_backends");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    let mut backends = vec![Backend::Scalar];
+    backends.extend(
+        simd::available()
+            .into_iter()
+            .filter(|&b| b != Backend::Scalar),
+    );
+    for &backend in &backends {
+        g.bench_with_input(
+            BenchmarkId::new("row_gemm 2048x64x64", backend.name()),
+            &backend,
+            |bch, &backend| {
+                bch.iter(|| {
+                    out.fill(0.0);
+                    for row in 0..rows {
+                        simd::row_gemm_with(
+                            backend,
+                            &mut out[row * n..(row + 1) * n],
+                            &a[row * k..(row + 1) * k],
+                            &b_op,
+                            n,
+                            1.0,
+                        );
+                    }
+                    std::hint::black_box(&mut out);
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tanh_fused 128k", backend.name()),
+            &backend,
+            |bch, &backend| {
+                bch.iter(|| {
+                    simd::tanh_fused_with(backend, &x, &mut t, &mut grad);
+                    std::hint::black_box((&mut t, &mut grad));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 /// §5.2.2: struct-comparator sort vs u64 scalar sort of compressed keys.
 fn bench_sort_codec(c: &mut Criterion) {
     use deepmd_core::codec::Codec;
@@ -148,6 +206,7 @@ criterion_group!(
     bench_gemm_fusion,
     bench_concat_fusion,
     bench_tanh_fusion,
+    bench_simd_backends,
     bench_sort_codec,
     bench_compression
 );

@@ -14,6 +14,12 @@
 //! step versus one replica at a time, reporting the throughput ratio as
 //! `speedup_vs_serial` (gated by `benchcheck --compare` once committed).
 //!
+//! A fourth `kernels` row is the Table 3-style kernel ablation: the
+//! scalar baseline versus the runtime-dispatched SIMD path on the linalg
+//! hot kernels (GEMM rows + fused tanh), with the measured speedup in
+//! `speedup_vs_serial` — gated the same way so a dispatch regression
+//! (e.g. SIMD silently falling back to scalar) fails CI.
+//!
 //! Run with: `cargo run --release -p dp-bench --bin bench_dpmd --
 //! [--steps N] [--reps X,Y,Z] [--replicas N] [--out BENCH.json]`
 //!
@@ -145,6 +151,65 @@ fn bench_ensemble(
     .with_ensemble(replicas, speedup)
 }
 
+/// Kernel-ablation row (Table 3 / §5.3 on CPU): time the scalar baseline
+/// against the runtime-dispatched SIMD path on the two linalg hot
+/// kernels — embedding-shaped GEMM rows and the fused tanh — and report
+/// `speedup_vs_serial = scalar_time / simd_time`. Both sides run through
+/// the same `_with`-backend entry points, so the ratio isolates
+/// vectorization (it is ~1.0 on hosts where no SIMD path is compiled or
+/// detected, and the `benchcheck --compare` tolerance absorbs that).
+fn bench_kernels(steps: usize) -> BenchRow {
+    use dp_linalg::simd::{self, Backend};
+    use std::hint::black_box;
+
+    // Embedding-layer shape the batched eval produces: a tall activation
+    // (rows × 64) against a square (64 × 64) layer, plus the fused tanh
+    // over the resulting activation block.
+    let (rows, k, n) = (2048usize, 64usize, 64usize);
+    let a: Vec<f64> = (0..rows * k).map(|i| (i % 97) as f64 * 1e-2 - 0.5).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| (i % 89) as f64 * 1e-2 - 0.4).collect();
+    let x: Vec<f64> = (0..rows * n).map(|i| (i % 101) as f64 * 4e-2 - 2.0).collect();
+    let mut c = vec![0.0f64; rows * n];
+    let mut t = vec![0.0f64; rows * n];
+    let mut g = vec![0.0f64; rows * n];
+    let iters = steps.max(1) * 8;
+
+    let mut time_backend = |backend: Backend| {
+        // one untimed pass to warm caches and the dispatch cell
+        c.fill(0.0);
+        for row in 0..rows {
+            simd::row_gemm_with(backend, &mut c[row * n..(row + 1) * n], &a[row * k..(row + 1) * k], &b, n, 1.0);
+        }
+        simd::tanh_fused_with(backend, &x, &mut t, &mut g);
+        let start = Instant::now();
+        for _ in 0..iters {
+            c.fill(0.0);
+            for row in 0..rows {
+                simd::row_gemm_with(backend, &mut c[row * n..(row + 1) * n], &a[row * k..(row + 1) * k], &b, n, 1.0);
+            }
+            simd::tanh_fused_with(backend, &x, &mut t, &mut g);
+            black_box((&mut c, &mut t, &mut g));
+        }
+        start.elapsed()
+    };
+
+    let active = simd::active();
+    let simd_time = time_backend(active);
+    let scalar_time = time_backend(Backend::Scalar);
+    let speedup = scalar_time.as_secs_f64() / simd_time.as_secs_f64().max(1e-12);
+    eprintln!(
+        "[bench_dpmd] kernels: scalar {:.3}s vs {} {:.3}s ({speedup:.2}x)",
+        scalar_time.as_secs_f64(),
+        active.name(),
+        simd_time.as_secs_f64()
+    );
+    // GEMM + fused-tanh FLOPs per iteration, charged like the library does.
+    let flops = iters as u64
+        * (2 * (rows * k * n) as u64
+            + (rows * n) as u64 * (dp_linalg::fused::TANH_FLOPS + 2));
+    BenchRow::from_run("kernels", rows * n, iters, simd_time, flops).with_ensemble(1, speedup)
+}
+
 fn usage() -> ! {
     eprintln!("usage: bench_dpmd [--steps N] [--reps X,Y,Z] [--replicas N] [--out BENCH.json]");
     std::process::exit(2);
@@ -233,6 +298,8 @@ fn main() {
         73,
         steps,
     ));
+    eprintln!("[bench_dpmd] kernels (scalar vs {})...", dp_linalg::simd::active().name());
+    report.push(bench_kernels(steps));
 
     for r in &report.rows {
         let tail = match (r.replicas, r.speedup_vs_serial) {

@@ -7,8 +7,11 @@
 //!    tall column, so each embedding layer is one tall GEMM + one fused
 //!    tanh kernel instead of per-atom small ops — the "computational
 //!    granularity" innovation of §5.2.1.
-//! 2. **Descriptor contraction** (custom op): per atom,
-//!    `T1 = Ḡᵀ R̃ / Nm`, `T2 = R̃ᵀ G⁻ / Nm`, `D = T1 T2`.
+//! 2. **Descriptor contraction**: `T1 = Ḡᵀ R̃ / Nm`, `T2 = R̃ᵀ G⁻ / Nm`,
+//!    `D = T1 T2`. The fixed-shape layout makes every per-atom problem
+//!    identical, so the whole chunk runs as strided batched GEMMs
+//!    ([`dp_linalg::batch`], the cuBLAS `gemmStridedBatched` analogue)
+//!    instead of per-atom scalar loops; likewise the backward pass.
 //! 3. **Batched fitting** per center type, 240-wide residual layers with
 //!    fused GEMM+bias and fused tanh+grad.
 //! 4. **Backward** through fitting, descriptor and embedding using the
@@ -29,9 +32,10 @@ use crate::format::{FormattedEnv, NONE};
 use crate::model::DpModel;
 use crate::profile::{maybe_time, Kernel, Profiler};
 use crate::workspace::{reuse_uninit, reuse_zeroed, EvalWorkspace, NetPass};
+use dp_linalg::batch::{gemm_batch_nn, gemm_batch_nt, gemm_batch_tn, Acc, Panel};
 use dp_linalg::fused::{dup_sum_fused_into, tanh_fused_into};
 use dp_linalg::gemm::{gemm_bias_into, matmul_nt_into};
-use dp_linalg::{Matrix, Real};
+use dp_linalg::{simd, Matrix, Real};
 use dp_nn::layer::LayerKind;
 use dp_nn::net::Net;
 use rayon::prelude::*;
@@ -221,6 +225,9 @@ pub fn evaluate_into<T: Real>(
     while ws.denv_blocks.len() < n_types {
         ws.denv_blocks.push(Vec::new());
     }
+    while ws.envm.len() < n_types {
+        ws.envm.push(Vec::new());
+    }
     while ws.by_type.len() < n_types {
         ws.by_type.push(Vec::new());
     }
@@ -243,6 +250,8 @@ pub fn evaluate_into<T: Real>(
         dt1,
         dt2,
         d_desc,
+        denv_t,
+        envm,
         by_type,
         block_off,
         slot_grads,
@@ -276,82 +285,70 @@ pub fn evaluate_into<T: Real>(
         for t in 0..n_types {
             let rows = nc * cfg.sel[t];
             maybe_time(prof, Kernel::Slice, || {
+                // gather the type block once in evaluation precision; it
+                // doubles as the R̃ operand of the batched descriptor
+                // GEMMs in stages 2 and 5
+                reuse_uninit(&mut envm[t], rows * 4, T::ZERO);
+                fmt.gather_env_block(chunk_start, nc, t, &mut envm[t]);
                 s_col.reuse_shape(rows, 1);
                 let data = s_col.as_mut_slice();
-                for a in 0..nc {
-                    let slot0 = (chunk_start + a) * nm + block_off[t];
-                    for k in 0..cfg.sel[t] {
-                        data[a * cfg.sel[t] + k] = T::from_f64(fmt.env[(slot0 + k) * 4]);
-                    }
+                let e = &envm[t];
+                for i in 0..rows {
+                    data[i] = e[i * 4];
                 }
             });
             net_forward_into(&model.embeddings[t], s_col, &mut emb_passes[t], prof);
         }
         drop(emb_span);
 
-        // ---- 2. descriptor contraction (custom op) ----
-        // per atom in chunk: T1 (m_w x 4), T2 (4 x m2), D = T1*T2, all in
-        // flat per-atom workspace blocks
+        // ---- 2. descriptor contraction (batched GEMMs) ----
+        // T1 = ḠᵀR̃/Nm, T2 = R̃ᵀG⁻/Nm, D = T1·T2 for the whole chunk at
+        // once: the fixed-shape layout makes every per-atom problem
+        // identical, so each contraction is one strided batched GEMM per
+        // neighbor type. Padded slots have all-zero R̃ rows and
+        // contribute exact zeros — no per-slot branching remains.
         let desc_span = dp_obs::span("descriptor");
-        reuse_zeroed(desc, nc * m_w * m2, T::ZERO);
         reuse_zeroed(t1, nc * m_w * 4, T::ZERO);
         reuse_zeroed(t2, nc * 4 * m2, T::ZERO);
-        {
-            let emb_passes = &*emb_passes;
-            let block_off = &*block_off;
-            maybe_time(prof, Kernel::Custom, || {
-                desc.par_chunks_mut(m_w * m2)
-                    .zip(t1.par_chunks_mut(m_w * 4))
-                    .zip(t2.par_chunks_mut(4 * m2))
-                    .enumerate()
-                    .for_each(|(a, ((d, t1a), t2a))| {
-                        let atom = chunk_start + a;
-                        for t in 0..n_types {
-                            let g = &emb_passes[t].out;
-                            for k in 0..cfg.sel[t] {
-                                let slot = atom * nm + block_off[t] + k;
-                                if fmt.indices[slot] == NONE {
-                                    // padded rows have zero env; their G row
-                                    // would multiply zero — skip entirely
-                                    continue;
-                                }
-                                let w = [
-                                    T::from_f64(fmt.env[slot * 4]),
-                                    T::from_f64(fmt.env[slot * 4 + 1]),
-                                    T::from_f64(fmt.env[slot * 4 + 2]),
-                                    T::from_f64(fmt.env[slot * 4 + 3]),
-                                ];
-                                let g_row = g.row(a * cfg.sel[t] + k);
-                                for (mi, &gm) in g_row.iter().enumerate() {
-                                    for c in 0..4 {
-                                        t1a[mi * 4 + c] += gm * w[c];
-                                    }
-                                }
-                                for c in 0..4 {
-                                    for (ai, &ga) in g_row[..m2].iter().enumerate() {
-                                        t2a[c * m2 + ai] += w[c] * ga;
-                                    }
-                                }
-                            }
-                        }
-                        for x in t1a.iter_mut() {
-                            *x *= inv_nm;
-                        }
-                        for x in t2a.iter_mut() {
-                            *x *= inv_nm;
-                        }
-                        // D = T1 (m_w x 4) * T2 (4 x m2)
-                        for mi in 0..m_w {
-                            for c in 0..4 {
-                                let t1v = t1a[mi * 4 + c];
-                                for ai in 0..m2 {
-                                    d[mi * m2 + ai] += t1v * t2a[c * m2 + ai];
-                                }
-                            }
-                        }
-                    });
-            });
-        }
+        reuse_uninit(desc, nc * m_w * m2, T::ZERO);
+        maybe_time(prof, Kernel::Custom, || {
+            for t in 0..n_types {
+                let sel_t = cfg.sel[t];
+                if sel_t == 0 {
+                    continue;
+                }
+                let g = emb_passes[t].out.as_slice();
+                let e = envm[t].as_slice();
+                let pg = Panel { ld: m_w, stride: sel_t * m_w };
+                let pe = Panel { ld: 4, stride: sel_t * 4 };
+                // T1 += Ḡᵀ × R̃ (A stored sel_t×m_w, read with column stride)
+                gemm_batch_tn(
+                    nc, m_w, sel_t, 4, T::ONE,
+                    g, pg,
+                    e, pe,
+                    t1, Panel { ld: 4, stride: m_w * 4 },
+                    Acc::Add,
+                );
+                // T2 += R̃ᵀ × G⁻ (the m2-column prefix of the m_w-wide G)
+                gemm_batch_tn(
+                    nc, 4, sel_t, m2, T::ONE,
+                    e, pe,
+                    g, pg,
+                    t2, Panel { ld: m2, stride: 4 * m2 },
+                    Acc::Add,
+                );
+            }
+            simd::scale(t1, inv_nm);
+            simd::scale(t2, inv_nm);
+            // D = T1 (m_w × 4) × T2 (4 × m2) per atom
+            gemm_batch_nn(
+                nc, m_w, 4, m2, T::ONE,
+                t1, Panel { ld: 4, stride: m_w * 4 },
+                t2, Panel { ld: m2, stride: 4 * m2 },
+                desc, Panel { ld: m2, stride: m_w * m2 },
+                Acc::Overwrite,
+            );
+        });
         drop(desc_span);
 
         // ---- 3. batched fitting per center type ----
@@ -403,100 +400,82 @@ pub fn evaluate_into<T: Real>(
         }
         drop(fit_span);
 
-        // ---- 5. descriptor backward (custom op) ----
+        // ---- 5. descriptor backward (batched GEMMs) ----
         let desc_bwd_span = dp_obs::span("descriptor_backward");
-        // produces dG rows (per neighbor type, batched) and dE/dR̃ rows;
-        // zeroed so padded slots stay zero as with fresh allocation
-        for t in 0..n_types {
-            let sel_t = cfg.sel[t];
-            dg_mats[t].reuse_shape(nc * sel_t, m_w);
-            dg_mats[t].fill_zero();
-            // dE/dR̃ per type block: 4 per slot, f64 for the f64 ProdForce
-            reuse_zeroed(&mut denv_blocks[t], nc * sel_t * 4, 0.0);
-        }
+        // dT1 = dD×T2ᵀ and dT2 = T1ᵀ×dD depend only on per-atom data, so
+        // they are computed ONCE per chunk — the earlier revision
+        // recomputed them identically inside every neighbor-type pass.
         reuse_uninit(dt1, nc * m_w * 4, T::ZERO);
         reuse_uninit(dt2, nc * 4 * m2, T::ZERO);
         maybe_time(prof, Kernel::Custom, || {
+            let pd = Panel { ld: m2, stride: m_w * m2 };
+            let p1 = Panel { ld: 4, stride: m_w * 4 };
+            let p2 = Panel { ld: m2, stride: 4 * m2 };
+            gemm_batch_nt(
+                nc, m_w, m2, 4, T::ONE,
+                d_desc, pd,
+                t2, p2,
+                dt1, p1,
+                Acc::Overwrite,
+            );
+            gemm_batch_tn(
+                nc, 4, m_w, m2, T::ONE,
+                t1, p1,
+                d_desc, pd,
+                dt2, p2,
+                Acc::Overwrite,
+            );
             for t in 0..n_types {
                 let sel_t = cfg.sel[t];
-                let g = &emb_passes[t].out;
-                let block = block_off[t];
-                let (dg, denv_t) = (&mut dg_mats[t], &mut denv_blocks[t]);
-                let d_desc = &*d_desc;
-                let (t1s, t2s) = (&*t1, &*t2);
-                dg.as_mut_slice()
-                    .par_chunks_mut(sel_t * m_w)
-                    .zip(denv_t.par_chunks_mut(sel_t * 4))
-                    .zip(dt1.par_chunks_mut(m_w * 4))
-                    .zip(dt2.par_chunks_mut(4 * m2))
-                    .enumerate()
-                    .for_each(|(a, (((dg_atom, denv_atom), dt1), dt2))| {
-                        let atom = chunk_start + a;
-                        let dd = &d_desc[a * d_in..(a + 1) * d_in];
-                        let ctx_t1 = &t1s[a * m_w * 4..(a + 1) * m_w * 4];
-                        let ctx_t2 = &t2s[a * 4 * m2..(a + 1) * 4 * m2];
-                        // dT1[mi][c] = Σ_ai dd[mi*m2+ai] * t2[c*m2+ai]
-                        // dT2[c][ai] = Σ_mi t1[mi*4+c] * dd[mi*m2+ai]
-                        for mi in 0..m_w {
-                            for c in 0..4 {
-                                let mut acc = T::ZERO;
-                                for ai in 0..m2 {
-                                    acc += dd[mi * m2 + ai] * ctx_t2[c * m2 + ai];
-                                }
-                                dt1[mi * 4 + c] = acc;
-                            }
-                        }
-                        for c in 0..4 {
-                            for ai in 0..m2 {
-                                let mut acc = T::ZERO;
-                                for mi in 0..m_w {
-                                    acc += ctx_t1[mi * 4 + c] * dd[mi * m2 + ai];
-                                }
-                                dt2[c * m2 + ai] = acc;
-                            }
-                        }
-                        for k in 0..sel_t {
-                            let slot = atom * nm + block + k;
-                            if fmt.indices[slot] == NONE {
-                                continue;
-                            }
-                            let w = [
-                                T::from_f64(fmt.env[slot * 4]),
-                                T::from_f64(fmt.env[slot * 4 + 1]),
-                                T::from_f64(fmt.env[slot * 4 + 2]),
-                                T::from_f64(fmt.env[slot * 4 + 3]),
-                            ];
-                            let g_row = g.row(a * sel_t + k);
-                            let dg_row = &mut dg_atom[k * m_w..(k + 1) * m_w];
-                            // dG[mi] = Σ_c w[c]*dT1[mi][c] (+ T2 path for mi<m2)
-                            for mi in 0..m_w {
-                                let mut acc = T::ZERO;
-                                for c in 0..4 {
-                                    acc += w[c] * dt1[mi * 4 + c];
-                                }
-                                dg_row[mi] = acc * inv_nm;
-                            }
-                            for ai in 0..m2 {
-                                let mut acc = T::ZERO;
-                                for c in 0..4 {
-                                    acc += w[c] * dt2[c * m2 + ai];
-                                }
-                                dg_row[ai] += acc * inv_nm;
-                            }
-                            // dE/dR̃[c] = Σ_mi g[mi]*dT1[mi][c]
-                            //           + Σ_ai dT2[c][ai]*g[ai]
-                            for c in 0..4 {
-                                let mut acc = T::ZERO;
-                                for (mi, &gm) in g_row.iter().enumerate() {
-                                    acc += gm * dt1[mi * 4 + c];
-                                }
-                                for ai in 0..m2 {
-                                    acc += dt2[c * m2 + ai] * g_row[ai];
-                                }
-                                denv_atom[k * 4 + c] = (acc * inv_nm).to_f64();
-                            }
-                        }
-                    });
+                dg_mats[t].reuse_shape(nc * sel_t, m_w);
+                reuse_uninit(&mut denv_blocks[t], nc * sel_t * 4, 0.0);
+                if sel_t == 0 {
+                    continue;
+                }
+                let e = envm[t].as_slice();
+                let g = emb_passes[t].out.as_slice();
+                let pe = Panel { ld: 4, stride: sel_t * 4 };
+                let pg = Panel { ld: m_w, stride: sel_t * m_w };
+                // dG = (R̃ × dT1ᵀ + R̃ × dT2 on the m2 prefix) / Nm.
+                // Padded slots have zero R̃ rows, so their dG rows come
+                // out zero exactly as the old slot-skipping loop left
+                // them.
+                gemm_batch_nt(
+                    nc, sel_t, 4, m_w, inv_nm,
+                    e, pe,
+                    dt1, p1,
+                    dg_mats[t].as_mut_slice(), pg,
+                    Acc::Overwrite,
+                );
+                gemm_batch_nn(
+                    nc, sel_t, 4, m2, inv_nm,
+                    e, pe,
+                    dt2, p2,
+                    dg_mats[t].as_mut_slice(), pg,
+                    Acc::Add,
+                );
+                // dE/dR̃ = (G × dT1 + G⁻ × dT2ᵀ) / Nm, in evaluation
+                // precision, then converted once to f64 for ProdForce.
+                // Padded slots get nonzero values here (their G rows are
+                // not zero) but ProdForce never reads NONE slots.
+                reuse_uninit(denv_t, nc * sel_t * 4, T::ZERO);
+                gemm_batch_nn(
+                    nc, sel_t, m_w, 4, inv_nm,
+                    g, pg,
+                    dt1, p1,
+                    denv_t, pe,
+                    Acc::Overwrite,
+                );
+                gemm_batch_nt(
+                    nc, sel_t, m2, 4, inv_nm,
+                    g, pg,
+                    dt2, p2,
+                    denv_t, pe,
+                    Acc::Add,
+                );
+                for (d, &s) in denv_blocks[t].iter_mut().zip(denv_t.iter()) {
+                    *d = s.to_f64();
+                }
             }
         });
         drop(desc_bwd_span);

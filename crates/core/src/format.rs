@@ -80,6 +80,35 @@ impl FormattedEnv {
     pub fn real_neighbors(&self) -> usize {
         self.indices.iter().filter(|&&i| i != NONE).count()
     }
+
+    /// Gather the type-`ty` environment block of `nc` atoms starting at
+    /// `chunk_start` into `out` (`nc·sel[ty]` rows × 4, row-major, items
+    /// back-to-back), converting to the evaluation precision `T`.
+    ///
+    /// This is the §5.2.1 payoff: each atom's type block is contiguous in
+    /// `env`, so the whole chunk lands as one dense operand for the
+    /// strided batched descriptor GEMMs in `eval`. Padded slots carry
+    /// all-zero rows (re-zeroed on every format call), so batched kernels
+    /// may include them — they contribute exact zeros.
+    pub fn gather_env_block<T: dp_linalg::Real>(
+        &self,
+        chunk_start: usize,
+        nc: usize,
+        ty: usize,
+        out: &mut [T],
+    ) {
+        let sel_t = self.sel[ty];
+        let before: usize = self.sel[..ty].iter().sum();
+        assert!(out.len() >= nc * sel_t * 4, "gather output too short");
+        for a in 0..nc {
+            let src0 = ((chunk_start + a) * self.nm + before) * 4;
+            let src = &self.env[src0..src0 + sel_t * 4];
+            let dst = &mut out[a * sel_t * 4..(a + 1) * sel_t * 4];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = T::from_f64(s);
+            }
+        }
+    }
 }
 
 /// Scratch entry used by both formatters.

@@ -84,6 +84,14 @@ pub struct EvalWorkspace<T> {
     pub ds_cols: Vec<Matrix<T>>,
     /// dE/dR̃ per neighbor type, 4 per slot, f64 for the f64 ProdForce.
     pub denv_blocks: Vec<Vec<f64>>,
+    /// dE/dR̃ scratch in evaluation precision (one type at a time),
+    /// filled by the batched descriptor-backward GEMMs before the f64
+    /// conversion into `denv_blocks`.
+    pub denv_t: Vec<T>,
+    /// Per-neighbor-type environment block `R̃` gathered in evaluation
+    /// precision (`nc·sel[t]` rows × 4): the dense operand of the
+    /// strided batched descriptor GEMMs (§5.2.1 fixed-shape layout).
+    pub envm: Vec<Vec<T>>,
     /// Flat per-atom descriptor matrix `D` (chunk × m_w·m2).
     pub desc: Vec<T>,
     /// Flat per-atom `T1` (chunk × m_w·4) and `T2` (chunk × 4·m2).
@@ -117,6 +125,8 @@ impl<T: Real> EvalWorkspace<T> {
             dg_mats: (0..n_types).map(|_| Matrix::zeros(0, 0)).collect(),
             ds_cols: (0..n_types).map(|_| Matrix::zeros(0, 0)).collect(),
             denv_blocks: vec![Vec::new(); n_types],
+            denv_t: Vec::new(),
+            envm: (0..n_types).map(|_| Vec::new()).collect(),
             desc: Vec::new(),
             t1: Vec::new(),
             t2: Vec::new(),

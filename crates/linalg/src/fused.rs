@@ -13,6 +13,9 @@
 use crate::flops;
 use crate::matrix::Matrix;
 use crate::real::Real;
+use crate::simd;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
 
 /// Nominal FLOP charge per tanh evaluation. NVPROF counts the FP
 /// instructions of the device `tanh`; on CPU a polynomial/rational `tanh`
@@ -50,21 +53,17 @@ pub fn tanh_fused<T: Real>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
 }
 
 /// `tanh_fused` writing into caller-provided buffers (§5.2.2 arena reuse).
+///
+/// Routed through the runtime-dispatched [`crate::simd`] kernel: on AVX2
+/// the vectorized path (Cephes-style `exp`) deviates from `std` `tanh` by
+/// a few ULPs — callers comparing against a `std`-tanh baseline must use
+/// a ≥ 1e-13 tolerance in f64. NaN/±inf inputs behave exactly like `std`.
 pub fn tanh_fused_into<T: Real>(x: &Matrix<T>, t: &mut Matrix<T>, g: &mut Matrix<T>) {
     flops::add(x.len() as u64 * (TANH_FLOPS + 2));
     let (rows, cols) = x.shape();
     t.reuse_shape(rows, cols);
     g.reuse_shape(rows, cols);
-    for ((out_t, out_g), &v) in t
-        .as_mut_slice()
-        .iter_mut()
-        .zip(g.as_mut_slice().iter_mut())
-        .zip(x.as_slice().iter())
-    {
-        let tv = v.tanh();
-        *out_t = tv;
-        *out_g = T::ONE - tv * tv;
-    }
+    simd::tanh_fused(x.as_slice(), t.as_mut_slice(), g.as_mut_slice());
 }
 
 /// Baseline skip connection for the embedding net's growth layers:
@@ -78,31 +77,64 @@ pub fn concat_sum_baseline<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
     out
 }
 
+thread_local! {
+    /// `(element TypeId, k) → (I,I)` matrices for `concat_sum_gemm`. The
+    /// identity operand depends only on the layer width, which is fixed
+    /// per net, so rebuilding it every call (as an earlier revision did)
+    /// wasted an O(k²) fill + allocation in the hot loop. Thread-local:
+    /// the kernel is called from inside rayon workers.
+    static II_CACHE: RefCell<Vec<(TypeId, usize, Box<dyn Any>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the cached `k x 2k` `(I, I)` matrix for element type `T`,
+/// building it on first use per (thread, type, width).
+fn with_ii<T: Real, R>(k: usize, f: impl FnOnce(&Matrix<T>) -> R) -> R {
+    II_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let tid = TypeId::of::<T>();
+        let idx = match cache.iter().position(|(t, kk, _)| *t == tid && *kk == k) {
+            Some(i) => i,
+            None => {
+                let ii = Matrix::from_fn(k, 2 * k, |i, j| {
+                    if j == i || j == i + k {
+                        T::ONE
+                    } else {
+                        T::ZERO
+                    }
+                });
+                cache.push((tid, k, Box::new(ii)));
+                cache.len() - 1
+            }
+        };
+        let ii = cache[idx]
+            .2
+            .downcast_ref::<Matrix<T>>()
+            .expect("II_CACHE entry type matches its TypeId key");
+        f(ii)
+    })
+}
+
 /// The paper's replacement: `(x,x) = x × (I,I)` merged with the SUM into a
 /// single GEMM call. We expose the literal GEMM formulation for fidelity
 /// with §5.3.2 (the benefit the paper measures comes from merging the SUM
-/// into the GEMM epilogue).
+/// into the GEMM epilogue). The `(I,I)` operand is cached per width — the
+/// GEMM itself, and its FLOP charge, are unchanged.
 pub fn concat_sum_gemm<T: Real>(x: &Matrix<T>, h: &Matrix<T>) -> Matrix<T> {
     assert_eq!(h.cols(), 2 * x.cols(), "skip-connection shape mismatch");
-    // (I, I): identity stacked horizontally, k x 2k.
     let k = x.cols();
-    let ii = Matrix::from_fn(k, 2 * k, |i, j| {
-        if j == i || j == i + k {
-            T::ONE
-        } else {
-            T::ZERO
-        }
-    });
     let mut out = h.clone();
-    crate::gemm::gemm_ex(
-        crate::gemm::Transpose::No,
-        crate::gemm::Transpose::No,
-        T::ONE,
-        x,
-        &ii,
-        T::ONE,
-        &mut out,
-    );
+    with_ii::<T, _>(k, |ii| {
+        crate::gemm::gemm_ex(
+            crate::gemm::Transpose::No,
+            crate::gemm::Transpose::No,
+            T::ONE,
+            x,
+            ii,
+            T::ONE,
+            &mut out,
+        );
+    });
     out
 }
 
@@ -125,10 +157,11 @@ pub fn dup_sum_fused_into<T: Real>(x: &Matrix<T>, h: &Matrix<T>, out: &mut Matri
     for i in 0..x.rows() {
         let x_row = x.row(i);
         let o_row = out.row_mut(i);
-        for (j, &xv) in x_row.iter().enumerate() {
-            o_row[j] += xv;
-            o_row[j + k] += xv;
-        }
+        // Two unit-alpha axpys: `x·1 + o` is a single-rounded exact add,
+        // so this stays bit-identical to the old scalar `+=` loop.
+        let (lo, hi) = o_row.split_at_mut(k);
+        simd::axpy(T::ONE, x_row, lo);
+        simd::axpy(T::ONE, x_row, &mut hi[..k]);
     }
 }
 
@@ -145,8 +178,11 @@ mod tests {
         let x = m(13, 7);
         let (t0, g0) = tanh_then_grad_baseline(&x);
         let (t1, g1) = tanh_fused(&x);
-        assert!(t0.max_abs_diff(&t1) < 1e-15);
-        assert!(g0.max_abs_diff(&g1) < 1e-15);
+        // 1e-13, not 1e-15: the vectorized tanh (Cephes exp) deviates
+        // from std tanh by a few ULPs — the documented tolerance-gated
+        // deviation of the SIMD rewrite.
+        assert!(t0.max_abs_diff(&t1) < 1e-13);
+        assert!(g0.max_abs_diff(&g1) < 1e-13);
     }
 
     #[test]
@@ -174,6 +210,27 @@ mod tests {
         let c = dup_sum_fused(&x, &h);
         assert!(a.max_abs_diff(&b) < 1e-12);
         assert!(a.max_abs_diff(&c) < 1e-12);
+    }
+
+    #[test]
+    fn concat_sum_gemm_reuses_cached_identity() {
+        // Two widths, interleaved, twice each: results must stay correct
+        // with the (I,I) operand coming from the thread-local cache.
+        for _ in 0..2 {
+            for k in [3usize, 5] {
+                let x = m(4, k);
+                let h = m(4, 2 * k);
+                let fast = concat_sum_gemm(&x, &h);
+                let slow = concat_sum_baseline(&x, &h);
+                assert!(fast.max_abs_diff(&slow) < 1e-12, "k={k}");
+            }
+        }
+        // f32 entries must not collide with f64 entries of the same k.
+        let x32 = m(4, 3).cast::<f32>();
+        let h32 = m(4, 6).cast::<f32>();
+        let fast32 = concat_sum_gemm(&x32, &h32);
+        let slow32 = concat_sum_baseline(&x32, &h32);
+        assert!(fast32.max_abs_diff(&slow32) < 1e-5);
     }
 
     #[test]

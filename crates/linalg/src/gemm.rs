@@ -6,10 +6,17 @@
 //! with transpose variants (needed by back-propagation) plus the textbook
 //! triple loop kept as the correctness baseline and as the "unoptimized"
 //! side of ablation benches.
+//!
+//! The per-row inner loops are the runtime-dispatched SIMD primitives of
+//! [`crate::simd`] (AVX2/NEON with a scalar fallback). Multiply-adds are
+//! never skipped on zero operands: `0 · inf` and `0 · NaN` must produce
+//! NaN per IEEE-754, exactly as cuBLAS would (an earlier revision
+//! shortcut zero `A` elements, silently masking non-finite `B`).
 
 use crate::flops;
 use crate::matrix::Matrix;
 use crate::real::Real;
+use crate::simd;
 use rayon::prelude::*;
 
 /// Which operand layout a GEMM input uses.
@@ -47,8 +54,11 @@ pub fn naive_gemm<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 
 /// `C = alpha * op(A) x op(B) + beta * C`, blocked and parallel.
 ///
-/// FLOPs are charged to the global counter (`2*m*n*k`, plus `m*n` when
-/// `beta != 0`).
+/// FLOPs are charged to the global counter: `2*m*n*k`, plus `m*n` when
+/// `beta != 0` — a `beta == 1` accumulate reads and adds every `C`
+/// element just like any other non-zero `beta` (an earlier revision only
+/// charged `beta ∉ {0, 1}`, under-counting accumulating GEMMs and skewing
+/// achieved-vs-modeled GFLOPS in the bench rows).
 pub fn gemm_ex<T: Real>(
     trans_a: Transpose,
     trans_b: Transpose,
@@ -70,7 +80,7 @@ pub fn gemm_ex<T: Real>(
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
 
     flops::add(flops::gemm_flops(m, n, k));
-    if beta != T::ZERO && beta != T::ONE {
+    if beta != T::ZERO {
         flops::add((m * n) as u64);
     }
 
@@ -126,25 +136,16 @@ fn gemm_nn<T: Real>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Mat
     let a_data = a.as_slice();
     let b_data = b.as_slice();
 
+    let backend = simd::active();
     let row_kernel = |i: usize, c_row: &mut [T]| {
         if beta == T::ZERO {
             c_row.fill(T::ZERO);
         } else if beta != T::ONE {
-            for x in c_row.iter_mut() {
-                *x *= beta;
-            }
+            simd::scale_with(backend, c_row, beta);
         }
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (p, &aip) in a_row.iter().enumerate() {
-            let scaled = alpha * aip;
-            if scaled == T::ZERO {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                *cj = bj.mul_add(scaled, *cj);
-            }
-        }
+        // No zero-skip: every A element contributes a multiply-add so
+        // non-finite B values propagate per IEEE-754.
+        simd::row_gemm_with(backend, c_row, &a_data[i * k..(i + 1) * k], b_data, n, alpha);
     };
 
     if work < PAR_FLOP_THRESHOLD {
@@ -181,18 +182,11 @@ pub fn gemm_bias_into<T: Real>(a: &Matrix<T>, b: &Matrix<T>, bias: &[T], c: &mut
     let b_data = b.as_slice();
     let work = flops::gemm_flops(m, n, k);
 
+    let backend = simd::active();
     let row_kernel = |i: usize, c_row: &mut [T]| {
         c_row.copy_from_slice(bias);
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (p, &aip) in a_row.iter().enumerate() {
-            if aip == T::ZERO {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                *cj = bj.mul_add(aip, *cj);
-            }
-        }
+        // No zero-skip (see `gemm_nn`): NaN/Inf in B must reach C.
+        simd::row_gemm_with(backend, c_row, &a_data[i * k..(i + 1) * k], b_data, n, T::ONE);
     };
 
     if work < PAR_FLOP_THRESHOLD {
@@ -220,16 +214,9 @@ pub fn matmul_nt_into<T: Real>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) 
     let b_data = b.as_slice();
     let work = flops::gemm_flops(m, n, k);
 
+    let backend = simd::active();
     let row_kernel = |i: usize, c_row: &mut [T]| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (j, cj) in c_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = T::ZERO;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc = av.mul_add(bv, acc);
-            }
-            *cj = acc;
-        }
+        simd::dot_rows_with(backend, c_row, &a_data[i * k..(i + 1) * k], b_data, k);
     };
 
     if work < PAR_FLOP_THRESHOLD {
@@ -356,6 +343,64 @@ mod tests {
         let b = rand_matrix(20, 30, 13);
         let _ = matmul(&a, &b);
         assert_eq!(flops::reset(), 2 * 10 * 20 * 30);
+    }
+
+    /// Satellite 2 regression: the `m*n` accumulate is charged for every
+    /// non-zero `beta`, including `beta == 1` (which the old accounting
+    /// skipped, under-counting accumulating GEMMs).
+    #[test]
+    fn flop_accounting_beta_matrix() {
+        let a = rand_matrix(10, 20, 12);
+        let b = rand_matrix(20, 30, 13);
+        let mut c = rand_matrix(10, 30, 14);
+        let gemm = 2 * 10 * 20 * 30u64;
+        let accum = 10 * 30u64;
+        for (beta, want) in [(0.0, gemm), (1.0, gemm + accum), (0.5, gemm + accum)] {
+            flops::reset();
+            gemm_ex(Transpose::No, Transpose::No, 1.0, &a, &b, beta, &mut c);
+            assert_eq!(flops::reset(), want, "beta = {beta}");
+        }
+    }
+
+    /// Satellite 1 regression: a zero in `A` must not mask NaN/Inf in the
+    /// corresponding `B` row — `0 · inf = NaN` per IEEE-754, and the fast
+    /// kernels must agree with `naive_gemm` about which outputs poison.
+    #[test]
+    fn non_finite_b_propagates_through_zero_a() {
+        // A has an explicit zero row-element; B's matching row carries
+        // inf and NaN. Column 2 of B stays finite everywhere so outputs
+        // mixing finite and poisoned columns are both covered.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 2.0, 0.0]);
+        let b = Matrix::from_vec(
+            2,
+            3,
+            vec![f64::INFINITY, f64::NAN, 1.0, 2.0, 3.0, 4.0],
+        );
+        let slow = naive_gemm(&a, &b);
+        let fast = matmul(&a, &b);
+        for i in 0..2 {
+            for j in 0..3 {
+                let (s, f) = (slow[(i, j)], fast[(i, j)]);
+                assert_eq!(s.is_nan(), f.is_nan(), "({i},{j}): naive={s} fast={f}");
+                if !s.is_nan() {
+                    assert_eq!(s, f, "({i},{j})");
+                }
+            }
+        }
+        // Row 0: 0·inf = NaN, 0·NaN = NaN, 0·1 + 1·4 finite.
+        assert!(fast[(0, 0)].is_nan());
+        assert!(fast[(0, 1)].is_nan());
+        assert!(fast[(0, 2)].is_finite());
+        // Row 1: 2·inf = inf survives the 0·2 term only as inf + 0.
+        assert_eq!(fast[(1, 0)], f64::INFINITY);
+        assert!(fast[(1, 1)].is_nan());
+
+        // Same contract for the fused-bias kernel.
+        let bias = vec![0.5, 0.5, 0.5];
+        let biased = gemm_bias(&a, &b, &bias);
+        assert!(biased[(0, 0)].is_nan());
+        assert!(biased[(0, 1)].is_nan());
+        assert!((biased[(0, 2)] - (4.0 + 0.5)).abs() < 1e-12);
     }
 
     #[test]

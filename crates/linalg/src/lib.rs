@@ -8,11 +8,13 @@
 //! benchmark harnesses to report peak/sustained FLOPS the same way the paper
 //! does with NVPROF.
 
+pub mod batch;
 pub mod flops;
 pub mod fused;
 pub mod gemm;
 pub mod matrix;
 pub mod real;
+pub mod simd;
 
 pub use flops::FlopCounter;
 pub use matrix::Matrix;

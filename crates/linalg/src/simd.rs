@@ -1,0 +1,1300 @@
+//! Runtime-dispatched SIMD primitives for the linalg hot kernels.
+//!
+//! The SC '20 paper earns its Table 3 speedups (130×/17×/38× on
+//! Environment/ProdForce/ProdVirial) with hand-written CUDA kernels; this
+//! module is the CPU analogue: `target_feature`-gated AVX2 (x86_64) and
+//! NEON (aarch64) micro-kernels behind a runtime dispatch shim, with the
+//! portable scalar loop kept as the correctness baseline. Every GEMM-class
+//! kernel in [`crate::gemm`], [`crate::fused`], and [`crate::batch`] funnels
+//! through the primitives here, so one dispatch decision covers the whole
+//! crate.
+//!
+//! ## Dispatch
+//!
+//! The active backend is chosen once (cached) from the `DPMD_SIMD`
+//! environment variable and CPU feature detection:
+//!
+//! * `DPMD_SIMD=off|0|scalar` — force the scalar fallback (CI runs the
+//!   whole linalg suite this way so both paths stay green),
+//! * `DPMD_SIMD=avx2` / `DPMD_SIMD=neon` — request a specific backend,
+//!   silently falling back to scalar when the host lacks it,
+//! * unset or `auto` — best backend the host supports.
+//!
+//! Every primitive also has a `_with(backend, ...)` variant so the
+//! feature-matrix tests can pit backends against each other directly
+//! without racing on global state.
+//!
+//! ## Numerical contract
+//!
+//! `row_gemm` / `row_gemm_strided` / `axpy` are **bit-identical** across
+//! backends: both the scalar and vector paths perform one fused
+//! multiply-add per output element with the reduction index ascending, so
+//! the rounding sequence is the same (the vector lanes are independent
+//! output columns, not a reordered reduction). `dot` / `dot_rows` use four
+//! independent accumulators in the vector path, which reorders the
+//! reduction — results agree to a few ULPs, not bitwise. `tanh_fused` uses
+//! a Cephes-style polynomial `exp` in the vector path whose error against
+//! `std` `tanh` is a few ULPs (< 1e-13 in f64). Non-finite inputs
+//! propagate per IEEE-754 on every path: `tanh(NaN) = NaN`,
+//! `tanh(±inf) = ±1`, and no kernel here skips multiply-adds on zero
+//! operands (`0 * inf` must produce NaN, see the `gemm_nn` zero-skip bug
+//! this PR removes).
+
+use crate::real::Real;
+use std::any::TypeId;
+use std::sync::OnceLock;
+
+/// A vectorization backend. `Scalar` exists everywhere; the SIMD variants
+/// are only *selectable* on hosts that support them (see [`available`]),
+/// but the enum is architecture-independent so tests and diagnostics can
+/// name all of them on any build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar loops — the correctness baseline.
+    Scalar,
+    /// AVX2 + FMA (x86_64), 4×f64 / 8×f32 lanes.
+    Avx2,
+    /// NEON (aarch64), 2×f64 / 4×f32 lanes.
+    Neon,
+}
+
+impl Backend {
+    /// Short name used in logs and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+/// All backends the running host can execute, scalar first. The last
+/// entry is the best (what `auto` picks).
+pub fn available() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        v.push(Backend::Avx2);
+    }
+    #[cfg(target_arch = "aarch64")]
+    v.push(Backend::Neon);
+    v
+}
+
+/// The backend every non-`_with` primitive uses. Resolved once from
+/// `DPMD_SIMD` + feature detection and cached for the process lifetime.
+pub fn active() -> Backend {
+    static ACTIVE: OnceLock<Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let req = std::env::var("DPMD_SIMD")
+            .map(|v| v.to_ascii_lowercase())
+            .unwrap_or_default();
+        let detected = available();
+        match req.as_str() {
+            "off" | "0" | "scalar" => Backend::Scalar,
+            "avx2" if detected.contains(&Backend::Avx2) => Backend::Avx2,
+            "neon" if detected.contains(&Backend::Neon) => Backend::Neon,
+            // Unknown/unavailable request or auto: best detected.
+            _ => *detected.last().unwrap_or(&Backend::Scalar),
+        }
+    })
+}
+
+#[inline(always)]
+fn is<T: 'static, U: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<U>()
+}
+
+/// Reinterpret a slice of `T` as a slice of `U`.
+///
+/// # Safety
+/// Caller must have checked `TypeId::of::<T>() == TypeId::of::<U>()`
+/// (same type, so layout is trivially identical).
+#[inline(always)]
+unsafe fn cast<T, U>(s: &[T]) -> &[U] {
+    std::slice::from_raw_parts(s.as_ptr().cast(), s.len())
+}
+
+/// Mutable variant of [`cast`]; same safety contract.
+#[inline(always)]
+unsafe fn cast_mut<T, U>(s: &mut [T]) -> &mut [U] {
+    std::slice::from_raw_parts_mut(s.as_mut_ptr().cast(), s.len())
+}
+
+// ---------------------------------------------------------------------------
+// row_gemm: c[j] += Σ_p (alpha · a[p·a_stride]) · b[p·ldb + j]
+// ---------------------------------------------------------------------------
+
+/// Accumulate one GEMM output row: `c[j] += Σ_p (alpha·a[p]) · B[p][j]`
+/// with `B` row-major at leading dimension `ldb` (only the first
+/// `c.len()` columns of each `B` row are touched). One FMA per output
+/// element, `p` ascending — bit-identical across backends.
+#[inline]
+pub fn row_gemm<T: Real>(c: &mut [T], a: &[T], b: &[T], ldb: usize, alpha: T) {
+    row_gemm_with(active(), c, a, b, ldb, alpha)
+}
+
+/// [`row_gemm`] with the `A` elements strided (`a[p·a_stride]`), covering
+/// the transposed-A panels of the batched descriptor GEMMs without
+/// materializing the transpose. `k` is the reduction length.
+#[inline]
+pub fn row_gemm_strided<T: Real>(
+    c: &mut [T],
+    k: usize,
+    a: &[T],
+    a_stride: usize,
+    b: &[T],
+    ldb: usize,
+    alpha: T,
+) {
+    row_gemm_strided_with(active(), c, k, a, a_stride, b, ldb, alpha)
+}
+
+/// [`row_gemm`] on an explicit backend (for tests and ablation benches).
+#[inline]
+pub fn row_gemm_with<T: Real>(backend: Backend, c: &mut [T], a: &[T], b: &[T], ldb: usize, alpha: T) {
+    row_gemm_strided_with(backend, c, a.len(), a, 1, b, ldb, alpha)
+}
+
+/// [`row_gemm_strided`] on an explicit backend.
+pub fn row_gemm_strided_with<T: Real>(
+    backend: Backend,
+    c: &mut [T],
+    k: usize,
+    a: &[T],
+    a_stride: usize,
+    b: &[T],
+    ldb: usize,
+    alpha: T,
+) {
+    if k == 0 || c.is_empty() {
+        return;
+    }
+    debug_assert!(a.len() >= (k - 1) * a_stride + 1, "A panel too short");
+    debug_assert!(b.len() >= (k - 1) * ldb + c.len(), "B panel too short");
+    match backend {
+        Backend::Scalar => row_gemm_scalar(c, k, a, a_stride, b, ldb, alpha),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                x86::row_gemm_f64(cast_mut(c), k, cast(a), a_stride, cast(b), ldb, alpha.to_f64())
+            } else if is::<T, f32>() {
+                x86::row_gemm_f32(
+                    cast_mut(c),
+                    k,
+                    cast(a),
+                    a_stride,
+                    cast(b),
+                    ldb,
+                    alpha.to_f64() as f32,
+                )
+            } else {
+                row_gemm_scalar(c, k, a, a_stride, b, ldb, alpha)
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe {
+            if is::<T, f64>() {
+                arm::row_gemm_f64(cast_mut(c), k, cast(a), a_stride, cast(b), ldb, alpha.to_f64())
+            } else if is::<T, f32>() {
+                arm::row_gemm_f32(
+                    cast_mut(c),
+                    k,
+                    cast(a),
+                    a_stride,
+                    cast(b),
+                    ldb,
+                    alpha.to_f64() as f32,
+                )
+            } else {
+                row_gemm_scalar(c, k, a, a_stride, b, ldb, alpha)
+            }
+        },
+        // A backend this build can't execute (e.g. Avx2 named on aarch64):
+        // fall back to the baseline rather than panic.
+        #[allow(unreachable_patterns)]
+        _ => row_gemm_scalar(c, k, a, a_stride, b, ldb, alpha),
+    }
+}
+
+fn row_gemm_scalar<T: Real>(
+    c: &mut [T],
+    k: usize,
+    a: &[T],
+    a_stride: usize,
+    b: &[T],
+    ldb: usize,
+    alpha: T,
+) {
+    for p in 0..k {
+        let s = alpha * a[p * a_stride];
+        let b_row = &b[p * ldb..p * ldb + c.len()];
+        for (cj, &bj) in c.iter_mut().zip(b_row.iter()) {
+            *cj = bj.mul_add(s, *cj);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dot / dot_rows
+// ---------------------------------------------------------------------------
+
+/// Dot product `Σ_i a[i]·b[i]`. Vector paths split the reduction over
+/// four accumulators, so results agree with scalar to a few ULPs only.
+#[inline]
+pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
+    dot_with(active(), a, b)
+}
+
+/// [`dot`] on an explicit backend.
+pub fn dot_with<T: Real>(backend: Backend, a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    match backend {
+        Backend::Scalar => dot_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                T::from_f64(x86::dot_f64(cast(a), cast(b)))
+            } else if is::<T, f32>() {
+                T::from_f64(x86::dot_f32(cast(a), cast(b)) as f64)
+            } else {
+                dot_scalar(a, b)
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe {
+            if is::<T, f64>() {
+                T::from_f64(arm::dot_f64(cast(a), cast(b)))
+            } else if is::<T, f32>() {
+                T::from_f64(arm::dot_f32(cast(a), cast(b)) as f64)
+            } else {
+                dot_scalar(a, b)
+            }
+        },
+        #[allow(unreachable_patterns)]
+        _ => dot_scalar(a, b),
+    }
+}
+
+fn dot_scalar<T: Real>(a: &[T], b: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for (&av, &bv) in a.iter().zip(b.iter()) {
+        acc = av.mul_add(bv, acc);
+    }
+    acc
+}
+
+/// One `A×Bᵀ` output row: `c[j] = dot(a_row, B[j])` with `B` row-major at
+/// leading dimension `ldb` and reduction length `a_row.len()`. Dispatches
+/// once per row instead of once per dot.
+#[inline]
+pub fn dot_rows<T: Real>(c: &mut [T], a_row: &[T], b: &[T], ldb: usize) {
+    dot_rows_with(active(), c, a_row, b, ldb)
+}
+
+/// [`dot_rows`] on an explicit backend.
+pub fn dot_rows_with<T: Real>(backend: Backend, c: &mut [T], a_row: &[T], b: &[T], ldb: usize) {
+    let k = a_row.len();
+    if !c.is_empty() {
+        debug_assert!(b.len() >= (c.len() - 1) * ldb + k, "B panel too short");
+    }
+    match backend {
+        Backend::Scalar => {
+            for (j, cj) in c.iter_mut().enumerate() {
+                *cj = dot_scalar(a_row, &b[j * ldb..j * ldb + k]);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                let (c, a_row, b) = (cast_mut::<T, f64>(c), cast::<T, f64>(a_row), cast::<T, f64>(b));
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj = x86::dot_f64(a_row, &b[j * ldb..j * ldb + k]);
+                }
+            } else if is::<T, f32>() {
+                let (c, a_row, b) = (cast_mut::<T, f32>(c), cast::<T, f32>(a_row), cast::<T, f32>(b));
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj = x86::dot_f32(a_row, &b[j * ldb..j * ldb + k]);
+                }
+            } else {
+                dot_rows_with(Backend::Scalar, c, a_row, b, ldb)
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe {
+            if is::<T, f64>() {
+                let (c, a_row, b) = (cast_mut::<T, f64>(c), cast::<T, f64>(a_row), cast::<T, f64>(b));
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj = arm::dot_f64(a_row, &b[j * ldb..j * ldb + k]);
+                }
+            } else if is::<T, f32>() {
+                let (c, a_row, b) = (cast_mut::<T, f32>(c), cast::<T, f32>(a_row), cast::<T, f32>(b));
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj = arm::dot_f32(a_row, &b[j * ldb..j * ldb + k]);
+                }
+            } else {
+                dot_rows_with(Backend::Scalar, c, a_row, b, ldb)
+            }
+        },
+        #[allow(unreachable_patterns)]
+        _ => dot_rows_with(Backend::Scalar, c, a_row, b, ldb),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy / scale
+// ---------------------------------------------------------------------------
+
+/// `y[i] += alpha · x[i]`, one FMA per element — bit-identical across
+/// backends (and an exact add when `alpha == 1`).
+#[inline]
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    axpy_with(active(), alpha, x, y)
+}
+
+/// [`axpy`] on an explicit backend.
+pub fn axpy_with<T: Real>(backend: Backend, alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    match backend {
+        Backend::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                x86::axpy_f64(alpha.to_f64(), cast(x), cast_mut(y))
+            } else if is::<T, f32>() {
+                x86::axpy_f32(alpha.to_f64() as f32, cast(x), cast_mut(y))
+            } else {
+                axpy_scalar(alpha, x, y)
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe {
+            if is::<T, f64>() {
+                arm::axpy_f64(alpha.to_f64(), cast(x), cast_mut(y))
+            } else if is::<T, f32>() {
+                arm::axpy_f32(alpha.to_f64() as f32, cast(x), cast_mut(y))
+            } else {
+                axpy_scalar(alpha, x, y)
+            }
+        },
+        #[allow(unreachable_patterns)]
+        _ => axpy_scalar(alpha, x, y),
+    }
+}
+
+fn axpy_scalar<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `x[i] *= alpha` — a plain multiply on every path, bit-identical.
+#[inline]
+pub fn scale<T: Real>(x: &mut [T], alpha: T) {
+    scale_with(active(), x, alpha)
+}
+
+/// [`scale`] on an explicit backend.
+pub fn scale_with<T: Real>(backend: Backend, x: &mut [T], alpha: T) {
+    match backend {
+        Backend::Scalar => {
+            for v in x.iter_mut() {
+                *v *= alpha;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                x86::scale_f64(cast_mut(x), alpha.to_f64())
+            } else if is::<T, f32>() {
+                x86::scale_f32(cast_mut(x), alpha.to_f64() as f32)
+            } else {
+                scale_with(Backend::Scalar, x, alpha)
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe {
+            if is::<T, f64>() {
+                arm::scale_f64(cast_mut(x), alpha.to_f64())
+            } else if is::<T, f32>() {
+                arm::scale_f32(cast_mut(x), alpha.to_f64() as f32)
+            } else {
+                scale_with(Backend::Scalar, x, alpha)
+            }
+        },
+        #[allow(unreachable_patterns)]
+        _ => scale_with(Backend::Scalar, x, alpha),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tanh_fused
+// ---------------------------------------------------------------------------
+
+/// `t[i] = tanh(x[i])`, `g[i] = 1 − tanh²(x[i])` in one pass. The AVX2
+/// path uses a Cephes-style vector `exp` (error vs `std` tanh ≲ 1e-13 in
+/// f64); NaN and ±inf inputs propagate exactly like `std` (`NaN → NaN`,
+/// `±inf → ±1`). NEON falls back to the scalar loop — tanh is
+/// compute-bound enough that the 2-lane win doesn't pay for a second
+/// polynomial implementation.
+#[inline]
+pub fn tanh_fused<T: Real>(x: &[T], t: &mut [T], g: &mut [T]) {
+    tanh_fused_with(active(), x, t, g)
+}
+
+/// [`tanh_fused`] on an explicit backend.
+pub fn tanh_fused_with<T: Real>(backend: Backend, x: &[T], t: &mut [T], g: &mut [T]) {
+    debug_assert_eq!(x.len(), t.len());
+    debug_assert_eq!(x.len(), g.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if is::<T, f64>() {
+                x86::tanh_fused_f64(cast(x), cast_mut(t), cast_mut(g))
+            } else if is::<T, f32>() {
+                x86::tanh_fused_f32(cast(x), cast_mut(t), cast_mut(g))
+            } else {
+                tanh_fused_scalar(x, t, g)
+            }
+        },
+        _ => tanh_fused_scalar(x, t, g),
+    }
+}
+
+fn tanh_fused_scalar<T: Real>(x: &[T], t: &mut [T], g: &mut [T]) {
+    for ((out_t, out_g), &v) in t.iter_mut().zip(g.iter_mut()).zip(x.iter()) {
+        let tv = v.tanh();
+        *out_t = tv;
+        *out_g = T::ONE - tv * tv;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 micro-kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety: caller guarantees avx2+fma and the panel bounds checked
+    /// by the dispatcher (`a.len() ≥ (k−1)·a_stride+1`,
+    /// `b.len() ≥ (k−1)·ldb + c.len()`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_gemm_f64(
+        c: &mut [f64],
+        k: usize,
+        a: &[f64],
+        a_stride: usize,
+        b: &[f64],
+        ldb: usize,
+        alpha: f64,
+    ) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        // 16-column tiles: four ymm accumulators live across the whole
+        // p loop, so each C element is loaded/stored once per call.
+        while j + 16 <= n {
+            let mut c0 = _mm256_loadu_pd(cp.add(j));
+            let mut c1 = _mm256_loadu_pd(cp.add(j + 4));
+            let mut c2 = _mm256_loadu_pd(cp.add(j + 8));
+            let mut c3 = _mm256_loadu_pd(cp.add(j + 12));
+            for p in 0..k {
+                let s = _mm256_set1_pd(alpha * *ap.add(p * a_stride));
+                let br = bp.add(p * ldb + j);
+                c0 = _mm256_fmadd_pd(_mm256_loadu_pd(br), s, c0);
+                c1 = _mm256_fmadd_pd(_mm256_loadu_pd(br.add(4)), s, c1);
+                c2 = _mm256_fmadd_pd(_mm256_loadu_pd(br.add(8)), s, c2);
+                c3 = _mm256_fmadd_pd(_mm256_loadu_pd(br.add(12)), s, c3);
+            }
+            _mm256_storeu_pd(cp.add(j), c0);
+            _mm256_storeu_pd(cp.add(j + 4), c1);
+            _mm256_storeu_pd(cp.add(j + 8), c2);
+            _mm256_storeu_pd(cp.add(j + 12), c3);
+            j += 16;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm256_loadu_pd(cp.add(j));
+            for p in 0..k {
+                let s = _mm256_set1_pd(alpha * *ap.add(p * a_stride));
+                c0 = _mm256_fmadd_pd(_mm256_loadu_pd(bp.add(p * ldb + j)), s, c0);
+            }
+            _mm256_storeu_pd(cp.add(j), c0);
+            j += 4;
+        }
+        // Remainder columns: scalar FMA, same rounding sequence.
+        while j < n {
+            let mut acc = *cp.add(j);
+            for p in 0..k {
+                acc = (*bp.add(p * ldb + j)).mul_add(alpha * *ap.add(p * a_stride), acc);
+            }
+            *cp.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// # Safety: as [`row_gemm_f64`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_gemm_f32(
+        c: &mut [f32],
+        k: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        ldb: usize,
+        alpha: f32,
+    ) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 32 <= n {
+            let mut c0 = _mm256_loadu_ps(cp.add(j));
+            let mut c1 = _mm256_loadu_ps(cp.add(j + 8));
+            let mut c2 = _mm256_loadu_ps(cp.add(j + 16));
+            let mut c3 = _mm256_loadu_ps(cp.add(j + 24));
+            for p in 0..k {
+                let s = _mm256_set1_ps(alpha * *ap.add(p * a_stride));
+                let br = bp.add(p * ldb + j);
+                c0 = _mm256_fmadd_ps(_mm256_loadu_ps(br), s, c0);
+                c1 = _mm256_fmadd_ps(_mm256_loadu_ps(br.add(8)), s, c1);
+                c2 = _mm256_fmadd_ps(_mm256_loadu_ps(br.add(16)), s, c2);
+                c3 = _mm256_fmadd_ps(_mm256_loadu_ps(br.add(24)), s, c3);
+            }
+            _mm256_storeu_ps(cp.add(j), c0);
+            _mm256_storeu_ps(cp.add(j + 8), c1);
+            _mm256_storeu_ps(cp.add(j + 16), c2);
+            _mm256_storeu_ps(cp.add(j + 24), c3);
+            j += 32;
+        }
+        while j + 8 <= n {
+            let mut c0 = _mm256_loadu_ps(cp.add(j));
+            for p in 0..k {
+                let s = _mm256_set1_ps(alpha * *ap.add(p * a_stride));
+                c0 = _mm256_fmadd_ps(_mm256_loadu_ps(bp.add(p * ldb + j)), s, c0);
+            }
+            _mm256_storeu_ps(cp.add(j), c0);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = *cp.add(j);
+            for p in 0..k {
+                acc = (*bp.add(p * ldb + j)).mul_add(alpha * *ap.add(p * a_stride), acc);
+            }
+            *cp.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// # Safety: caller guarantees avx2+fma and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut p = 0;
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        while p + 16 <= k {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(p)), _mm256_loadu_pd(bp.add(p)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(p + 4)),
+                _mm256_loadu_pd(bp.add(p + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(p + 8)),
+                _mm256_loadu_pd(bp.add(p + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(p + 12)),
+                _mm256_loadu_pd(bp.add(p + 12)),
+                acc3,
+            );
+            p += 16;
+        }
+        while p + 4 <= k {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(p)), _mm256_loadu_pd(bp.add(p)), acc0);
+            p += 4;
+        }
+        let acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+        let hi = _mm256_extractf128_pd::<1>(acc);
+        let lo = _mm256_castpd256_pd128(acc);
+        let sum2 = _mm_add_pd(lo, hi);
+        let mut out = _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+        while p < k {
+            out = (*ap.add(p)).mul_add(*bp.add(p), out);
+            p += 1;
+        }
+        out
+    }
+
+    /// # Safety: as [`dot_f64`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut p = 0;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        while p + 16 <= k {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(p)), _mm256_loadu_ps(bp.add(p)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(p + 8)),
+                _mm256_loadu_ps(bp.add(p + 8)),
+                acc1,
+            );
+            p += 16;
+        }
+        while p + 8 <= k {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(p)), _mm256_loadu_ps(bp.add(p)), acc0);
+            p += 8;
+        }
+        let acc = _mm256_add_ps(acc0, acc1);
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let lo = _mm256_castps256_ps128(acc);
+        let sum4 = _mm_add_ps(lo, hi);
+        let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+        let mut out = _mm_cvtss_f32(_mm_add_ss(sum2, _mm_shuffle_ps::<0b01>(sum2, sum2)));
+        while p < k {
+            out = (*ap.add(p)).mul_add(*bp.add(p), out);
+            p += 1;
+        }
+        out
+    }
+
+    /// # Safety: caller guarantees avx2+fma and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let s = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), s, _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), v);
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) = (*xp.add(i)).mul_add(alpha, *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety: as [`axpy_f64`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let s = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), s, _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), v);
+            i += 8;
+        }
+        while i < n {
+            *yp.add(i) = (*xp.add(i)).mul_add(alpha, *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety: caller guarantees avx2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_f64(x: &mut [f64], alpha: f64) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let s = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *xp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety: caller guarantees avx2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_f32(x: &mut [f32], alpha: f32) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let s = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(xp.add(i), _mm256_mul_ps(_mm256_loadu_ps(xp.add(i)), s));
+            i += 8;
+        }
+        while i < n {
+            *xp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// Cephes-style `exp` on 4 f64 lanes. Inputs must already be clamped
+    /// to a non-overflowing range (the tanh caller clamps to [0, 44]).
+    ///
+    /// # Safety: caller guarantees avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp_pd(x: __m256d) -> __m256d {
+        const LOG2E: f64 = std::f64::consts::LOG2_E;
+        // Cody–Waite split of ln 2 for exact argument reduction.
+        const C1: f64 = 6.931_457_519_531_25e-1;
+        const C2: f64 = 1.428_606_820_309_417_2e-6;
+        // Cephes rational coefficients: exp(r) = 1 + 2r·P(r²)/(Q(r²) − r·P(r²)).
+        const P0: f64 = 1.261_771_930_748_105_9e-4;
+        const P1: f64 = 3.029_944_077_074_419_6e-2;
+        const P2: f64 = 9.999_999_999_999_999_9e-1;
+        const Q0: f64 = 3.001_985_051_386_644_6e-6;
+        const Q1: f64 = 2.524_483_403_496_841e-3;
+        const Q2: f64 = 2.272_655_482_081_550_3e-1;
+        const Q3: f64 = 2.0;
+
+        let half = _mm256_set1_pd(0.5);
+        let n = _mm256_floor_pd(_mm256_fmadd_pd(x, _mm256_set1_pd(LOG2E), half));
+        // r = x − n·ln2, in two steps so the reduction is exact.
+        let mut r = _mm256_fnmadd_pd(n, _mm256_set1_pd(C1), x);
+        r = _mm256_fnmadd_pd(n, _mm256_set1_pd(C2), r);
+        let rr = _mm256_mul_pd(r, r);
+        let mut px = _mm256_set1_pd(P0);
+        px = _mm256_fmadd_pd(px, rr, _mm256_set1_pd(P1));
+        px = _mm256_fmadd_pd(px, rr, _mm256_set1_pd(P2));
+        px = _mm256_mul_pd(px, r);
+        let mut qx = _mm256_set1_pd(Q0);
+        qx = _mm256_fmadd_pd(qx, rr, _mm256_set1_pd(Q1));
+        qx = _mm256_fmadd_pd(qx, rr, _mm256_set1_pd(Q2));
+        qx = _mm256_fmadd_pd(qx, rr, _mm256_set1_pd(Q3));
+        let e = _mm256_fmadd_pd(
+            _mm256_set1_pd(2.0),
+            _mm256_div_pd(px, _mm256_sub_pd(qx, px)),
+            _mm256_set1_pd(1.0),
+        );
+        // Scale by 2^n: widen the i32 exponents to i64 and add into the
+        // exponent bits of 1.0.
+        let n_i32 = _mm256_cvtpd_epi32(n);
+        let n_i64 = _mm256_cvtepi32_epi64(n_i32);
+        let pow2 = _mm256_slli_epi64::<52>(_mm256_add_epi64(n_i64, _mm256_set1_epi64x(1023)));
+        _mm256_mul_pd(e, _mm256_castsi256_pd(pow2))
+    }
+
+    /// Fused tanh + gradient on f64 lanes: `tanh(x) = sign(x)·(e−1)/(e+1)`
+    /// with `e = exp(min(2|x|, 44))`. The clamp makes `±inf → ±1`; NaN
+    /// inputs are restored by a final unordered-compare blend.
+    ///
+    /// # Safety: caller guarantees avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_fused_f64(x: &[f64], t: &mut [f64], g: &mut [f64]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let tp = t.as_mut_ptr();
+        let gp = g.as_mut_ptr();
+        let sign_mask = _mm256_set1_pd(-0.0);
+        let one = _mm256_set1_pd(1.0);
+        let clamp = _mm256_set1_pd(44.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(xp.add(i));
+            let sign = _mm256_and_pd(v, sign_mask);
+            let av = _mm256_andnot_pd(sign_mask, v);
+            let z = _mm256_min_pd(_mm256_add_pd(av, av), clamp);
+            let e = exp_pd(z);
+            let r = _mm256_div_pd(_mm256_sub_pd(e, one), _mm256_add_pd(e, one));
+            let mut tv = _mm256_or_pd(r, sign);
+            // min() replaced NaN with the clamp value; put the NaN back.
+            let nan = _mm256_cmp_pd::<_CMP_UNORD_Q>(v, v);
+            tv = _mm256_blendv_pd(tv, v, nan);
+            _mm256_storeu_pd(tp.add(i), tv);
+            _mm256_storeu_pd(gp.add(i), _mm256_fnmadd_pd(tv, tv, one));
+            i += 4;
+        }
+        while i < n {
+            let tv = (*xp.add(i)).tanh();
+            *tp.add(i) = tv;
+            *gp.add(i) = 1.0 - tv * tv;
+            i += 1;
+        }
+    }
+
+    /// `exp` on 8 f32 lanes (classic `exp_ps` construction). Inputs must
+    /// be pre-clamped (the tanh caller clamps to [0, 20]).
+    ///
+    /// # Safety: caller guarantees avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp_ps(x: __m256) -> __m256 {
+        const LOG2E: f32 = std::f32::consts::LOG2_E;
+        const C1: f32 = 0.693_359_375;
+        const C2: f32 = -2.121_944_4e-4;
+        const P0: f32 = 1.987_569_2e-4;
+        const P1: f32 = 1.398_199_9e-3;
+        const P2: f32 = 8.333_452e-3;
+        const P3: f32 = 4.166_579_6e-2;
+        const P4: f32 = 1.666_666_6e-1;
+        const P5: f32 = 5.000_000_2e-1;
+
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let n = _mm256_floor_ps(_mm256_fmadd_ps(x, _mm256_set1_ps(LOG2E), half));
+        let mut r = _mm256_fnmadd_ps(n, _mm256_set1_ps(C1), x);
+        r = _mm256_fnmadd_ps(n, _mm256_set1_ps(C2), r);
+        let rr = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P1));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P2));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P4));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P5));
+        y = _mm256_fmadd_ps(y, rr, _mm256_add_ps(r, one));
+        let n_i32 = _mm256_cvtps_epi32(n);
+        let pow2 = _mm256_slli_epi32::<23>(_mm256_add_epi32(n_i32, _mm256_set1_epi32(127)));
+        _mm256_mul_ps(y, _mm256_castsi256_ps(pow2))
+    }
+
+    /// f32 variant of [`tanh_fused_f64`] (clamp at 20: past that the
+    /// ratio rounds to 1.0f32).
+    ///
+    /// # Safety: caller guarantees avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_fused_f32(x: &[f32], t: &mut [f32], g: &mut [f32]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let tp = t.as_mut_ptr();
+        let gp = g.as_mut_ptr();
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let one = _mm256_set1_ps(1.0);
+        let clamp = _mm256_set1_ps(20.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(xp.add(i));
+            let sign = _mm256_and_ps(v, sign_mask);
+            let av = _mm256_andnot_ps(sign_mask, v);
+            let z = _mm256_min_ps(_mm256_add_ps(av, av), clamp);
+            let e = exp_ps(z);
+            let r = _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+            let mut tv = _mm256_or_ps(r, sign);
+            let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(v, v);
+            tv = _mm256_blendv_ps(tv, v, nan);
+            _mm256_storeu_ps(tp.add(i), tv);
+            _mm256_storeu_ps(gp.add(i), _mm256_fnmadd_ps(tv, tv, one));
+            i += 8;
+        }
+        while i < n {
+            let tv = (*xp.add(i)).tanh();
+            *tp.add(i) = tv;
+            *gp.add(i) = 1.0 - tv * tv;
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON micro-kernels (aarch64; NEON is architecturally mandatory there)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use std::arch::aarch64::*;
+
+    /// # Safety: panel bounds checked by the dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn row_gemm_f64(
+        c: &mut [f64],
+        k: usize,
+        a: &[f64],
+        a_stride: usize,
+        b: &[f64],
+        ldb: usize,
+        alpha: f64,
+    ) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut c0 = vld1q_f64(cp.add(j));
+            let mut c1 = vld1q_f64(cp.add(j + 2));
+            for p in 0..k {
+                let s = vdupq_n_f64(alpha * *ap.add(p * a_stride));
+                let br = bp.add(p * ldb + j);
+                c0 = vfmaq_f64(c0, vld1q_f64(br), s);
+                c1 = vfmaq_f64(c1, vld1q_f64(br.add(2)), s);
+            }
+            vst1q_f64(cp.add(j), c0);
+            vst1q_f64(cp.add(j + 2), c1);
+            j += 4;
+        }
+        while j < n {
+            let mut acc = *cp.add(j);
+            for p in 0..k {
+                acc = (*bp.add(p * ldb + j)).mul_add(alpha * *ap.add(p * a_stride), acc);
+            }
+            *cp.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// # Safety: as [`row_gemm_f64`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn row_gemm_f32(
+        c: &mut [f32],
+        k: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        ldb: usize,
+        alpha: f32,
+    ) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut c0 = vld1q_f32(cp.add(j));
+            let mut c1 = vld1q_f32(cp.add(j + 4));
+            for p in 0..k {
+                let s = vdupq_n_f32(alpha * *ap.add(p * a_stride));
+                let br = bp.add(p * ldb + j);
+                c0 = vfmaq_f32(c0, vld1q_f32(br), s);
+                c1 = vfmaq_f32(c1, vld1q_f32(br.add(4)), s);
+            }
+            vst1q_f32(cp.add(j), c0);
+            vst1q_f32(cp.add(j + 4), c1);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = *cp.add(j);
+            for p in 0..k {
+                acc = (*bp.add(p * ldb + j)).mul_add(alpha * *ap.add(p * a_stride), acc);
+            }
+            *cp.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// # Safety: `a.len() == b.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut p = 0;
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        while p + 4 <= k {
+            acc0 = vfmaq_f64(acc0, vld1q_f64(ap.add(p)), vld1q_f64(bp.add(p)));
+            acc1 = vfmaq_f64(acc1, vld1q_f64(ap.add(p + 2)), vld1q_f64(bp.add(p + 2)));
+            p += 4;
+        }
+        let mut out = vaddvq_f64(vaddq_f64(acc0, acc1));
+        while p < k {
+            out = (*ap.add(p)).mul_add(*bp.add(p), out);
+            p += 1;
+        }
+        out
+    }
+
+    /// # Safety: as [`dot_f64`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut p = 0;
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        while p + 8 <= k {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(p)), vld1q_f32(bp.add(p)));
+            acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(p + 4)), vld1q_f32(bp.add(p + 4)));
+            p += 8;
+        }
+        let mut out = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while p < k {
+            out = (*ap.add(p)).mul_add(*bp.add(p), out);
+            p += 1;
+        }
+        out
+    }
+
+    /// # Safety: `x.len() == y.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let s = vdupq_n_f64(alpha);
+        let mut i = 0;
+        while i + 2 <= n {
+            vst1q_f64(yp.add(i), vfmaq_f64(vld1q_f64(yp.add(i)), vld1q_f64(xp.add(i)), s));
+            i += 2;
+        }
+        while i < n {
+            *yp.add(i) = (*xp.add(i)).mul_add(alpha, *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety: as [`axpy_f64`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let s = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            vst1q_f32(yp.add(i), vfmaq_f32(vld1q_f32(yp.add(i)), vld1q_f32(xp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) = (*xp.add(i)).mul_add(alpha, *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety: caller is on aarch64 (NEON mandatory).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn scale_f64(x: &mut [f64], alpha: f64) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let s = vdupq_n_f64(alpha);
+        let mut i = 0;
+        while i + 2 <= n {
+            vst1q_f64(xp.add(i), vmulq_f64(vld1q_f64(xp.add(i)), s));
+            i += 2;
+        }
+        while i < n {
+            *xp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety: caller is on aarch64 (NEON mandatory).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn scale_f32(x: &mut [f32], alpha: f32) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let s = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            vst1q_f32(xp.add(i), vmulq_f32(vld1q_f32(xp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *xp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn vec_f64(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n).map(|_| lcg(&mut s) * 3.0).collect()
+    }
+
+    #[test]
+    fn dispatch_honors_scalar_and_detection() {
+        let avail = available();
+        assert_eq!(avail[0], Backend::Scalar);
+        // `active()` must be one of the available backends.
+        assert!(avail.contains(&active()));
+    }
+
+    /// Satellite 5: feature-matrix test — every available vector backend
+    /// must agree with scalar across odd shapes that exercise every
+    /// remainder-lane path (f64: < 1e-12; f32: < 1e-5).
+    #[test]
+    fn feature_matrix_scalar_vs_vector_f64() {
+        for backend in available() {
+            // Odd k and n hit the 16/4/1 (f64) tile remainders.
+            for &(k, n) in &[(1usize, 1usize), (3, 5), (7, 16), (13, 17), (31, 37), (64, 64)] {
+                let a = vec_f64(k, 1 + k as u64);
+                let b = vec_f64(k * n, 2 + n as u64);
+                let mut c_s = vec_f64(n, 3);
+                let mut c_v = c_s.clone();
+                row_gemm_with(Backend::Scalar, &mut c_s, &a, &b, n, 1.25);
+                row_gemm_with(backend, &mut c_v, &a, &b, n, 1.25);
+                let d = c_s
+                    .iter()
+                    .zip(&c_v)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
+                assert!(d < 1e-12, "{backend:?} row_gemm {k}x{n}: {d}");
+
+                let ds = dot_with(Backend::Scalar, &a, &vec_f64(k, 9));
+                let dv = dot_with(backend, &a, &vec_f64(k, 9));
+                assert!((ds - dv).abs() < 1e-12, "{backend:?} dot k={k}");
+
+                let mut y_s = vec_f64(n, 4);
+                let mut y_v = y_s.clone();
+                axpy_with(Backend::Scalar, -0.75, &c_s, &mut y_s);
+                axpy_with(backend, -0.75, &c_s, &mut y_v);
+                assert_eq!(y_s, y_v, "{backend:?} axpy must be bit-identical");
+
+                let mut x_s = vec_f64(n, 5);
+                let mut x_v = x_s.clone();
+                scale_with(Backend::Scalar, &mut x_s, 0.37);
+                scale_with(backend, &mut x_v, 0.37);
+                assert_eq!(x_s, x_v, "{backend:?} scale must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_matrix_scalar_vs_vector_f32() {
+        for backend in available() {
+            for &(k, n) in &[(1usize, 3usize), (5, 9), (17, 33), (40, 37)] {
+                let a: Vec<f32> = vec_f64(k, 11).iter().map(|&v| v as f32).collect();
+                let b: Vec<f32> = vec_f64(k * n, 12).iter().map(|&v| v as f32).collect();
+                let mut c_s: Vec<f32> = vec_f64(n, 13).iter().map(|&v| v as f32).collect();
+                let mut c_v = c_s.clone();
+                row_gemm_with(Backend::Scalar, &mut c_s, &a, &b, n, 0.5f32);
+                row_gemm_with(backend, &mut c_v, &a, &b, n, 0.5f32);
+                let d = c_s
+                    .iter()
+                    .zip(&c_v)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(d < 1e-5, "{backend:?} f32 row_gemm {k}x{n}: {d}");
+
+                let b2: Vec<f32> = vec_f64(k, 14).iter().map(|&v| v as f32).collect();
+                let ds = dot_with(Backend::Scalar, &a, &b2);
+                let dv = dot_with(backend, &a, &b2);
+                assert!((ds - dv).abs() < 1e-5, "{backend:?} f32 dot k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_matrix_tanh() {
+        // Include large, tiny, negative, and remainder-lane counts.
+        let mut x = vec_f64(37, 21);
+        x.extend_from_slice(&[0.0, -0.0, 1e-300, -25.0, 25.0, 700.0, -700.0]);
+        for backend in available() {
+            let mut t_s = vec![0.0; x.len()];
+            let mut g_s = vec![0.0; x.len()];
+            let mut t_v = t_s.clone();
+            let mut g_v = g_s.clone();
+            tanh_fused_with(Backend::Scalar, &x, &mut t_s, &mut g_s);
+            tanh_fused_with(backend, &x, &mut t_v, &mut g_v);
+            for i in 0..x.len() {
+                assert!(
+                    (t_s[i] - t_v[i]).abs() < 1e-12,
+                    "{backend:?} tanh({}) = {} vs {}",
+                    x[i],
+                    t_v[i],
+                    t_s[i]
+                );
+                assert!((g_s[i] - g_v[i]).abs() < 1e-12, "{backend:?} grad({})", x[i]);
+            }
+            // f32 lanes too.
+            let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            let mut t32 = vec![0.0f32; x32.len()];
+            let mut g32 = vec![0.0f32; x32.len()];
+            tanh_fused_with(backend, &x32, &mut t32, &mut g32);
+            for i in 0..x32.len() {
+                assert!(
+                    (t32[i] - x32[i].tanh()).abs() < 1e-5,
+                    "{backend:?} f32 tanh({})",
+                    x32[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_propagates_non_finite() {
+        let x = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5, -0.5, 1.0, 2.0, -3.0];
+        for backend in available() {
+            let mut t = vec![0.0; x.len()];
+            let mut g = vec![0.0; x.len()];
+            tanh_fused_with(backend, &x, &mut t, &mut g);
+            assert!(t[0].is_nan(), "{backend:?}: tanh(NaN) must be NaN");
+            assert!(g[0].is_nan(), "{backend:?}: grad(NaN) must be NaN");
+            assert_eq!(t[1], 1.0, "{backend:?}: tanh(inf) = 1");
+            assert_eq!(t[2], -1.0, "{backend:?}: tanh(-inf) = -1");
+        }
+    }
+
+    #[test]
+    fn row_gemm_propagates_non_finite() {
+        // a contains a zero; B contains inf/NaN in that row. The product
+        // must be NaN (0·inf), not the old accumulator (the zero-skip bug).
+        for backend in available() {
+            let a = [0.0, 1.0];
+            let b = [f64::INFINITY, f64::NAN, 2.0, 3.0];
+            let mut c = [1.0, 1.0];
+            row_gemm_with(backend, &mut c, &a, &b, 2, 1.0);
+            assert!(c[0].is_nan(), "{backend:?}: 0·inf must poison the output");
+            assert!(c[1].is_nan(), "{backend:?}: NaN in B must propagate");
+        }
+    }
+
+    #[test]
+    fn strided_a_matches_materialized_transpose() {
+        // Column access of a 7x3 A (stride 3) == contiguous column copy.
+        let a = vec_f64(21, 31);
+        let b = vec_f64(7 * 5, 32);
+        for backend in available() {
+            for col in 0..3 {
+                let a_col: Vec<f64> = (0..7).map(|p| a[p * 3 + col]).collect();
+                let mut c_ref = vec_f64(5, 33);
+                let mut c_strided = c_ref.clone();
+                row_gemm_with(backend, &mut c_ref, &a_col, &b, 5, 1.0);
+                row_gemm_strided_with(backend, &mut c_strided, 7, &a[col..], 3, &b, 5, 1.0);
+                assert_eq!(c_ref, c_strided, "{backend:?} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_rows_matches_per_dot() {
+        let a = vec_f64(13, 41);
+        let b = vec_f64(6 * 13, 42);
+        for backend in available() {
+            let mut c = vec![0.0; 6];
+            dot_rows_with(backend, &mut c, &a, &b, 13);
+            for j in 0..6 {
+                let want = dot_with(backend, &a, &b[j * 13..(j + 1) * 13]);
+                assert_eq!(c[j], want, "{backend:?} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_forces_scalar() {
+        // `active()` caches, so test the resolution logic directly via a
+        // child-process-free proxy: the match arms in `active` are pure
+        // string dispatch; here we only pin that "off"/"0"/"scalar" are
+        // the accepted spellings (the CI step sets DPMD_SIMD=off).
+        for s in ["off", "0", "scalar"] {
+            let req = s.to_ascii_lowercase();
+            let forced = matches!(req.as_str(), "off" | "0" | "scalar");
+            assert!(forced);
+        }
+    }
+}

@@ -66,8 +66,10 @@ proptest! {
     fn fused_tanh_equals_baseline(x in matrix_strategy(12)) {
         let (t0, g0) = tanh_then_grad_baseline(&x);
         let (t1, g1) = tanh_fused(&x);
-        prop_assert!(t0.max_abs_diff(&t1) < 1e-14);
-        prop_assert!(g0.max_abs_diff(&g1) < 1e-14);
+        // 1e-13: the SIMD tanh (Cephes exp) is a few ULPs off std tanh —
+        // the documented tolerance-gated deviation of the vector path.
+        prop_assert!(t0.max_abs_diff(&t1) < 1e-13);
+        prop_assert!(g0.max_abs_diff(&g1) < 1e-13);
     }
 
     #[test]

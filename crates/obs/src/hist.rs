@@ -45,7 +45,9 @@ impl Default for Histogram {
 }
 
 /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`, with the
-/// top bucket saturating (values >= 2^63 fold into bucket 63).
+/// top bucket saturating: every value `>= 2^62` folds into bucket 63
+/// (`64 - leading_zeros` is 63 already at `2^62`, and the `.min` clamp
+/// holds it there for everything larger — matching the module doc).
 #[inline]
 pub fn bucket_of(value: u64) -> usize {
     if value == 0 {
@@ -279,6 +281,26 @@ mod tests {
         assert_eq!(bucket_of(u64::MAX), 63);
         assert_eq!(bucket_hi(0), 0);
         assert_eq!(bucket_hi(3), 7);
+        assert_eq!(bucket_hi(63), u64::MAX);
+    }
+
+    #[test]
+    fn saturation_boundary_is_2_pow_62() {
+        // Pins the reconciled doc: 2^62 - 1 is the last unsaturated
+        // value; 2^62, 2^63 - 1, 2^63 and everything above share the
+        // absorbing top bucket. The per-bucket invariant
+        // `[2^(i-1), 2^i)` holds for every non-saturated bucket.
+        assert_eq!(bucket_of((1u64 << 62) - 1), 62);
+        assert_eq!(bucket_of(1u64 << 62), 63);
+        assert_eq!(bucket_of((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_of(1u64 << 63), 63);
+        assert_eq!(bucket_of((1u64 << 63) + 1), 63);
+        for i in 1..62usize {
+            assert_eq!(bucket_of(1u64 << (i - 1)), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_of((1u64 << i) - 1), i, "upper edge of bucket {i}");
+        }
+        // bucket_hi stays consistent with the saturated top bucket
+        assert_eq!(bucket_hi(62), (1u64 << 62) - 1);
         assert_eq!(bucket_hi(63), u64::MAX);
     }
 

@@ -73,6 +73,12 @@ for e in examples/*.rs; do
     $RUSTC --crate-name "ex_$(basename "$e" .rs)" "$e" $EXTERNS_ALL
 done
 
+echo "== benches (compile)"
+$RUSTC --crate-type rlib --crate-name criterion tools/stubs/criterion.rs
+for b in crates/*/benches/*.rs; do
+    $RUSTC --crate-name "bench_$(basename "$b" .rs)" "$b" $EXTERNS_ALL $(ext criterion)
+done
+
 echo "== unit tests"
 $RUSTC --test --crate-name dp_obs_t crates/obs/src/lib.rs
 $RUSTC --test --crate-name dp_serve_t crates/serve/src/lib.rs $(ext dp_obs)

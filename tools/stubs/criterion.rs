@@ -1,0 +1,114 @@
+//! Offline stub for `criterion` (see README.md): the exact API surface
+//! the workspace benches use, so they can be *compiled* (and smoke-run)
+//! with plain rustc. Each benchmark body executes a handful of times
+//! under coarse wall-clock timing — no warm-up, no statistics; the point
+//! is keeping the bench sources type-checked offline, not measurement.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+const STUB_ITERS: u32 = 3;
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+    }
+}
+
+fn run_one(group: &str, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: STUB_ITERS };
+    let start = Instant::now();
+    f(&mut b);
+    eprintln!(
+        "stub-bench {group}/{id}: {:?} for {STUB_ITERS} iters",
+        start.elapsed()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

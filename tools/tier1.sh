@@ -9,7 +9,12 @@
 #     equal, and the stdout reports must match line-for-line.
 #  2. Bench gate — a fresh `bench_dpmd` run compared against the
 #     committed BENCH_dpmd.json with `benchcheck --compare --tol`, which
-#     also gates the ensemble row's `speedup_vs_serial`.
+#     also gates the ensemble row's `speedup_vs_serial` and the kernel
+#     ablation row's scalar-vs-SIMD speedup (a dispatch regression that
+#     silently drops the vector path fails here).
+#  3. Scalar-path suite — the linalg tests rerun with `DPMD_SIMD=off`,
+#     so the scalar fallback stays a tested correctness baseline on
+#     hosts whose CI otherwise always takes the SIMD path.
 #
 # Run from anywhere; it cds to the repo root. CI calls this after the
 # workspace tests, but it is also the one-command local gate.
@@ -81,5 +86,9 @@ echo "tier1: ensemble smoke OK (8 replicas, 7 deterministic swap attempts)"
 "$BENCH" --out "$TMP/BENCH_new.json"
 "$CHECK" "$TMP/BENCH_new.json"
 "$CHECK" --compare BENCH_dpmd.json "$TMP/BENCH_new.json" --tol 3.0
+
+# --- 3. scalar-path suite: SIMD dispatch forced off ---
+DPMD_SIMD=off cargo test -q -p dp-linalg
+echo "tier1: scalar-path linalg suite OK (DPMD_SIMD=off)"
 
 echo "tier1: OK"
