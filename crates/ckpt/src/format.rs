@@ -42,6 +42,8 @@ pub const FORMAT_VERSION: u32 = 1;
 pub const KIND_MD: u32 = 1;
 /// Payload kind for training state (net weights + Adam moments).
 pub const KIND_TRAIN: u32 = 2;
+/// Payload kind for one rank's domain shard (localized recovery).
+pub const KIND_SHARD: u32 = 3;
 
 /// In-memory builder for one checkpoint file.
 #[derive(Debug, Clone)]

@@ -21,10 +21,12 @@ pub mod codec;
 pub mod crc32;
 pub mod format;
 pub mod rotation;
+pub mod shard;
 
 pub use codec::{Dec, Enc};
-pub use format::{CkptReader, CkptWriter, FORMAT_VERSION, KIND_MD, KIND_TRAIN, MAGIC};
+pub use format::{CkptReader, CkptWriter, FORMAT_VERSION, KIND_MD, KIND_SHARD, KIND_TRAIN, MAGIC};
 pub use rotation::Rotation;
+pub use shard::ShardSet;
 
 /// Everything that can go wrong loading a checkpoint.
 #[derive(Debug)]

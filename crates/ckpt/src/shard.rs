@@ -1,0 +1,130 @@
+//! Per-rank checkpoint shards.
+//!
+//! The global container ([`crate::rotation`]) gathers every atom to rank 0
+//! and writes one file — the right artifact for restarting a whole run,
+//! and the wrong one for restarting a *single rank*: localized recovery
+//! (dp-parallel) respawns only the dead rank and must reconstruct just
+//! its domain. A [`ShardSet`] holds one small file per rank slot, written
+//! by that rank itself at every checkpoint step with the same atomic
+//! tmp + fsync + rename discipline as the global container, so the
+//! supervisor can reload a dead rank's last domain without touching any
+//! survivor's state or the global file.
+//!
+//! Shards are a *cache*, not the system of record: a torn or corrupt
+//! shard merely fails localized recovery, and the supervisor escalates to
+//! the global rotation. Hence no generation rotation here — one file per
+//! rank, always the newest, validated (magic, version, CRC, kind) on
+//! load exactly like every other checkpoint.
+
+use crate::format::{CkptReader, CkptWriter, KIND_SHARD};
+use crate::CkptError;
+use std::path::{Path, PathBuf};
+
+/// One per-rank shard file per rank slot, named `<base>.rank<r>`.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    base: PathBuf,
+}
+
+impl ShardSet {
+    pub fn new(base: impl Into<PathBuf>) -> Self {
+        Self { base: base.into() }
+    }
+
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Path of rank `rank`'s shard file.
+    pub fn path(&self, rank: usize) -> PathBuf {
+        let mut name = self.base.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".rank{rank}"));
+        self.base.with_file_name(name)
+    }
+
+    /// Atomically write rank `rank`'s shard. The writer's kind must be
+    /// [`KIND_SHARD`]; creating the parent directory is handled here so
+    /// rank threads need no setup coordination.
+    pub fn save(&self, rank: usize, w: &CkptWriter) -> std::io::Result<PathBuf> {
+        let path = self.path(rank);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        w.write_atomic(&path)?;
+        Ok(path)
+    }
+
+    /// Load and validate rank `rank`'s shard (magic, version, section
+    /// CRCs, payload kind). Any failure is typed — the caller decides
+    /// whether to escalate to the global rotation.
+    pub fn load(&self, rank: usize) -> Result<CkptReader, CkptError> {
+        let r = CkptReader::load(&self.path(rank))?;
+        r.expect_kind(KIND_SHARD)?;
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dp-ckpt-shard-{name}"));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> CkptWriter {
+        let mut w = CkptWriter::new(KIND_SHARD);
+        w.add_section(*b"META", vec![7, 7, 7]);
+        w
+    }
+
+    #[test]
+    fn per_rank_paths_are_distinct() {
+        let set = ShardSet::new("/tmp/run.ckpt");
+        assert_eq!(set.path(0), PathBuf::from("/tmp/run.ckpt.rank0"));
+        assert_eq!(set.path(12), PathBuf::from("/tmp/run.ckpt.rank12"));
+    }
+
+    #[test]
+    fn save_load_roundtrip_per_rank() {
+        let set = ShardSet::new(dir("roundtrip").join("run.ckpt"));
+        for rank in 0..3 {
+            let mut w = CkptWriter::new(KIND_SHARD);
+            w.add_section(*b"META", vec![rank as u8]);
+            set.save(rank, &w).unwrap();
+        }
+        for rank in 0..3 {
+            let r = set.load(rank).unwrap();
+            assert_eq!(r.section(*b"META").unwrap(), &[rank as u8]);
+        }
+    }
+
+    #[test]
+    fn missing_shard_is_typed_io_error() {
+        let set = ShardSet::new(dir("missing").join("run.ckpt"));
+        assert!(matches!(set.load(5), Err(CkptError::Io(_))));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let set = ShardSet::new(dir("kind").join("run.ckpt"));
+        let mut w = CkptWriter::new(crate::format::KIND_MD);
+        w.add_section(*b"META", vec![1]);
+        set.save(0, &w).unwrap();
+        assert!(matches!(set.load(0), Err(CkptError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn torn_shard_is_detected() {
+        let set = ShardSet::new(dir("torn").join("run.ckpt"));
+        let path = set.save(1, &sample()).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+        assert!(matches!(set.load(1), Err(CkptError::Truncated)));
+    }
+}

@@ -34,6 +34,9 @@ pub const HTTP_ERRORS: &str = "serve.http.errors";
 pub const HTTP_LATENCY_US: &str = "serve.http.latency_us";
 pub const EVAL_REQUESTS: &str = "serve.eval.requests";
 pub const EVAL_REJECTED: &str = "serve.eval.rejected";
+/// Evals bounced at admission because the estimated queue wait (from the
+/// `serve.eval.wait_us` histogram) exceeded the request's `deadline_ms`.
+pub const EVAL_DEADLINE_REJECTED: &str = "serve.eval.deadline_rejected";
 pub const EVAL_BATCHES: &str = "serve.eval.batches";
 pub const EVAL_COALESCED: &str = "serve.eval.coalesced";
 pub const EVAL_BATCHED_REQUESTS: &str = "serve.eval.batched_requests";
@@ -105,6 +108,7 @@ mod tests {
             HTTP_LATENCY_US,
             EVAL_REQUESTS,
             EVAL_REJECTED,
+            EVAL_DEADLINE_REJECTED,
             EVAL_BATCHES,
             EVAL_COALESCED,
             EVAL_BATCHED_REQUESTS,

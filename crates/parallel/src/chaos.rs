@@ -21,7 +21,7 @@
 //! never communicates simply never fires its fault; chaos promises at
 //! *most* `max_failures()` failed epochs, not an exact count.
 
-use crate::fault::{DelaySpec, FaultPlan, KillSpec, MsgSelector};
+use crate::fault::{DelaySpec, FaultPlan, KillSpec, MsgSelector, ShardTear};
 use std::time::Duration;
 
 /// Conservative upper bound on point-to-point messages one pair sends
@@ -55,6 +55,43 @@ impl Default for ChaosSpec {
             drops: 0,
             delays: 0,
             max_delay_ms: 50,
+        }
+    }
+}
+
+/// What a `chaos_soak` deck key asks for: a chaos schedule plus the
+/// soak-specific stimuli and checks — torn per-rank shard writes (which
+/// force the localized-recovery tier to escalate to the global rotation)
+/// and a periodic invariant audit stride. Soak runs should enable
+/// per-rank shards so kills exercise localized recovery first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakSpec {
+    /// The schedule seed; same seed + same run shape = same schedule.
+    pub seed: u64,
+    /// Scheduled one-shot rank kills.
+    pub kills: usize,
+    /// Scheduled one-shot message drops.
+    pub drops: usize,
+    /// Scheduled one-shot message delays.
+    pub delays: usize,
+    /// Scheduled one-shot per-rank shard tears (at checkpoint steps).
+    pub torn_shards: usize,
+    /// Upper bound on each scheduled delay, milliseconds.
+    pub max_delay_ms: u64,
+    /// Invariant audit stride in steps (0 disables the auditor).
+    pub audit_every: usize,
+}
+
+impl Default for SoakSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            kills: 0,
+            drops: 0,
+            delays: 0,
+            torn_shards: 0,
+            max_delay_ms: 50,
+            audit_every: 10,
         }
     }
 }
@@ -186,6 +223,48 @@ pub fn expand_chaos(
     Ok(plan)
 }
 
+/// Expand a soak spec: a chaos schedule (same stream as [`expand_chaos`]
+/// for the shared fields, so a plain chaos deck and a soak deck with the
+/// same seed agree on kills/drops/delays) plus scheduled per-rank shard
+/// tears at checkpoint steps. The audit stride is carried on the spec, not
+/// the plan — the caller wires it into the driver options.
+pub fn expand_soak(
+    spec: &SoakSpec,
+    n_ranks: usize,
+    end_step: usize,
+    ckpt_every: usize,
+) -> Result<FaultPlan, String> {
+    let chaos = ChaosSpec {
+        seed: spec.seed,
+        kills: spec.kills,
+        drops: spec.drops,
+        delays: spec.delays,
+        max_delay_ms: spec.max_delay_ms,
+    };
+    let mut plan = expand_chaos(&chaos, n_ranks, end_step, ckpt_every)?;
+    if spec.torn_shards > 0 {
+        if ckpt_every == 0 {
+            return Err("soak shard tears need checkpoint_every > 0 (shards are written at checkpoint steps)".into());
+        }
+        let n_ckpts = end_step / ckpt_every;
+        if n_ckpts == 0 {
+            return Err(format!(
+                "soak shard tears need at least one checkpoint step (steps {end_step}, checkpoint_every {ckpt_every})"
+            ));
+        }
+        // A distinct stream: adding shard tears must not reshuffle the
+        // kills/drops/delays the shared seed already determined.
+        let mut rng = SplitMix64(spec.seed ^ 0x5a4d_7ea2_u64);
+        for _ in 0..spec.torn_shards {
+            plan.torn_shards.push(ShardTear {
+                rank: rng.below(n_ranks as u64) as usize,
+                step: (1 + rng.below(n_ckpts as u64) as usize) * ckpt_every,
+            });
+        }
+    }
+    Ok(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +349,50 @@ mod tests {
     fn retry_budget_covers_the_whole_schedule() {
         let plan = expand_chaos(&spec(), 4, 100, 10).unwrap();
         assert_eq!(plan.max_failures(), 3 + 2 + 2);
+    }
+
+    fn soak_spec() -> SoakSpec {
+        SoakSpec {
+            seed: 42,
+            kills: 3,
+            drops: 2,
+            delays: 2,
+            torn_shards: 2,
+            max_delay_ms: 20,
+            audit_every: 10,
+        }
+    }
+
+    #[test]
+    fn soak_is_deterministic_and_extends_chaos() {
+        let a = expand_soak(&soak_spec(), 4, 100, 10).unwrap();
+        let b = expand_soak(&soak_spec(), 4, 100, 10).unwrap();
+        assert_eq!(a, b, "soak expansion must be deterministic");
+        // same seed: the chaos part of the schedule is unchanged
+        let chaos = expand_chaos(&spec(), 4, 100, 10).unwrap();
+        assert_eq!(a.kills, chaos.kills);
+        assert_eq!(a.drops, chaos.drops);
+        assert_eq!(a.delays, chaos.delays);
+        assert_eq!(a.torn_shards.len(), 2);
+    }
+
+    #[test]
+    fn soak_shard_tears_land_on_checkpoint_steps() {
+        for seed in 0..50 {
+            let plan =
+                expand_soak(&SoakSpec { seed, ..soak_spec() }, 3, 80, 10).unwrap();
+            for t in &plan.torn_shards {
+                assert!(t.rank < 3);
+                assert!(t.step % 10 == 0 && t.step > 0 && t.step <= 80,
+                    "shard tear step {} is not a checkpoint step", t.step);
+            }
+        }
+    }
+
+    #[test]
+    fn soak_shard_tears_require_checkpointing() {
+        let s = SoakSpec { kills: 0, drops: 0, delays: 0, ..soak_spec() };
+        assert!(expand_soak(&s, 4, 100, 0).is_err());
+        assert!(expand_soak(&s, 4, 5, 10).is_err(), "no checkpoint step in range");
     }
 }

@@ -154,6 +154,10 @@ pub struct RankComm {
     send_seq: Vec<AtomicU64>,
     /// Next expected sequence number per source.
     recv_seq: Vec<AtomicU64>,
+    /// Sequence gaps/inversions this endpoint has detected (each one also
+    /// surfaced as a [`CommError::Protocol`]); the soak-mode invariant
+    /// auditor asserts this stays zero on a healthy mesh.
+    seq_gaps: AtomicU64,
     /// Fault-injection hooks; `None` in production (one branch per send).
     faults: Option<Arc<FaultState>>,
 }
@@ -195,6 +199,7 @@ impl RankComm {
                 deadline,
                 send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 recv_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                seq_gaps: AtomicU64::new(0),
                 faults: faults.clone(),
             });
         }
@@ -252,12 +257,18 @@ impl RankComm {
         let expected = self.recv_seq[src].fetch_add(1, Ordering::Relaxed);
         if envelope.seq != expected {
             dp_obs::counter("comm.seq_gap").add(1);
+            self.seq_gaps.fetch_add(1, Ordering::Relaxed);
             return Err(CommError::Protocol {
                 from: src,
                 expected: "the next message sequence number (a message was lost or reordered)",
             });
         }
         Ok(envelope.msg)
+    }
+
+    /// Sequence gaps this endpoint has detected so far (see `seq_gaps`).
+    pub fn seq_gap_count(&self) -> u64 {
+        self.seq_gaps.load(Ordering::Relaxed)
     }
 }
 
@@ -433,6 +444,19 @@ impl Allreduce {
         let mut st = self.state.lock();
         st.poisoned = Some(rank);
         self.cv.notify_all();
+    }
+
+    /// Clear the poison and re-arm the barrier for reuse after a localized
+    /// recovery. Only sound once every rank is quiescent (the supervisor
+    /// calls this at the recovery barrier, when the dead rank's thread has
+    /// exited and every survivor is parked outside any reduction): the
+    /// generation bump would otherwise release a stale waiter with a
+    /// half-built result.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = None;
+        st.arrived = 0;
+        st.generation += 1;
     }
 
     /// Number of completed reductions.

@@ -49,11 +49,14 @@
 use crate::comm::{Allreduce, CkptAtom, CommError, GhostAtom, Migrant, Msg, RankComm};
 use crate::fault::{self, FaultPlan, FaultState};
 use crate::grid::DomainGrid;
-use dp_ckpt::{CkptError, Rotation};
+use crate::shard::RankShard;
+use crossbeam::channel::{unbounded, Sender};
+use dp_ckpt::{CkptError, Rotation, ShardSet};
 use dp_md::checkpoint::MdCheckpoint;
 use dp_md::integrate::{MdOptions, MdProgress, ThermoSample};
 use dp_md::{units, NeighborList, NlScratch, Potential, PotentialOutput, System};
 use dp_obs::{ImbalanceReport, Registry};
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -72,6 +75,12 @@ pub struct ParallelCkpt {
     pub every: usize,
     /// Rotation the gathered snapshots are written into (by rank 0).
     pub rotation: Rotation,
+    /// Also write one per-rank domain shard (`<base>.rank<r>`) at every
+    /// checkpoint step. Shards enable the *localized* recovery tier: a
+    /// single dead rank is respawned from its own shard while the
+    /// survivors rewind in memory, instead of tearing the whole epoch
+    /// down and reloading the global checkpoint.
+    pub shards: bool,
 }
 
 /// Options for a parallel run.
@@ -110,6 +119,18 @@ pub struct ParallelOptions {
     /// one-line §7.3-style breakdown, also emitted into the metrics
     /// stream as an `imbalance_heartbeat` event. 0 disables (default).
     pub report_every: usize,
+    /// How many localized (shard-based, in-epoch) recoveries the
+    /// supervisor may perform per epoch before escalating to a global
+    /// checkpoint reload. Only meaningful with [`ParallelCkpt::shards`].
+    pub max_local_recoveries: usize,
+    /// Invariant-audit stride: every `audit_every` steps the ranks run a
+    /// collective conservation audit (atom-count conservation across
+    /// migrate/re-scatter, ghost/owner consistency, monotone and uniform
+    /// step counters, seq-gap-free comm) over a dedicated allreduce. A
+    /// violation fails the run fast with a typed [`RunError::Audit`] —
+    /// it is evidence of corruption, so it is deliberately *not*
+    /// recoverable. 0 disables (default).
+    pub audit_every: usize,
 }
 
 impl Default for ParallelOptions {
@@ -124,7 +145,36 @@ impl Default for ParallelOptions {
             max_recoveries: 2,
             comm_deadline: crate::comm::DEFAULT_DEADLINE,
             report_every: 0,
+            max_local_recoveries: 8,
+            audit_every: 0,
         }
+    }
+}
+
+/// A conservation-class invariant the periodic auditor found violated.
+/// Carried through [`RunError::Audit`]; an audit failure means the live
+/// state can no longer be trusted, so the supervisor fails fast instead
+/// of recovering over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// Rank that detected the violation (every rank sees the same
+    /// reduced totals, so this is simply the first reporter).
+    pub rank: usize,
+    /// Absolute step of the audit.
+    pub step: usize,
+    /// Which invariant failed (`atom_count`, `ghost_owner`,
+    /// `step_monotone`, `step_uniform`, `seq_gap`).
+    pub check: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant audit '{}' failed on rank {} at step {}: {}",
+            self.check, self.rank, self.step, self.detail
+        )
     }
 }
 
@@ -141,6 +191,10 @@ pub enum RunError {
     Recovery { failure: String, source: CkptError },
     /// The supervisor recovered `attempts` times and the run still failed.
     RetriesExhausted { attempts: usize, last: String },
+    /// The periodic invariant auditor found a conservation-class
+    /// violation. Never recovered from: corrupted state must not be
+    /// checkpointed over.
+    Audit { failure: AuditFailure },
 }
 
 impl std::fmt::Display for RunError {
@@ -159,6 +213,7 @@ impl std::fmt::Display for RunError {
                     "retries exhausted after {attempts} recoveries; last failure: {last}"
                 )
             }
+            RunError::Audit { failure } => write!(f, "{failure}"),
         }
     }
 }
@@ -185,6 +240,8 @@ pub struct RankStats {
     pub compute_time: Duration,
     pub comm_time: Duration,
     pub reduce_time: Duration,
+    /// Invariant audits this rank completed successfully.
+    pub audits_passed: usize,
 }
 
 /// Result of a parallel run.
@@ -198,8 +255,13 @@ pub struct ParallelRun {
     pub system: System,
     /// Completed thermo reductions (allreduce traffic indicator).
     pub reduce_operations: u64,
-    /// Epochs the supervisor recovered from (0 for a clean run).
+    /// Epochs the supervisor recovered from via a *global* checkpoint
+    /// reload (0 for a clean run).
     pub recoveries: usize,
+    /// Rank deaths the supervisor absorbed *inside* an epoch by
+    /// respawning the dead rank from its per-rank shard while the
+    /// survivors rewound in memory (the localized recovery tier).
+    pub local_recoveries: usize,
     /// Checkpoint generation each recovery reloaded, in order. A path
     /// with a `.1`/`.2` suffix means the newest generation was unusable
     /// and the rotation fell back.
@@ -272,6 +334,10 @@ struct EpochOutcome {
     /// Per-rank observability registries the rank threads recorded into
     /// (spans, latency histograms, trace lanes), indexed by rank.
     registries: Vec<Arc<Registry>>,
+    /// Rank deaths absorbed inside this epoch via localized respawn.
+    local_recoveries: usize,
+    /// First invariant-audit violation, if the epoch died to one.
+    audit: Option<AuditFailure>,
 }
 
 impl EpochOutcome {
@@ -339,6 +405,7 @@ pub fn run_parallel_md(
     let mut start_rng = opts.start_rng_draws;
     let mut accum: BTreeMap<usize, ThermoSample> = BTreeMap::new();
     let mut recoveries = 0usize;
+    let mut local_recoveries = 0usize;
     let mut recovered_from: Vec<PathBuf> = Vec::new();
     let mut reduce_operations = 0u64;
 
@@ -357,10 +424,20 @@ pub fn run_parallel_md(
             faults.clone(),
         );
         reduce_operations += epoch.reduce_operations;
+        local_recoveries += epoch.local_recoveries;
         // publish per-rank trace lanes and histogram summaries for clean
         // AND failed epochs: a dying epoch's partial observability is
         // often the most interesting part of the run
         publish_epoch_obs(&epoch);
+        let audits: usize = epoch
+            .outcomes
+            .iter()
+            .map(|o| o.stats.audits_passed)
+            .max()
+            .unwrap_or(0);
+        if audits > 0 {
+            dp_obs::counter("audit.passed").add(audits as u64);
+        }
 
         let Some(failure) = epoch.failure().map(String::from) else {
             // clean epoch: the run is complete
@@ -406,6 +483,7 @@ pub fn run_parallel_md(
                 system: final_sys,
                 reduce_operations,
                 recoveries,
+                local_recoveries,
                 recovered_from,
                 imbalance,
                 flops,
@@ -414,6 +492,14 @@ pub fn run_parallel_md(
 
         // failed epoch: count it, then try to recover
         dp_obs::counter("fault.detected").add(1);
+        // an invariant-audit violation is evidence of state corruption:
+        // fail fast with the typed report instead of recovering — a
+        // checkpoint written after the violation cannot be trusted either
+        if let Some(af) = epoch.audit.clone() {
+            dp_obs::counter("audit.failed").add(1);
+            record_failed_epoch_metrics(&epoch, start_step, sys.len());
+            return Err(RunError::Audit { failure: af });
+        }
         let Some(ck) = opts.checkpoint.as_ref().filter(|c| c.every > 0) else {
             record_failed_epoch_metrics(&epoch, start_step, sys.len());
             return Err(RunError::RankFailure { failure });
@@ -430,6 +516,7 @@ pub fn run_parallel_md(
         recoveries += 1;
 
         let _span = dp_obs::span("recovery_reload");
+        let reload_t0 = Instant::now();
         let (snap, from) = MdCheckpoint::load(&ck.rotation).map_err(|e| RunError::Recovery {
             failure: failure.clone(),
             source: e,
@@ -458,6 +545,9 @@ pub fn run_parallel_md(
         start_step = progress.step;
         start_rng = progress.rng_draws;
         recovered_from.push(from);
+        // same histogram the localized tier records into, so the two
+        // tiers' costs are directly comparable in the metrics stream
+        dp_obs::hist::record("recovery.latency_us", reload_t0.elapsed().as_micros() as u64);
     }
 }
 
@@ -526,6 +616,292 @@ fn build_imbalance(
     report
 }
 
+/// Why one `rank_loop` segment ended early.
+#[derive(Debug)]
+enum RankError {
+    Comm(CommError),
+    Audit(AuditFailure),
+}
+
+impl From<CommError> for RankError {
+    fn from(e: CommError) -> Self {
+        RankError::Comm(e)
+    }
+}
+
+impl std::fmt::Display for RankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankError::Comm(e) => write!(f, "{e}"),
+            RankError::Audit(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Control events the rank threads send the in-epoch supervisor.
+enum Ctl {
+    /// This rank failed on its own (injected kill, panic, protocol
+    /// violation, timeout, or an audit violation). Sent only when
+    /// localized recovery is enabled; always followed by `Finished`.
+    Dead {
+        rank: usize,
+        audit: Option<AuditFailure>,
+        recoverable: bool,
+    },
+    /// A survivor noticed a peer death, dropped its mesh endpoints (so
+    /// chain-blocked partners disconnect instead of timing out), and
+    /// parked at the recovery barrier. `snap_step` labels its in-memory
+    /// shard snapshot (`None` before the first checkpoint of the epoch).
+    Paused { rank: usize, snap_step: Option<usize> },
+    /// The thread is exiting for good.
+    Finished(Box<RankOutcome>),
+}
+
+/// The barrier paused survivors park at while the supervisor decides
+/// between localized respawn and escalation to the global tier.
+struct Recovery {
+    /// Localized recovery configured (checkpointing with shards on).
+    enabled: bool,
+    state: Mutex<RecoveryState>,
+    cv: Condvar,
+    /// How long a parked survivor waits for a directive before treating
+    /// the recovery as failed and exiting with its cascade error.
+    pause_deadline: Duration,
+}
+
+struct RecoveryState {
+    /// Bumped on every published directive; a parked survivor waits for
+    /// it to advance past the value it captured when parking.
+    seq: u64,
+    /// Sticky: once the supervisor escalates, all present and future
+    /// parkers exit instead of waiting.
+    aborted: bool,
+    resume_step: usize,
+    /// Fresh mesh endpoints (one slot per rank) for the survivors; the
+    /// dead rank's endpoint goes to the respawned thread directly.
+    comms: Vec<Option<RankComm>>,
+}
+
+impl Recovery {
+    fn new(enabled: bool, n_ranks: usize, pause_deadline: Duration) -> Self {
+        Self {
+            enabled,
+            state: Mutex::new(RecoveryState {
+                seq: 0,
+                aborted: false,
+                resume_step: 0,
+                comms: (0..n_ranks).map(|_| None).collect(),
+            }),
+            cv: Condvar::new(),
+            pause_deadline,
+        }
+    }
+
+    /// Survivor side: park until the supervisor publishes a directive.
+    /// Returns the fresh mesh endpoint and the step to rewind to, or
+    /// `None` if the supervisor escalated (or never answered).
+    fn await_directive(&self, rank: usize) -> Option<(RankComm, usize)> {
+        let mut st = self.state.lock();
+        let seen = st.seq;
+        let timed_out = self
+            .cv
+            .wait_while_for(
+                &mut st,
+                |s| s.seq == seen && !s.aborted,
+                self.pause_deadline,
+            )
+            .timed_out();
+        if st.aborted || (timed_out && st.seq == seen) {
+            return None;
+        }
+        let step = st.resume_step;
+        st.comms[rank].take().map(|c| (c, step))
+    }
+
+    /// Supervisor side: hand every survivor its fresh endpoint and wake
+    /// them to rewind to `step`. Only sound at the quiescent barrier.
+    fn resume(&self, step: usize, comms: Vec<Option<RankComm>>) {
+        let mut st = self.state.lock();
+        st.resume_step = step;
+        st.comms = comms;
+        st.seq += 1;
+        self.cv.notify_all();
+    }
+
+    /// Supervisor side: give up on localized recovery; parked survivors
+    /// exit with their cascade errors and the epoch fails as a whole.
+    fn abort(&self) {
+        let mut st = self.state.lock();
+        st.aborted = true;
+        st.seq += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Everything a rank thread needs besides its own mutable state; cloned
+/// once per spawned thread (localized-recovery respawns included). All
+/// referents live in `run_epoch`'s frame, which outlives the scope.
+#[derive(Clone)]
+struct RankCtx<'a> {
+    grid: &'a DomainGrid,
+    pot: &'a Arc<dyn Potential>,
+    masses: &'a [f64],
+    cell: dp_md::Cell,
+    opts: &'a ParallelOptions,
+    start_rng: u64,
+    end_step: usize,
+    halo: f64,
+    /// Global atom count (the atom-count conservation target).
+    n_atoms: usize,
+    thermo_reduce: &'a Allreduce,
+    flag_reduce: &'a Allreduce,
+    stats_gather: &'a Allreduce,
+    audit_reduce: &'a Allreduce,
+    faults: Option<&'a FaultState>,
+    shards: Option<&'a ShardSet>,
+    recovery: &'a Recovery,
+    ctl: Sender<Ctl>,
+}
+
+fn poison_all(ctx: &RankCtx<'_>, rank: usize) {
+    ctx.thermo_reduce.poison(rank);
+    ctx.flag_reduce.poison(rank);
+    ctx.stats_gather.poison(rank);
+    ctx.audit_reduce.poison(rank);
+}
+
+/// Clone this rank's locally-owned atoms (no ghosts; locals are in
+/// global-id order at the capture point) into a shard payload.
+fn capture_shard(st: &RankState, step: usize, rng_draws: u64) -> RankShard {
+    let n = st.ids.len();
+    RankShard {
+        step: step as u64,
+        rng_draws,
+        rank: st.rank as u64,
+        ids: st.ids.clone(),
+        types: st.types[..n].to_vec(),
+        positions: st.positions[..n].to_vec(),
+        velocities: st.velocities.clone(),
+        forces: st.forces.clone(),
+    }
+}
+
+/// Rewind a rank's live state to a shard snapshot. Ghost bookkeeping
+/// (send lists, reference snapshot) is rebuilt by the next exchange.
+fn restore_from_shard(st: &mut RankState, s: &RankShard) {
+    st.ids.clone_from(&s.ids);
+    st.positions.clone_from(&s.positions);
+    st.velocities.clone_from(&s.velocities);
+    st.types.clone_from(&s.types);
+    st.forces.clone_from(&s.forces);
+}
+
+/// The body of one rank thread: run `rank_loop` segments until the epoch
+/// completes or the rank dies for good. With localized recovery enabled,
+/// a segment ending in a *cascade* error (a peer died) parks at the
+/// recovery barrier; if the supervisor pulls off a localized respawn of
+/// the dead rank, this thread rewinds to its in-memory shard snapshot,
+/// takes a fresh mesh endpoint, and replays — bit-exactly, because the
+/// snapshot is the realigned post-checkpoint state a restart would
+/// scatter.
+fn rank_thread(
+    ctx: RankCtx<'_>,
+    registry: Arc<Registry>,
+    mut st: RankState,
+    mut thermo: Vec<ThermoSample>,
+    mut start_step: usize,
+    comm: RankComm,
+    mut snap: Option<RankShard>,
+) {
+    let rank = st.rank;
+    let mut stats = RankStats {
+        rank,
+        ..RankStats::default()
+    };
+    let _obs_scope = dp_obs::scope(registry);
+    let mut comm = Some(comm);
+    let failure: Option<String> = loop {
+        let Some(c) = comm.take() else {
+            break Some(format!("rank {rank}: lost mesh endpoint"));
+        };
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            rank_loop(
+                &mut st,
+                &c,
+                &ctx,
+                start_step,
+                &mut stats,
+                &mut thermo,
+                &mut snap,
+            )
+        }));
+        let cascade = matches!(
+            &res,
+            Ok(Err(RankError::Comm(CommError::PeerFailed { .. })))
+        );
+        match res {
+            Ok(Ok(())) => break None,
+            Ok(Err(e)) if cascade && ctx.recovery.enabled => {
+                // a peer died, not us: wake partners blocked on our
+                // channels, then park and let the supervisor decide
+                drop(c);
+                let snap_step = snap.as_ref().map(|s| s.step as usize);
+                let _ = ctx.ctl.send(Ctl::Paused { rank, snap_step });
+                match ctx.recovery.await_directive(rank) {
+                    Some((fresh, resume_step)) => match snap.as_ref() {
+                        Some(s) if s.step as usize == resume_step => {
+                            restore_from_shard(&mut st, s);
+                            thermo.retain(|t| t.step <= resume_step);
+                            start_step = resume_step;
+                            comm = Some(fresh);
+                            continue;
+                        }
+                        _ => break Some(format!("rank {rank}: {e} (resume snapshot mismatch)")),
+                    },
+                    None => break Some(format!("rank {rank}: {e}")),
+                }
+            }
+            Ok(Err(e)) => {
+                let (audit, recoverable) = match &e {
+                    RankError::Audit(af) => (Some(af.clone()), false),
+                    RankError::Comm(_) => (None, true),
+                };
+                poison_all(&ctx, rank);
+                drop(c);
+                if ctx.recovery.enabled {
+                    let _ = ctx.ctl.send(Ctl::Dead {
+                        rank,
+                        audit,
+                        recoverable,
+                    });
+                }
+                break Some(format!("rank {rank}: {e}"));
+            }
+            Err(payload) => {
+                let msg = fault::describe_panic(rank, payload.as_ref());
+                poison_all(&ctx, rank);
+                drop(c);
+                if ctx.recovery.enabled {
+                    let _ = ctx.ctl.send(Ctl::Dead {
+                        rank,
+                        audit: None,
+                        recoverable: true,
+                    });
+                }
+                break Some(msg);
+            }
+        }
+    };
+    stats.final_local = st.ids.len();
+    let _ = ctx.ctl.send(Ctl::Finished(Box::new(RankOutcome {
+        rank,
+        state: st,
+        stats,
+        thermo,
+        failure,
+    })));
+}
+
 /// Scatter the state, spawn one thread per rank, run the step loop under
 /// `catch_unwind`, and collect every rank's outcome (never panics).
 #[allow(clippy::too_many_arguments)]
@@ -579,97 +955,254 @@ fn run_epoch(
         .collect();
     let masses = sys.masses.clone();
     let cell = sys.cell;
+
+    // localized recovery needs per-rank shards next to the rotation; any
+    // shard files left over from a previous (failed) epoch are stale
+    // relative to this epoch's replay position, so clear them first
+    let shard_set = opts
+        .checkpoint
+        .as_ref()
+        .filter(|c| c.every > 0 && c.shards)
+        .map(|c| ShardSet::new(c.rotation.base()));
+    if let Some(set) = &shard_set {
+        for r in 0..n_ranks {
+            let _ = std::fs::remove_file(set.path(r));
+        }
+    }
+    let local_enabled = shard_set.is_some();
+    // dedicated barrier for the invariant audit (width 4) so it never
+    // shares a generation with the thermo/flag/heartbeat reductions
+    let audit_reduce = Arc::new(Allreduce::with_deadline(n_ranks, 4, opts.comm_deadline));
+    let (ctl_tx, ctl_rx) = unbounded::<Ctl>();
+    // parked survivors wait long enough to cover a peer that only
+    // notices the death via its own comm deadline
+    let pause_deadline = opts.comm_deadline * 2 + Duration::from_secs(5);
+    let recovery = Recovery::new(local_enabled, n_ranks, pause_deadline);
+    let base_ctx = RankCtx {
+        grid,
+        pot,
+        masses: &masses,
+        cell,
+        opts,
+        start_rng,
+        end_step,
+        halo,
+        n_atoms: sys.len(),
+        thermo_reduce: &thermo_reduce,
+        flag_reduce: &flag_reduce,
+        stats_gather: &stats_gather,
+        audit_reduce: &audit_reduce,
+        faults: faults.as_deref(),
+        shards: shard_set.as_ref(),
+        recovery: &recovery,
+        ctl: ctl_tx,
+    };
+    let mut epoch_local_recoveries = 0usize;
+    let mut epoch_audit: Option<AuditFailure> = None;
     let start = Instant::now();
 
-    let mut outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = initial
-            .drain(..)
-            .zip(mesh)
-            .map(|(state, comm)| {
-                let grid = grid.clone();
-                let pot = pot.clone();
-                let thermo_reduce = thermo_reduce.clone();
-                let flag_reduce = flag_reduce.clone();
-                let stats_gather = stats_gather.clone();
-                let registry = registries[state.rank].clone();
-                let masses = masses.clone();
-                let faults = faults.clone();
-                scope.spawn(move || {
-                    let rank = state.rank;
-                    let mut st = state;
-                    let mut stats = RankStats {
-                        rank,
-                        ..RankStats::default()
-                    };
-                    let mut thermo = Vec::new();
-                    let _obs_scope = dp_obs::scope(registry);
-                    let res = catch_unwind(AssertUnwindSafe(|| {
-                        rank_loop(
-                            &mut st,
-                            &comm,
-                            &grid,
-                            pot.as_ref(),
-                            &masses,
-                            cell,
-                            opts,
-                            start_step,
-                            start_rng,
-                            end_step,
-                            halo,
-                            &thermo_reduce,
-                            &flag_reduce,
-                            &stats_gather,
-                            faults.as_deref(),
-                            &mut stats,
-                            &mut thermo,
-                        )
-                    }));
-                    let failure = match res {
-                        Ok(Ok(())) => None,
-                        Ok(Err(e)) => Some(format!("rank {rank}: {e}")),
-                        Err(payload) => Some(fault::describe_panic(rank, payload.as_ref())),
-                    };
-                    if failure.is_some() {
-                        // teardown: wake reduction waiters, then drop our
-                        // mesh endpoints so blocked receivers disconnect
-                        thermo_reduce.poison(rank);
-                        flag_reduce.poison(rank);
-                        stats_gather.poison(rank);
-                    }
-                    drop(comm);
-                    RankOutcome {
-                        rank,
-                        state: st,
-                        stats,
-                        thermo,
-                        failure,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| {
-                h.join().unwrap_or_else(|_| RankOutcome {
+    let outcome_slots: Vec<Option<RankOutcome>> = std::thread::scope(|scope| {
+        for (state, comm) in initial.drain(..).zip(mesh) {
+            let ctx = base_ctx.clone();
+            let registry = registries[state.rank].clone();
+            scope.spawn(move || {
+                rank_thread(ctx, registry, state, Vec::new(), start_step, comm, None)
+            });
+        }
+
+        // ---- in-epoch supervisor ------------------------------------
+        // Collects rank outcomes; on a root-cause death with localized
+        // recovery enabled it assembles the recovery barrier (all
+        // survivors parked, dead thread exited), reloads the dead rank's
+        // shard, rebuilds the mesh, and respawns — otherwise it aborts
+        // the epoch and the outer loop escalates to the global tier.
+        let mut outcomes: Vec<Option<RankOutcome>> = (0..n_ranks).map(|_| None).collect();
+        let mut live = n_ranks;
+        let mut parked = vec![false; n_ranks];
+        let mut snap_steps: Vec<Option<usize>> = vec![None; n_ranks];
+        // (dead rank, barrier-assembly start) of the recovery in flight
+        let mut pending: Option<(usize, Instant)> = None;
+        let mut aborted = false;
+        let mut attempts = 0usize;
+        while live > 0 {
+            let Ok(ev) = ctl_rx.recv() else { break };
+            match ev {
+                Ctl::Finished(o) => {
+                    let r = o.rank;
+                    outcomes[r] = Some(*o);
+                    live -= 1;
+                }
+                Ctl::Paused { rank, snap_step } => {
+                    parked[rank] = true;
+                    snap_steps[rank] = snap_step;
+                }
+                Ctl::Dead {
                     rank,
-                    state: RankState::empty(rank, Vec::new()),
-                    stats: RankStats {
-                        rank,
-                        ..RankStats::default()
-                    },
-                    thermo: Vec::new(),
-                    failure: Some(format!("rank {rank} thread aborted outside catch_unwind")),
-                })
-            })
-            .collect()
+                    audit,
+                    recoverable,
+                } => {
+                    if audit.is_some() && epoch_audit.is_none() {
+                        epoch_audit = audit;
+                    }
+                    let local_ok = recoverable
+                        && !aborted
+                        && pending.is_none()
+                        && epoch_audit.is_none()
+                        && attempts < opts.max_local_recoveries;
+                    if local_ok {
+                        dp_obs::counter("recovery.local.attempt").add(1);
+                        pending = Some((rank, Instant::now()));
+                    } else {
+                        if pending.take().is_some() {
+                            dp_obs::counter("recovery.local.fallback").add(1);
+                        }
+                        if recovery.enabled && !aborted {
+                            recovery.abort();
+                        }
+                        aborted = true;
+                    }
+                }
+            }
+
+            // try to complete the recovery in flight
+            let Some((dead, t0)) = pending else { continue };
+            if aborted {
+                pending = None;
+                continue;
+            }
+            if (0..n_ranks).any(|r| r != dead && outcomes[r].is_some()) {
+                // a second rank died outright while the barrier was
+                // assembling: one shard cannot fill two holes — escalate
+                dp_obs::counter("recovery.local.fallback").add(1);
+                recovery.abort();
+                aborted = true;
+                pending = None;
+                continue;
+            }
+            let others_parked = (0..n_ranks).filter(|&r| r != dead).all(|r| parked[r]);
+            if outcomes[dead].is_none() || !others_parked {
+                continue; // barrier still assembling
+            }
+            // all survivors parked with their snapshot labels; their
+            // snapshots must agree on a single step for a consistent cut
+            let mut agreed: Result<Option<usize>, ()> = Ok(None);
+            for r in (0..n_ranks).filter(|&r| r != dead) {
+                agreed = match (agreed, snap_steps[r]) {
+                    (Ok(None), Some(s)) => Ok(Some(s)),
+                    (Ok(Some(a)), Some(s)) if s == a => Ok(Some(a)),
+                    _ => Err(()),
+                };
+                if agreed.is_err() {
+                    break;
+                }
+            }
+            let respawn = (|| -> Result<(RankShard, usize), String> {
+                let set = shard_set
+                    .as_ref()
+                    .ok_or_else(|| "no shard set configured".to_string())?;
+                let shard = RankShard::load(set, dead).map_err(|e| e.to_string())?;
+                let s = shard.step as usize;
+                if s <= start_step || s >= end_step {
+                    return Err(format!(
+                        "shard step {s} outside the epoch window {start_step}..{end_step}"
+                    ));
+                }
+                match agreed {
+                    Ok(Some(a)) if a == s => {}
+                    Ok(None) if n_ranks == 1 => {}
+                    _ => return Err("survivor snapshots disagree with the shard step".into()),
+                }
+                Ok((shard, s))
+            })();
+            match respawn {
+                Ok((shard, s)) => {
+                    let mut nst = RankState::empty(dead, grid.neighbors_within(dead, halo));
+                    restore_from_shard(&mut nst, &shard);
+                    // Fresh mesh: every point-to-point pair restarts at
+                    // sequence 0 and stale in-flight messages die with
+                    // the old channels, so the respawned rank's first
+                    // exchange cannot trip seq-gap detection against the
+                    // dead rank's retired sequence counters.
+                    let mut slots: Vec<Option<RankComm>> =
+                        RankComm::mesh_with(n_ranks, opts.comm_deadline, faults.clone())
+                            .into_iter()
+                            .map(Some)
+                            .collect();
+                    let dead_comm = slots[dead].take();
+                    // the barrier is quiescent (dead thread exited, all
+                    // survivors parked outside any reduction): re-arm
+                    // the poisoned reduction barriers
+                    thermo_reduce.reset();
+                    flag_reduce.reset();
+                    stats_gather.reset();
+                    audit_reduce.reset();
+                    // the dead thread's thermo prefix rides into the
+                    // replacement so rank-local history stays complete
+                    // even on a single-rank grid
+                    let mut dthermo = outcomes[dead]
+                        .take()
+                        .map(|o| o.thermo)
+                        .unwrap_or_default();
+                    dthermo.retain(|t| t.step <= s);
+                    live += 1;
+                    recovery.resume(s, slots);
+                    if let Some(comm) = dead_comm {
+                        let ctx = base_ctx.clone();
+                        let registry = registries[dead].clone();
+                        let seed = Some(shard);
+                        scope.spawn(move || {
+                            rank_thread(ctx, registry, nst, dthermo, s, comm, seed)
+                        });
+                    }
+                    attempts += 1;
+                    epoch_local_recoveries += 1;
+                    dp_obs::counter("recovery.local.success").add(1);
+                    dp_obs::hist::record(
+                        "recovery.latency_us",
+                        t0.elapsed().as_micros() as u64,
+                    );
+                    parked = vec![false; n_ranks];
+                    snap_steps = vec![None; n_ranks];
+                    pending = None;
+                }
+                Err(why) => {
+                    eprintln!(
+                        "warning: localized recovery of rank {dead} failed ({why}); \
+                         escalating to global checkpoint reload"
+                    );
+                    dp_obs::counter("recovery.local.fallback").add(1);
+                    recovery.abort();
+                    aborted = true;
+                    pending = None;
+                }
+            }
+        }
+        outcomes
     });
-    outcomes.sort_by_key(|o| o.rank);
+
+    let outcomes: Vec<RankOutcome> = outcome_slots
+        .into_iter()
+        .enumerate()
+        .map(|(rank, o)| {
+            o.unwrap_or_else(|| RankOutcome {
+                rank,
+                state: RankState::empty(rank, Vec::new()),
+                stats: RankStats {
+                    rank,
+                    ..RankStats::default()
+                },
+                thermo: Vec::new(),
+                failure: Some(format!("rank {rank} thread aborted outside catch_unwind")),
+            })
+        })
+        .collect();
     EpochOutcome {
         outcomes,
         reduce_operations: thermo_reduce.operations(),
         wall: start.elapsed(),
         registries,
+        local_recoveries: epoch_local_recoveries,
+        audit: epoch_audit,
     }
 }
 
@@ -677,24 +1210,27 @@ fn run_epoch(
 fn rank_loop(
     st: &mut RankState,
     comm: &RankComm,
-    grid: &DomainGrid,
-    pot: &dyn Potential,
-    masses: &[f64],
-    cell: dp_md::Cell,
-    opts: &ParallelOptions,
+    ctx: &RankCtx<'_>,
     start_step: usize,
-    start_rng: u64,
-    end_step: usize,
-    halo: f64,
-    thermo_reduce: &Allreduce,
-    flag_reduce: &Allreduce,
-    stats_gather: &Allreduce,
-    faults: Option<&FaultState>,
     stats: &mut RankStats,
     thermo: &mut Vec<ThermoSample>,
-) -> Result<(), CommError> {
+    snap: &mut Option<RankShard>,
+) -> Result<(), RankError> {
+    let grid = ctx.grid;
+    let pot: &dyn Potential = ctx.pot.as_ref();
+    let masses = ctx.masses;
+    let cell = ctx.cell;
+    let opts = ctx.opts;
+    let start_rng = ctx.start_rng;
+    let end_step = ctx.end_step;
+    let halo = ctx.halo;
+    let thermo_reduce = ctx.thermo_reduce;
+    let flag_reduce = ctx.flag_reduce;
+    let stats_gather = ctx.stats_gather;
+    let faults = ctx.faults;
     let dt = opts.md.dt;
     let n_ranks = comm.to.len();
+    let mut last_audit_step: Option<usize> = None;
     // heartbeat bookkeeping: phase-time marks at the last report, plus a
     // reusable allgather buffer (step-determined schedule, so the gather
     // is collective without extra synchronization)
@@ -883,6 +1419,42 @@ fn rank_loop(
                     let (res, d) = dp_obs::timed("ghost_exchange", || {
                         migrate(st, comm, grid)?;
                         sort_locals_by_id(st);
+                        Ok::<(), CommError>(())
+                    });
+                    stats.comm_time += d;
+                    res?;
+                    // per-rank shard at the realigned instant: exactly
+                    // the state a localized respawn must reconstruct.
+                    // The same payload stays in memory so survivors can
+                    // rewind to the identical cut without touching disk.
+                    if let Some(set) = ctx.shards {
+                        let shard = capture_shard(st, step, start_rng);
+                        let ((), d) = dp_obs::timed("io", || match shard.save(set) {
+                            Ok(path) => {
+                                let torn = faults
+                                    .is_some_and(|f| f.shard_sabotage(st.rank, step));
+                                if torn
+                                    && fault::sabotage_file(
+                                        &path,
+                                        crate::fault::CkptSabotage::TornWrite,
+                                    )
+                                    .is_ok()
+                                {
+                                    dp_obs::counter("fault.shard_sabotaged").add(1);
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "warning: rank {} shard write at step {step} failed \
+                                     ({e}); localized recovery may fall back",
+                                    st.rank
+                                );
+                            }
+                        });
+                        stats.comm_time += d;
+                        *snap = Some(shard);
+                    }
+                    let (res, d) = dp_obs::timed("ghost_exchange", || {
                         exchange(st, comm, grid, halo, stats)
                     });
                     stats.comm_time += d;
@@ -893,6 +1465,13 @@ fn rank_loop(
                     stats.rebuilds += 1;
                 }
             }
+        }
+
+        // periodic conservation audit on a step-determined (hence
+        // collective) schedule; violations are typed and fail fast
+        if opts.audit_every > 0 && step % opts.audit_every == 0 {
+            audit_step(st, comm, ctx, step, &mut last_audit_step, stats)?;
+            stats.audits_passed += 1;
         }
 
         // live load-balance heartbeat on a step-determined (hence
@@ -923,6 +1502,107 @@ fn rank_loop(
     }
 
     stats.final_local = st.ids.len();
+    Ok(())
+}
+
+/// One collective conservation audit over the dedicated width-4 barrier:
+/// `[owned atoms, ghost violations, step, seq gaps]` per rank. Checks
+/// atom-count conservation across migrate/re-scatter, ghost/owner
+/// containment, monotone + rank-uniform step counters, and gap-free
+/// message sequencing. Every rank sees the same reduced totals, so a
+/// violation fails all ranks with the same typed report.
+fn audit_step(
+    st: &RankState,
+    comm: &RankComm,
+    ctx: &RankCtx<'_>,
+    step: usize,
+    last: &mut Option<usize>,
+    stats: &mut RankStats,
+) -> Result<(), RankError> {
+    let rank = st.rank;
+    let fail = |check: &'static str, detail: String| {
+        Err(RankError::Audit(AuditFailure {
+            rank,
+            step,
+            check,
+            detail,
+        }))
+    };
+    // local: the audit step counter advances strictly
+    if let Some(prev) = *last {
+        if step <= prev {
+            return fail(
+                "step_monotone",
+                format!("audit at step {step} after one at step {prev}"),
+            );
+        }
+    }
+    *last = Some(step);
+    // local: every ghost lies within the halo shell of our own domain,
+    // with slack for drift since the last exchange (the rebuild trigger
+    // bounds local movement to ~skin/4, and ghosts move symmetrically on
+    // their owners)
+    let n_local = st.ids.len();
+    let slack = ctx.opts.md.skin;
+    let mut ghost_violations = 0usize;
+    for p in &st.positions[n_local..] {
+        if ctx.grid.distance_to_domain(*p, rank) > ctx.halo + slack {
+            ghost_violations += 1;
+        }
+    }
+    let mut reported_local = n_local as f64;
+    if let Some(f) = ctx.faults {
+        if f.break_invariant(rank, step) {
+            // test-only sabotage of the *report* (never the simulation
+            // state): proves a violation surfaces as a typed failure
+            reported_local += 1.0;
+        }
+    }
+    let payload = [
+        reported_local,
+        ghost_violations as f64,
+        step as f64,
+        comm.seq_gap_count() as f64,
+    ];
+    let mut tot = [0.0; 4];
+    let (res, d) = dp_obs::timed("reduce", || {
+        ctx.audit_reduce.reduce_into(rank, &payload, &mut tot)
+    });
+    stats.reduce_time += d;
+    res?;
+    let n_ranks = comm.to.len();
+    if tot[0] as usize != ctx.n_atoms {
+        return fail(
+            "atom_count",
+            format!(
+                "{} atoms owned globally, expected {}",
+                tot[0] as usize,
+                ctx.n_atoms
+            ),
+        );
+    }
+    if tot[1] > 0.0 {
+        return fail(
+            "ghost_owner",
+            format!("{} ghosts outside their halo shell", tot[1] as usize),
+        );
+    }
+    if tot[2] as usize != n_ranks * step {
+        return fail(
+            "step_uniform",
+            format!(
+                "ranks disagree on the audit step (sum {}, expected {})",
+                tot[2] as usize,
+                n_ranks * step
+            ),
+        );
+    }
+    if tot[3] > 0.0 {
+        return fail(
+            "seq_gap",
+            format!("{} message sequence gaps observed on the mesh", tot[3] as usize),
+        );
+    }
     Ok(())
 }
 
@@ -1530,6 +2210,7 @@ mod tests {
                 checkpoint: Some(ParallelCkpt {
                     every: 20,
                     rotation: Rotation::new(dir.join("straight.ckpt"), 2),
+                    shards: false,
                 }),
                 ..ParallelOptions::default()
             },
@@ -1547,6 +2228,7 @@ mod tests {
                 checkpoint: Some(ParallelCkpt {
                     every: 20,
                     rotation: rot.clone(),
+                    shards: false,
                 }),
                 ..ParallelOptions::default()
             },
@@ -1670,6 +2352,7 @@ mod tests {
             checkpoint: Some(ParallelCkpt {
                 every: 10,
                 rotation: rot.clone(),
+                shards: false,
             }),
             ..ParallelOptions::default()
         };

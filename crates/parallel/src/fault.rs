@@ -49,6 +49,28 @@ pub struct DelaySpec {
     pub delay: Duration,
 }
 
+/// Tear one rank's per-rank checkpoint shard as it is written: the shard
+/// file is truncated to half its length right after the atomic rename, so
+/// a later localized recovery of that rank finds an invalid shard and must
+/// escalate to the global rotation (the tier-2 drill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTear {
+    pub rank: usize,
+    /// Absolute checkpoint step whose shard write gets torn.
+    pub step: usize,
+}
+
+/// Test-only invariant sabotage: make `rank` report one phantom atom in
+/// the audit at `step`, so the atom-count conservation check trips. This
+/// exists to prove the soak-mode auditor fails fast with a typed report —
+/// it corrupts the *report*, never the simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakInvariant {
+    pub rank: usize,
+    /// Absolute step; the sabotage fires at the first audit at or after it.
+    pub step: usize,
+}
+
 /// What to do to a written checkpoint generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CkptSabotage {
@@ -85,6 +107,10 @@ pub struct FaultPlan {
     pub drops: Vec<MsgSelector>,
     /// Scheduled additional message delays; each fires once.
     pub delays: Vec<DelaySpec>,
+    /// Scheduled per-rank shard tears; each fires once.
+    pub torn_shards: Vec<ShardTear>,
+    /// Test-only audit sabotage (fires once).
+    pub break_invariant: Option<BreakInvariant>,
 }
 
 impl FaultPlan {
@@ -97,6 +123,8 @@ impl FaultPlan {
             && self.kills.is_empty()
             && self.drops.is_empty()
             && self.delays.is_empty()
+            && self.torn_shards.is_empty()
+            && self.break_invariant.is_none()
     }
 
     /// Worst-case failed epochs this plan can cause: every kill and every
@@ -136,16 +164,23 @@ pub struct FaultState {
     torn_fired: AtomicBool,
     corrupt_fired: AtomicBool,
     /// One-shot flags per scheduled entry, same indexing as the plan's
-    /// `kills` / `drops` / `delays` vectors.
+    /// `kills` / `drops` / `delays` / `torn_shards` vectors.
     kills_fired: Vec<AtomicBool>,
     drops_fired: Vec<AtomicBool>,
     delays_fired: Vec<AtomicBool>,
+    shards_fired: Vec<AtomicBool>,
+    invariant_fired: AtomicBool,
 }
 
 impl FaultState {
     pub fn new(plan: FaultPlan, n_ranks: usize) -> Self {
         let flags = |n: usize| (0..n).map(|_| AtomicBool::new(false)).collect();
-        let (nk, nd, nl) = (plan.kills.len(), plan.drops.len(), plan.delays.len());
+        let (nk, nd, nl, ns) = (
+            plan.kills.len(),
+            plan.drops.len(),
+            plan.delays.len(),
+            plan.torn_shards.len(),
+        );
         Self {
             plan,
             n_ranks,
@@ -158,6 +193,8 @@ impl FaultState {
             kills_fired: flags(nk),
             drops_fired: flags(nd),
             delays_fired: flags(nl),
+            shards_fired: flags(ns),
+            invariant_fired: AtomicBool::new(false),
         }
     }
 
@@ -226,6 +263,34 @@ impl FaultState {
             }
         }
         SendAction::Deliver
+    }
+
+    /// Should `rank`'s per-rank shard just written at `step` be torn?
+    pub fn shard_sabotage(&self, rank: usize, step: usize) -> bool {
+        for (i, t) in self.plan.torn_shards.iter().enumerate() {
+            if t.rank == rank
+                && t.step == step
+                && !self.shards_fired[i].swap(true, Ordering::Relaxed)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Should `rank` corrupt its audit report at this audit step? Fires at
+    /// the first audit at or after the planned step (audits run on a
+    /// stride, so an exact-step match would often never trigger).
+    pub fn break_invariant(&self, rank: usize, step: usize) -> bool {
+        if let Some(b) = self.plan.break_invariant {
+            if b.rank == rank
+                && step >= b.step
+                && !self.invariant_fired.swap(true, Ordering::Relaxed)
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// Should the checkpoint generation just written at `step` be damaged?
@@ -426,6 +491,28 @@ mod tests {
             SendAction::Delay(Duration::from_millis(5)) // seq 1
         );
         assert_eq!(st.on_send(1, 0), SendAction::Deliver); // seq 2
+    }
+
+    #[test]
+    fn shard_and_invariant_sabotage_fire_once() {
+        let st = FaultState::new(
+            FaultPlan {
+                torn_shards: vec![ShardTear { rank: 1, step: 20 }],
+                break_invariant: Some(BreakInvariant { rank: 0, step: 15 }),
+                ..FaultPlan::default()
+            },
+            2,
+        );
+        assert!(!st.plan().is_empty());
+        assert!(!st.shard_sabotage(0, 20), "wrong rank fired");
+        assert!(!st.shard_sabotage(1, 10), "wrong step fired");
+        assert!(st.shard_sabotage(1, 20));
+        assert!(!st.shard_sabotage(1, 20), "shard tear fired twice");
+
+        assert!(!st.break_invariant(1, 15), "wrong rank fired");
+        assert!(!st.break_invariant(0, 10), "fired before the planned step");
+        assert!(st.break_invariant(0, 20), "must fire at first audit >= step");
+        assert!(!st.break_invariant(0, 25), "invariant sabotage fired twice");
     }
 
     #[test]

@@ -35,9 +35,15 @@ pub mod driver;
 pub mod fault;
 pub mod grid;
 pub mod setup;
+mod shard;
 
-pub use chaos::{expand_chaos, ChaosSpec};
+pub use chaos::{expand_chaos, expand_soak, ChaosSpec, SoakSpec};
 pub use comm::{Allreduce, CommError, Envelope, RankComm, DEFAULT_DEADLINE};
-pub use driver::{run_parallel_md, ParallelCkpt, ParallelOptions, ParallelRun, RunError};
-pub use fault::{CkptSabotage, DelaySpec, FaultPlan, FaultState, KillSpec, MsgSelector};
+pub use driver::{
+    run_parallel_md, AuditFailure, ParallelCkpt, ParallelOptions, ParallelRun, RunError,
+};
+pub use fault::{
+    BreakInvariant, CkptSabotage, DelaySpec, FaultPlan, FaultState, KillSpec, MsgSelector,
+    ShardTear,
+};
 pub use grid::DomainGrid;

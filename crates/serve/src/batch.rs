@@ -62,6 +62,14 @@ impl Default for BatchOptions {
 pub enum SubmitError {
     /// Queue at `max_depth`; the caller should answer 429.
     QueueFull,
+    /// The request carried a deadline shorter than the queue wait the
+    /// recent batch-wait histogram predicts; admitting it would only burn
+    /// a batch slot on an answer the client has already given up on. The
+    /// estimate is returned so the caller can put it in the error body.
+    DeadlineExceeded {
+        /// Predicted queue wait at admission time, microseconds.
+        estimated_wait_us: u64,
+    },
     /// The batcher is draining for shutdown.
     ShuttingDown,
 }
@@ -122,6 +130,21 @@ impl<B: BatchBackend> Batcher<B> {
     /// — the caller maps that to 429 without ever blocking, which is
     /// what keeps an overloaded daemon responsive.
     pub fn submit(&self, request: B::Req) -> Result<B::Resp, SubmitError> {
+        self.submit_with_deadline(request, None)
+    }
+
+    /// [`submit`](Self::submit) with deadline-aware admission: when the
+    /// caller has `deadline` left, the request is bounced up front with
+    /// [`SubmitError::DeadlineExceeded`] if the queue is non-empty and
+    /// the recent batch-wait histogram (`serve.eval.wait_us`, p90)
+    /// predicts a longer wait than the deadline allows. An empty queue
+    /// always admits — the only wait then is the bounded linger — and so
+    /// does an empty histogram (no evidence beats no admission).
+    pub fn submit_with_deadline(
+        &self,
+        request: B::Req,
+        deadline: Option<Duration>,
+    ) -> Result<B::Resp, SubmitError> {
         let (reply, inbox) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().unwrap();
@@ -131,6 +154,18 @@ impl<B: BatchBackend> Batcher<B> {
             if q.pending.len() >= self.shared.opts.max_depth {
                 dp_obs::counter(dp_obs::serve::EVAL_REJECTED).add(1);
                 return Err(SubmitError::QueueFull);
+            }
+            if let Some(d) = deadline {
+                if !q.pending.is_empty() {
+                    let snap = dp_obs::hist::global(dp_obs::serve::EVAL_WAIT_US).snapshot();
+                    if snap.count > 0 {
+                        let estimated_wait_us = snap.quantile(0.9);
+                        if Duration::from_micros(estimated_wait_us) > d {
+                            dp_obs::counter(dp_obs::serve::EVAL_DEADLINE_REJECTED).add(1);
+                            return Err(SubmitError::DeadlineExceeded { estimated_wait_us });
+                        }
+                    }
+                }
             }
             q.pending.push_back(Ticket {
                 request,
@@ -362,6 +397,60 @@ mod tests {
         for f in fillers {
             f.join().unwrap().unwrap();
         }
+    }
+
+    #[test]
+    fn deadline_admission_rejects_predicted_long_waits() {
+        // Flood the global wait histogram so its p90 stays ~60 s no
+        // matter what the other (concurrently running) batch tests
+        // record into it.
+        let h = dp_obs::hist::global(dp_obs::serve::EVAL_WAIT_US);
+        for _ in 0..4096 {
+            h.record(60_000_000);
+        }
+        let batcher = Arc::new(Batcher::new(
+            recorder(200),
+            BatchOptions {
+                max_batch: 1,
+                max_depth: 8,
+                linger: Duration::ZERO,
+                workers: 1,
+            },
+        ));
+        // Empty queue admits regardless of the histogram — the only wait
+        // is the (zero) linger.
+        let b0 = Arc::clone(&batcher);
+        let first = std::thread::spawn(move || {
+            b0.submit_with_deadline(1, Some(Duration::from_millis(1)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // The worker is busy with request 1; park one more to make the
+        // queue non-empty…
+        let b1 = Arc::clone(&batcher);
+        let second = std::thread::spawn(move || b1.submit(2).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(batcher.depth(), 1);
+        // …and a 1 ms deadline against a ~60 s predicted wait bounces
+        // immediately, with the estimate attached.
+        let t = Instant::now();
+        match batcher.submit_with_deadline(3, Some(Duration::from_millis(1))) {
+            Err(SubmitError::DeadlineExceeded { estimated_wait_us }) => {
+                assert!(estimated_wait_us > 1_000, "estimate {estimated_wait_us}us");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "deadline rejection must not block"
+        );
+        // A deadline longer than the prediction is admitted normally.
+        let (doubled, _, _) = batcher
+            .submit_with_deadline(4, Some(Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(doubled, 8);
+        assert_eq!(first.join().unwrap().0, 2);
+        assert_eq!(second.join().unwrap().0, 4);
     }
 
     #[test]

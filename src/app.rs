@@ -43,8 +43,8 @@ use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
 use dp_obs::ImbalanceReport;
 use dp_parallel::{
-    expand_chaos, run_parallel_md, ChaosSpec, DelaySpec, FaultPlan, KillSpec, MsgSelector,
-    ParallelCkpt, ParallelOptions, RunError,
+    expand_chaos, expand_soak, run_parallel_md, BreakInvariant, ChaosSpec, DelaySpec, FaultPlan,
+    KillSpec, MsgSelector, ParallelCkpt, ParallelOptions, RunError, SoakSpec,
 };
 use dp_perfmodel::SystemModel;
 use serde::Deserialize;
@@ -124,6 +124,12 @@ pub struct AppConfig {
     /// Checkpoint generations retained.
     #[serde(default = "default_checkpoint_keep")]
     pub checkpoint_keep: usize,
+    /// Parallel runs only: also write one per-rank shard next to every
+    /// checkpoint generation, enabling *localized* recovery — a dead rank
+    /// is rebuilt in place from its shard and the survivors' state, with
+    /// no global reload (see `dp_parallel`'s fault-tolerance docs).
+    #[serde(default)]
+    pub checkpoint_shards: bool,
     /// Resume from this checkpoint (rotation base path) instead of
     /// building a fresh system; corrupt generations fall back to older
     /// ones. Also settable as `dpmd --resume <file>`.
@@ -179,6 +185,24 @@ pub struct AppConfig {
     /// is automatically sized to cover it.
     #[serde(default)]
     pub fault_chaos: Option<ChaosConfig>,
+    /// Soak mode (parallel runs only): `fault_chaos` plus torn per-rank
+    /// shard writes, with the periodic invariant auditor switched on —
+    /// the long-haul compound-fault drill in one deck key. Requires
+    /// checkpointing; `checkpoint_shards` should be on for the localized
+    /// tier to be exercised.
+    #[serde(default)]
+    pub chaos_soak: Option<SoakConfig>,
+    /// Test-only hook `[rank, step]`: corrupt that rank's report in the
+    /// first invariant audit at or after `step`, proving the auditor
+    /// fails fast with a typed error (exit 6). Never touches real state.
+    #[serde(default)]
+    pub fault_break_invariant: Option<[usize; 2]>,
+    /// Parallel runs only: audit conservation-class invariants
+    /// (atom-count conservation, ghost/owner consistency, step-counter
+    /// uniformity, seq-gap-free comm) every this many steps. 0 = off;
+    /// `chaos_soak` supplies its own stride when this is 0.
+    #[serde(default)]
+    pub audit_every: usize,
     /// How many failed epochs the supervisor may recover from before the
     /// run fails with a typed error.
     #[serde(default = "default_max_retries")]
@@ -225,6 +249,40 @@ fn default_chaos_delay_ms() -> u64 {
     50
 }
 
+/// The `chaos_soak` deck key: a compound-fault soak schedule. Like
+/// [`ChaosConfig`] the seed *is* the schedule, so a failing soak replays
+/// bit-exactly; on top of kills/drops/delays it schedules torn per-rank
+/// shard writes and turns the periodic invariant auditor on.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SoakConfig {
+    /// Deterministic schedule seed.
+    pub seed: u64,
+    /// Rank kills to schedule (each after a checkpoint exists).
+    #[serde(default)]
+    pub kills: usize,
+    /// Messages to silently drop.
+    #[serde(default)]
+    pub drops: usize,
+    /// Messages to delay.
+    #[serde(default)]
+    pub delays: usize,
+    /// Per-rank shard writes to tear (forces the global-fallback tier when
+    /// a kill later lands on a rank whose newest shard is torn).
+    #[serde(default)]
+    pub torn_shards: usize,
+    /// Upper bound on each scheduled delay, milliseconds.
+    #[serde(default = "default_chaos_delay_ms")]
+    pub max_delay_ms: u64,
+    /// Invariant audit stride the soak runs under (steps).
+    #[serde(default = "default_soak_audit_every")]
+    pub audit_every: usize,
+}
+
+fn default_soak_audit_every() -> usize {
+    10
+}
+
 fn default_thermo_every() -> usize {
     20
 }
@@ -250,7 +308,9 @@ pub enum AppError {
     Ckpt(String),
     /// The supervised parallel run failed for good — rank failure with no
     /// checkpointing, unrecoverable checkpoints, or retries exhausted
-    /// (exit 5).
+    /// (exit 5). An invariant-audit failure ([`RunError::Audit`]) is its
+    /// own class: exit 6, because it means the run's physics can no longer
+    /// be trusted, not merely that a resource died.
     Fault(RunError),
     /// Any other runtime failure (exit 1).
     Run(String),
@@ -263,6 +323,7 @@ impl AppError {
             AppError::Deck(_) => 2,
             AppError::Io(_) => 3,
             AppError::Ckpt(_) => 4,
+            AppError::Fault(RunError::Audit { .. }) => 6,
             AppError::Fault(_) => 5,
             AppError::Run(_) => 1,
         }
@@ -295,9 +356,17 @@ pub struct RunSummary {
     pub thermo: Vec<ThermoSample>,
     pub final_system: System,
     pub potential_name: &'static str,
-    /// Failed epochs the parallel supervisor recovered from (0 for serial
-    /// runs and clean parallel runs).
+    /// Failed epochs the parallel supervisor recovered from via global
+    /// checkpoint reload (0 for serial runs and clean parallel runs).
     pub recoveries: usize,
+    /// Rank failures recovered *in place* — dead rank rebuilt from its
+    /// per-rank shard and respawned while the survivors waited at the
+    /// step barrier, no global reload.
+    pub local_recoveries: usize,
+    /// Highest recovery tier the run needed: `"none"`, `"local"`
+    /// (localized respawn only), or `"global"` (at least one full
+    /// checkpoint reload).
+    pub recovery_tier: &'static str,
     /// §7.3 cross-rank phase breakdown with achieved and (when the system
     /// has a paper calibration) modeled GFLOPS columns. `None` for serial
     /// runs.
@@ -413,6 +482,14 @@ fn build_fault_plan(cfg: &AppConfig, grid: [usize; 3]) -> Result<Option<FaultPla
     }
     plan.torn_ckpt_step = cfg.fault_torn_ckpt_step;
     plan.corrupt_ckpt_step = cfg.fault_corrupt_ckpt_step;
+    if let Some([rank, step]) = cfg.fault_break_invariant {
+        if rank >= n_ranks {
+            return Err(AppError::Deck(format!(
+                "fault_break_invariant rank {rank} is out of range for grid {grid:?} ({n_ranks} ranks)"
+            )));
+        }
+        plan.break_invariant = Some(BreakInvariant { rank, step });
+    }
     if let Some(chaos) = &cfg.fault_chaos {
         let spec = ChaosSpec {
             seed: chaos.seed,
@@ -427,6 +504,23 @@ fn build_fault_plan(cfg: &AppConfig, grid: [usize; 3]) -> Result<Option<FaultPla
         plan.drops.extend(expanded.drops);
         plan.delays.extend(expanded.delays);
     }
+    if let Some(soak) = &cfg.chaos_soak {
+        let spec = SoakSpec {
+            seed: soak.seed,
+            kills: soak.kills,
+            drops: soak.drops,
+            delays: soak.delays,
+            torn_shards: soak.torn_shards,
+            max_delay_ms: soak.max_delay_ms,
+            audit_every: soak.audit_every,
+        };
+        let expanded = expand_soak(&spec, n_ranks, cfg.steps, cfg.checkpoint_every)
+            .map_err(|e| AppError::Deck(format!("chaos_soak: {e}")))?;
+        plan.kills.extend(expanded.kills);
+        plan.drops.extend(expanded.drops);
+        plan.delays.extend(expanded.delays);
+        plan.torn_shards.extend(expanded.torn_shards);
+    }
     Ok((!plan.is_empty()).then_some(plan))
 }
 
@@ -438,6 +532,8 @@ fn any_fault_key(cfg: &AppConfig) -> bool {
         || cfg.fault_torn_ckpt_step.is_some()
         || cfg.fault_corrupt_ckpt_step.is_some()
         || cfg.fault_chaos.is_some()
+        || cfg.chaos_soak.is_some()
+        || cfg.fault_break_invariant.is_some()
 }
 
 /// Run the deck; `log` receives one line per thermo sample.
@@ -452,6 +548,17 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, App
         return Err(AppError::Deck(
             "report_every/imbalance_report require a parallel run: set \"grid\": [nx, ny, nz]"
                 .into(),
+        ));
+    }
+    if cfg.grid.is_none() && (cfg.checkpoint_shards || cfg.audit_every > 0) {
+        return Err(AppError::Deck(
+            "checkpoint_shards/audit_every require a parallel run: set \"grid\": [nx, ny, nz]"
+                .into(),
+        ));
+    }
+    if cfg.checkpoint_shards && cfg.checkpoint_every == 0 {
+        return Err(AppError::Deck(
+            "checkpoint_shards is set but checkpoint_every is 0 (no checkpoints to shard)".into(),
         ));
     }
 
@@ -711,6 +818,8 @@ fn run_serial_deck(
         final_system: sys.clone(),
         potential_name: pot.name(),
         recoveries: 0,
+        local_recoveries: 0,
+        recovery_tier: "none",
         imbalance: None,
     })
 }
@@ -738,6 +847,18 @@ fn run_parallel_deck(
         .map_or(cfg.fault_max_retries, |p| {
             cfg.fault_max_retries.max(p.max_failures())
         });
+    // Localized respawns get the same treatment: the default budget, grown
+    // to cover every scheduled kill so a soak never fails on budget alone.
+    let defaults = ParallelOptions::default();
+    let max_local_recoveries = faults.as_ref().map_or(defaults.max_local_recoveries, |p| {
+        defaults.max_local_recoveries.max(p.max_failures())
+    });
+    // chaos_soak supplies the audit stride unless the deck sets one itself.
+    let audit_every = if cfg.audit_every > 0 {
+        cfg.audit_every
+    } else {
+        cfg.chaos_soak.as_ref().map_or(0, |s| s.audit_every)
+    };
     let popts = ParallelOptions {
         md: *opts,
         blocking_reduce: cfg.blocking_reduce,
@@ -746,9 +867,12 @@ fn run_parallel_deck(
         checkpoint: rotation.map(|rotation| ParallelCkpt {
             every: cfg.checkpoint_every,
             rotation,
+            shards: cfg.checkpoint_shards,
         }),
         faults,
         max_recoveries,
+        max_local_recoveries,
+        audit_every,
         comm_deadline: cfg
             .fault_comm_deadline_ms
             .map_or(dp_parallel::DEFAULT_DEADLINE, Duration::from_millis),
@@ -766,6 +890,12 @@ fn run_parallel_deck(
         log(&format!(
             "step {:6}  PE {:+.4} eV  KE {:.4} eV  T {:6.1} K  P {:+.0} bar",
             s.step, s.potential_energy, s.kinetic_energy, s.temperature, s.pressure
+        ));
+    }
+    if run.local_recoveries > 0 {
+        log(&format!(
+            "recovered {} dead rank(s) in place via localized respawn (no global reload)",
+            run.local_recoveries
         ));
     }
     if run.recoveries > 0 {
@@ -816,11 +946,26 @@ fn run_parallel_deck(
         }
     }
 
+    let recovery_tier = if run.recoveries > 0 {
+        "global"
+    } else if run.local_recoveries > 0 {
+        "local"
+    } else {
+        "none"
+    };
+    if dp_obs::metrics::active() {
+        dp_obs::metrics::emit_line(&format!(
+            "{{\"event\":\"recovery_summary\",\"tier\":\"{recovery_tier}\",\"local\":{},\"global\":{}}}",
+            run.local_recoveries, run.recoveries
+        ));
+    }
     Ok(RunSummary {
         thermo: run.thermo,
         final_system: run.system,
         potential_name: name,
         recoveries: run.recoveries,
+        local_recoveries: run.local_recoveries,
+        recovery_tier,
         imbalance: Some(imbalance),
     })
 }

@@ -211,6 +211,9 @@ struct EvalJob {
     sys: System,
     mode: PrecisionMode,
     per_atom: bool,
+    /// `deadline_ms` from the request body: how long the client is
+    /// willing to wait. Checked at admission, not during evaluation.
+    deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for EvalJob {
@@ -374,11 +377,22 @@ fn parse_eval(
             .ok_or_else(|| (400, "\"per_atom\" must be a boolean".to_string()))?,
     };
 
+    let deadline = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .map(|ms| Duration::from_micros((ms * 1000.0) as u64))
+                .ok_or_else(|| (400, "\"deadline_ms\" must be a positive number".to_string()))?,
+        ),
+    };
+
     Ok(EvalJob {
         model,
         sys: System::new(cell, positions, types, masses),
         mode,
         per_atom,
+        deadline,
     })
 }
 
@@ -847,12 +861,21 @@ fn handle(
             // Route to the target model's own queue; parse_eval already
             // guaranteed the model exists in the registry.
             let batcher = &batchers[&job.model.name];
-            match batcher.submit(job) {
+            let deadline = job.deadline;
+            match batcher.submit_with_deadline(job, deadline) {
                 Ok(body) => Response::json(200, body),
                 Err(SubmitError::QueueFull) => {
                     Response::error(429, "eval queue is full; retry later")
                         .with_header("Retry-After", "1")
                 }
+                Err(SubmitError::DeadlineExceeded { estimated_wait_us }) => Response::error(
+                    429,
+                    &format!(
+                        "deadline_ms too short: estimated queue wait is {} ms",
+                        estimated_wait_us.div_ceil(1000)
+                    ),
+                )
+                .with_header("Retry-After", "1"),
                 Err(SubmitError::ShuttingDown) => Response::error(503, "daemon is draining"),
             }
         }

@@ -15,8 +15,9 @@ use deepmd_repro::md::potential::pair::LennardJones;
 use deepmd_repro::md::rng::CounterRng;
 use deepmd_repro::md::{lattice, Potential, System};
 use deepmd_repro::parallel::{
-    expand_chaos, run_parallel_md, Allreduce, ChaosSpec, CommError, DelaySpec, FaultPlan,
-    KillSpec, MsgSelector, ParallelCkpt, ParallelOptions, ParallelRun, RunError,
+    expand_chaos, expand_soak, run_parallel_md, Allreduce, BreakInvariant, ChaosSpec, CommError,
+    DelaySpec, FaultPlan, KillSpec, MsgSelector, ParallelCkpt, ParallelOptions, ParallelRun,
+    RunError, ShardTear, SoakSpec,
 };
 use dp_ckpt::Rotation;
 use std::path::PathBuf;
@@ -60,6 +61,15 @@ fn ckpt(dir: &std::path::Path, name: &str) -> ParallelCkpt {
     ParallelCkpt {
         every: 10,
         rotation: Rotation::new(dir.join(name).display().to_string(), 3),
+        shards: false,
+    }
+}
+
+/// Like [`ckpt`] but with per-rank shards on, enabling localized recovery.
+fn ckpt_sharded(dir: &std::path::Path, name: &str) -> ParallelCkpt {
+    ParallelCkpt {
+        shards: true,
+        ..ckpt(dir, name)
     }
 }
 
@@ -285,6 +295,180 @@ fn chaos_schedule_recovers_bit_exact() {
     assert_bit_exact(&straight, &chaotic, "chaos seed 7 on [2,1,1]");
 }
 
+// ---- recovery tiering: localized respawn vs. global reload ------------
+
+#[test]
+fn localized_respawn_recovers_bit_exact() {
+    // Tier 1: with per-rank shards on, a mid-run kill is repaired in
+    // place — the dead rank is rebuilt from its shard while the survivors
+    // hold at the step barrier — and the run never reloads the global
+    // rotation. The result must still match the clean run to the bit.
+    let dir = test_dir("dpft-local-respawn");
+    let sys = argon();
+
+    let straight = run_parallel_md(
+        &sys,
+        lj(),
+        [2, 2, 1],
+        &opts(Some(ckpt_sharded(&dir, "a.ckpt")), None),
+        60,
+    )
+    .unwrap();
+    assert_eq!(straight.recoveries, 0);
+    assert_eq!(straight.local_recoveries, 0);
+
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            step: 33,
+            every_epoch: false,
+        }),
+        ..FaultPlan::default()
+    };
+    let recovered = run_parallel_md(
+        &sys,
+        lj(),
+        [2, 2, 1],
+        &opts(Some(ckpt_sharded(&dir, "b.ckpt")), Some(plan)),
+        60,
+    )
+    .unwrap();
+
+    assert_eq!(
+        recovered.local_recoveries, 1,
+        "kill at 33 with shards at 30 must be repaired in place"
+    );
+    assert_eq!(
+        recovered.recoveries, 0,
+        "localized recovery must not reload the global checkpoint"
+    );
+    assert!(
+        recovered.recovered_from.is_empty(),
+        "no generation reload expected, got {:?}",
+        recovered.recovered_from
+    );
+    assert_bit_exact(&straight, &recovered, "localized respawn of rank 1 at 33");
+}
+
+#[test]
+fn torn_shard_escalates_to_global_reload() {
+    // Tier 2: the dead rank's newest shard was torn mid-write, so the
+    // localized attempt finds it invalid and the supervisor escalates to
+    // the global rotation — which still recovers bit-exactly.
+    let dir = test_dir("dpft-torn-shard");
+    let sys = argon();
+
+    let straight = run_parallel_md(
+        &sys,
+        lj(),
+        [2, 2, 1],
+        &opts(Some(ckpt_sharded(&dir, "a.ckpt")), None),
+        60,
+    )
+    .unwrap();
+
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            step: 33,
+            every_epoch: false,
+        }),
+        torn_shards: vec![ShardTear { rank: 1, step: 30 }],
+        ..FaultPlan::default()
+    };
+    let faulted_ckpt = ckpt_sharded(&dir, "b.ckpt");
+    let newest = faulted_ckpt.rotation.slot_path(0);
+    let recovered =
+        run_parallel_md(&sys, lj(), [2, 2, 1], &opts(Some(faulted_ckpt), Some(plan)), 60).unwrap();
+
+    assert_eq!(
+        recovered.local_recoveries, 0,
+        "a torn shard must abort the localized tier"
+    );
+    assert_eq!(recovered.recoveries, 1, "expected one global reload");
+    assert_eq!(
+        recovered.recovered_from,
+        vec![newest],
+        "global tier must reload the newest (step 30) generation"
+    );
+    assert_bit_exact(&straight, &recovered, "torn shard at 30, kill at 33");
+}
+
+#[test]
+fn chaos_soak_recovers_bit_exact_with_audits() {
+    // Soak mode: a seed expands into a compound schedule (kill, drop,
+    // delay, torn shard) while the invariant auditor runs every 10 steps.
+    // The soaked run must complete with every audit passing and match
+    // the clean run to the bit.
+    let dir = test_dir("dpft-soak");
+    let sys = argon();
+
+    let straight = run_parallel_md(
+        &sys,
+        lj(),
+        [2, 1, 1],
+        &opts(Some(ckpt_sharded(&dir, "a.ckpt")), None),
+        60,
+    )
+    .unwrap();
+
+    let spec = SoakSpec {
+        seed: 11,
+        kills: 1,
+        drops: 1,
+        delays: 1,
+        torn_shards: 1,
+        max_delay_ms: 20,
+        audit_every: 10,
+    };
+    let plan = expand_soak(&spec, 2, 60, 10).unwrap();
+    assert_eq!(
+        plan,
+        expand_soak(&spec, 2, 60, 10).unwrap(),
+        "soak schedule must replay bit-exactly"
+    );
+    let mut o = opts(Some(ckpt_sharded(&dir, "b.ckpt")), Some(plan.clone()));
+    o.comm_deadline = Duration::from_secs(2);
+    o.max_recoveries = plan.max_failures();
+    o.audit_every = 10;
+    let soaked = run_parallel_md(&sys, lj(), [2, 1, 1], &o, 60).unwrap();
+
+    assert!(
+        soaked.rank_stats.iter().any(|s| s.audits_passed > 0),
+        "auditor never ran: {:?}",
+        soaked.rank_stats.iter().map(|s| s.audits_passed).collect::<Vec<_>>()
+    );
+    assert!(soaked.recoveries + soaked.local_recoveries >= 1);
+    assert_bit_exact(&straight, &soaked, "chaos soak seed 11 on [2,1,1]");
+}
+
+#[test]
+fn broken_invariant_fails_fast_typed() {
+    // The test-only sabotage hook corrupts one rank's audit *report* (one
+    // phantom atom); the atom-count conservation check must trip at the
+    // first audit after the planned step and surface as a typed error —
+    // no recovery attempt, the physics can't be trusted.
+    let dir = test_dir("dpft-break-invariant");
+    let sys = argon();
+    let plan = FaultPlan {
+        break_invariant: Some(BreakInvariant { rank: 0, step: 15 }),
+        ..FaultPlan::default()
+    };
+    let mut o = opts(Some(ckpt_sharded(&dir, "a.ckpt")), Some(plan));
+    o.audit_every = 10;
+    let err = run_parallel_md(&sys, lj(), [2, 1, 1], &o, 60).unwrap_err();
+    match &err {
+        RunError::Audit { failure } => {
+            assert_eq!(failure.check, "atom_count", "wrong check tripped: {failure}");
+            assert_eq!(
+                failure.step, 20,
+                "sabotage planned at 15 must trip the first audit at/after it"
+            );
+        }
+        other => panic!("expected Audit, got {other}"),
+    }
+}
+
 #[test]
 fn rank_failure_without_checkpointing_is_typed() {
     let sys = argon();
@@ -379,6 +563,25 @@ fn lj_parallel_deck(extra: &str) -> String {
             "seed": 7{extra}
         }}"#
     )
+}
+
+#[test]
+fn checkpoint_shards_without_grid_is_a_deck_error() {
+    let cfg = parse_config(&lj_parallel_deck(r#", "checkpoint_shards": true"#)).unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    assert!(err.to_string().contains("grid"), "{err}");
+}
+
+#[test]
+fn checkpoint_shards_without_checkpointing_is_a_deck_error() {
+    let cfg = parse_config(&lj_parallel_deck(
+        r#", "grid": [2,1,1], "checkpoint_shards": true"#,
+    ))
+    .unwrap();
+    let err = run(&cfg, |_| {}).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    assert!(err.to_string().contains("checkpoint_every"), "{err}");
 }
 
 #[test]
@@ -505,6 +708,130 @@ fn injected_fault_counters_reach_metrics_jsonl() {
     assert!(
         jsonl.contains("\"recovery.success\""),
         "recovery.success missing from metrics:\n{jsonl}"
+    );
+}
+
+#[test]
+fn recovery_tiers_reach_metrics_jsonl() {
+    // Tier 1 drill through the binary: shards on, one kill. The metrics
+    // stream must carry the localized counters and the recovery-summary
+    // tier, and the stdout log must say "in place", not "reload".
+    let dir = test_dir("dpft-bin-local-metrics");
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = lj_parallel_deck(&format!(
+        r#",
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "checkpoint_shards": true,
+        "fault_kill_rank": 1,
+        "fault_kill_step": 15"#
+    ));
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+
+    let out = dpmd(&deck_path, &["--metrics", metrics.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "sharded kill must be repaired in place:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("localized respawn"),
+        "no localized-recovery log line:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("via checkpoint reload"),
+        "localized recovery must not reload globally:\n{stdout}"
+    );
+
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    for needle in [
+        "\"recovery.local.attempt\"",
+        "\"recovery.local.success\"",
+        "\"recovery.latency_us\"",
+        "\"tier\":\"local\"",
+    ] {
+        assert!(jsonl.contains(needle), "{needle} missing from metrics:\n{jsonl}");
+    }
+    assert!(
+        !jsonl.contains("\"recovery.local.fallback\""),
+        "clean localized recovery must not record a fallback:\n{jsonl}"
+    );
+}
+
+#[test]
+fn chaos_soak_deck_completes_with_audits_passing() {
+    // The bounded soak smoke CI runs: compound faults + auditor through
+    // the deck interface, must exit 0 with audits recorded as passed.
+    let dir = test_dir("dpft-bin-soak");
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = lj_parallel_deck(&format!(
+        r#",
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "checkpoint_shards": true,
+        "fault_comm_deadline_ms": 2000,
+        "chaos_soak": {{"seed": 11, "kills": 1, "drops": 1, "delays": 1, "torn_shards": 1, "max_delay_ms": 20}}"#
+    ));
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+
+    let out = dpmd(&deck_path, &["--metrics", metrics.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "soak deck must survive its own schedule:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        jsonl.contains("\"audit.passed\""),
+        "audit.passed missing from metrics:\n{jsonl}"
+    );
+    assert!(
+        !jsonl.contains("\"audit.failed\""),
+        "soak must not trip the auditor:\n{jsonl}"
+    );
+}
+
+#[test]
+fn broken_invariant_deck_exits_6() {
+    // The deliberately-injected invariant violation must produce the
+    // typed audit failure and its own exit code — distinct from both deck
+    // errors and ordinary fault-tolerance failures.
+    let dir = test_dir("dpft-bin-audit");
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = lj_parallel_deck(&format!(
+        r#",
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "audit_every": 10,
+        "fault_break_invariant": [0, 15]"#
+    ));
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+
+    let out = dpmd(&deck_path, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("invariant audit") && stderr.contains("atom_count"),
+        "untyped audit failure:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stdout.contains("panicked"),
+        "panic spew leaked:\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
 }
 

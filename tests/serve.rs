@@ -241,6 +241,25 @@ fn eval_errors_are_typed_and_do_not_kill_the_daemon() {
     assert_eq!(status, 400);
     assert!(body.contains("minimum-image"), "{body}");
 
+    // A deadline on an idle daemon always admits: the queue is empty, so
+    // the only wait is the bounded linger.
+    let (status, body) = d.http(
+        "POST",
+        "/v1/eval",
+        "{\"cell\": [20,12,12], \"positions\": [[1,1,1]], \"deadline_ms\": 1}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"energy\":"), "{body}");
+
+    // A non-positive deadline is a request error.
+    let (status, body) = d.http(
+        "POST",
+        "/v1/eval",
+        "{\"cell\": [20,12,12], \"positions\": [[1,1,1]], \"deadline_ms\": 0}",
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("deadline_ms"), "{body}");
+
     // Malformed JSON: 400. Unknown endpoint: 404. Wrong method: 405.
     assert_eq!(d.http("POST", "/v1/eval", "{oops").0, 400);
     assert_eq!(d.http("GET", "/v2/nothing", "").0, 404);

@@ -141,7 +141,8 @@ echo "== run it_fault_tolerance (library-level drills)"
 "$OUT/it_fault_tolerance" --test-threads=1 \
     killed_rank corrupted torn_checkpoint dropped_message delayed_message \
     rank_failure_without retries_exhausted_is_typed dead_rank_in_allreduce \
-    chaos_schedule
+    chaos_schedule localized_respawn torn_shard_escalates chaos_soak_recovers \
+    broken_invariant_fails
 for t in it_alloc_regression it_workspace_reuse it_parallel_dp it_virial; do
     echo "== run $t"
     "$OUT/$t"

@@ -91,4 +91,39 @@ echo "tier1: ensemble smoke OK (8 replicas, 7 deterministic swap attempts)"
 DPMD_SIMD=off cargo test -q -p dp-linalg
 echo "tier1: scalar-path linalg suite OK (DPMD_SIMD=off)"
 
+# --- 4. chaos-soak smoke: compound faults under the invariant auditor ---
+# One bounded deck: a deterministic schedule of a kill, a drop, a delay,
+# and a torn per-rank shard write lands on a sharded-checkpoint run while
+# conservation-class invariants are audited every 10 steps. The run must
+# finish clean (recoveries are allowed, audit failures are not) inside
+# 60 seconds.
+cat > "$TMP/soak.json" <<DECK
+{
+  "system": {"kind": "fcc", "a0": 5.26, "reps": [3, 3, 3], "mass": 39.948},
+  "potential": {"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0},
+  "temperature": 40.0,
+  "dt_fs": 2.0,
+  "steps": 60,
+  "thermo_every": 10,
+  "seed": 7,
+  "grid": [2, 1, 1],
+  "checkpoint_every": 10,
+  "checkpoint_path": "$TMP/soak.ckpt",
+  "checkpoint_shards": true,
+  "fault_comm_deadline_ms": 2000,
+  "chaos_soak": {"seed": 11, "kills": 1, "drops": 1, "delays": 1, "torn_shards": 1, "max_delay_ms": 20}
+}
+DECK
+timeout 60 "$DPMD" "$TMP/soak.json" --metrics "$TMP/soak-metrics.jsonl" > "$TMP/soak-out.txt"
+grep -q '"audit.passed"' "$TMP/soak-metrics.jsonl" || {
+    echo "tier1: soak smoke ran without any invariant audits" >&2
+    exit 1
+}
+if grep -q '"audit.failed"' "$TMP/soak-metrics.jsonl"; then
+    echo "tier1: soak smoke tripped the invariant auditor" >&2
+    cat "$TMP/soak-out.txt" >&2
+    exit 1
+fi
+echo "tier1: chaos-soak smoke OK (compound faults survived, all audits passed)"
+
 echo "tier1: OK"
