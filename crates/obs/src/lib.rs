@@ -31,7 +31,13 @@
 //!   machine-readable performance trajectory,
 //! * [`serve`] — the serving daemon's canonical metric names
 //!   (request/batch counters, latency histograms) and the `/metrics`
-//!   snapshot payload.
+//!   snapshot payload,
+//! * [`prom`] — Prometheus text-format exposition of everything above
+//!   (cumulative `_bucket`/`_sum`/`_count` histogram series, labeled
+//!   gauges) plus a strict scrape parser for round-trip verification,
+//! * [`flight`] — the flight recorder: fixed-size per-rank rings of
+//!   per-step phase aggregates, dumped by the parallel supervisor on rank
+//!   death, audit failure, or recovery escalation.
 //!
 //! # Cost model
 //!
@@ -43,10 +49,12 @@
 //! un-instrumented runs.
 
 pub mod counter;
+pub mod flight;
 pub mod hist;
 pub mod imbalance;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod report;
 pub mod serve;

@@ -107,6 +107,17 @@ impl<W: Write> MetricsWriter<W> {
     }
 }
 
+/// Flush-on-drop guarantee: buffered rows survive whichever way the
+/// writer goes out of scope — normal exit, an early `return Err(...)`, or
+/// a panic unwinding the stack. The flush error (if any) is swallowed:
+/// a destructor must not panic, and the deferred-error path of the global
+/// sink already reports write failures at [`uninstall`].
+impl<W: Write> Drop for MetricsWriter<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 // ---- process-global sink ----
 
 type GlobalWriter = MetricsWriter<BufWriter<std::fs::File>>;
@@ -206,15 +217,42 @@ pub fn uninstall() -> Option<std::io::Result<()>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    /// A cloneable sink readable after the writer drops (a `Drop` impl on
+    /// `MetricsWriter` means tests can no longer move `out` back out).
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Shared {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()).unwrap()
+        }
+    }
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
     #[test]
     fn step_lines_have_paper_metrics() {
-        let mut w = MetricsWriter::new(Vec::new());
+        let sink = Shared::default();
+        let mut w = MetricsWriter::new(sink.clone());
         crate::counter("flops").add(2_000_000);
         w.record_step(1, 100, Duration::from_millis(10)).unwrap();
         crate::counter("flops").add(3_000_000);
         w.record_step(2, 100, Duration::from_millis(10)).unwrap();
-        let text = String::from_utf8(w.out).unwrap();
+        drop(w);
+        let text = sink.contents();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         for line in &lines {
@@ -231,11 +269,13 @@ mod tests {
 
     #[test]
     fn emit_line_interleaves_with_step_rows() {
-        let mut w = MetricsWriter::new(Vec::new());
+        let sink = Shared::default();
+        let mut w = MetricsWriter::new(sink.clone());
         w.record_step(1, 10, Duration::from_millis(1)).unwrap();
         w.emit_line("{\"event\":\"imbalance\",\"n_ranks\":2}")
             .unwrap();
-        let text = String::from_utf8(w.out).unwrap();
+        drop(w);
+        let text = sink.contents();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
@@ -251,10 +291,67 @@ mod tests {
 
     #[test]
     fn zero_atoms_and_zero_time_do_not_divide_by_zero() {
-        let mut w = MetricsWriter::new(Vec::new());
+        let sink = Shared::default();
+        let mut w = MetricsWriter::new(sink.clone());
         w.record_step(0, 0, Duration::ZERO).unwrap();
-        let text = String::from_utf8(w.out).unwrap();
+        drop(w);
+        let text = sink.contents();
         assert!(text.contains("\"s_per_step_per_atom\":0e0"));
         assert!(text.contains("\"gflops\":0e0"));
+    }
+
+    // ---- flush-on-drop guarantee, across all three exit paths ----
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "dp-obs-metrics-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn buffered_rows_survive_normal_scope_exit() {
+        let path = tmp_path("normal");
+        {
+            let mut w = MetricsWriter::create(path.to_str().unwrap()).unwrap();
+            w.emit_line("{\"event\":\"before_drop\"}").unwrap();
+            // no explicit flush: the row sits in the BufWriter
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"before_drop\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_rows_survive_a_panic_unwind() {
+        let path = tmp_path("panic");
+        let p = path.to_str().unwrap().to_string();
+        let result = std::panic::catch_unwind(move || {
+            let mut w = MetricsWriter::create(&p).unwrap();
+            w.emit_line("{\"event\":\"before_panic\"}").unwrap();
+            panic!("simulated fault mid-run");
+        });
+        assert!(result.is_err(), "the panic must have fired");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"before_panic\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_rows_survive_a_typed_error_return() {
+        // The AppError-style early-return path: the writer is a local, the
+        // function bails with Err before ever flushing.
+        fn run(path: &str) -> Result<(), String> {
+            let mut w = MetricsWriter::create(path).map_err(|e| e.to_string())?;
+            w.emit_line("{\"event\":\"before_error\"}")
+                .map_err(|e| e.to_string())?;
+            Err("typed failure".into())
+        }
+        let path = tmp_path("err");
+        assert!(run(path.to_str().unwrap()).is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"before_error\""), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -240,6 +240,14 @@ pub struct RankStats {
     pub compute_time: Duration,
     pub comm_time: Duration,
     pub reduce_time: Duration,
+    /// Neighbor-list (re)build time. Not part of the three-phase
+    /// imbalance taxonomy (it rides inside the step between comm and
+    /// compute) but broken out for the flight recorder's step records.
+    pub neigh_time: Duration,
+    /// Checkpoint/shard I/O time. Also accumulated into `comm_time`
+    /// (the §7.3 imbalance taxonomy folds I/O into comm), so subtract
+    /// when a disjoint breakdown is needed.
+    pub io_time: Duration,
     /// Invariant audits this rank completed successfully.
     pub audits_passed: usize,
 }
@@ -399,6 +407,10 @@ pub fn run_parallel_md(
         .filter(|p| !p.is_empty())
         .map(|p| Arc::new(FaultState::new(p.clone(), grid.n_ranks())));
 
+    // fresh flight-recorder rings: a dump from this run must never mix in
+    // a previous run's history
+    dp_obs::flight::reset();
+
     let start = Instant::now();
     let mut restored: Option<System> = None;
     let mut start_step = opts.start_step;
@@ -497,14 +509,17 @@ pub fn run_parallel_md(
         // checkpoint written after the violation cannot be trusted either
         if let Some(af) = epoch.audit.clone() {
             dp_obs::counter("audit.failed").add(1);
+            emit_flight_lines(dp_obs::flight::dump("audit_failure"));
             record_failed_epoch_metrics(&epoch, start_step, sys.len());
             return Err(RunError::Audit { failure: af });
         }
         let Some(ck) = opts.checkpoint.as_ref().filter(|c| c.every > 0) else {
+            emit_flight_lines(dp_obs::flight::dump("rank_failure"));
             record_failed_epoch_metrics(&epoch, start_step, sys.len());
             return Err(RunError::RankFailure { failure });
         };
         if recoveries >= opts.max_recoveries {
+            emit_flight_lines(dp_obs::flight::dump("retries_exhausted"));
             record_failed_epoch_metrics(&epoch, start_step, sys.len());
             return Err(RunError::RetriesExhausted {
                 attempts: recoveries,
@@ -512,6 +527,7 @@ pub fn run_parallel_md(
             });
         }
         dp_obs::counter("recovery.attempt").add(1);
+        emit_flight_lines(dp_obs::flight::dump("recovery_escalation"));
         record_failed_epoch_metrics(&epoch, start_step, sys.len());
         recoveries += 1;
 
@@ -548,6 +564,25 @@ pub fn run_parallel_md(
         // same histogram the localized tier records into, so the two
         // tiers' costs are directly comparable in the metrics stream
         dp_obs::hist::record("recovery.latency_us", reload_t0.elapsed().as_micros() as u64);
+    }
+}
+
+/// Route flight-recorder JSONL lines to wherever this run's observability
+/// goes: the metrics sink when one is installed (flushed immediately — a
+/// dump usually precedes process death), stderr otherwise.
+fn emit_flight_lines(lines: Vec<String>) {
+    if lines.is_empty() {
+        return;
+    }
+    if dp_obs::metrics::active() {
+        for l in &lines {
+            dp_obs::metrics::emit_line(l);
+        }
+        dp_obs::metrics::flush();
+    } else {
+        for l in &lines {
+            eprintln!("{l}");
+        }
     }
 }
 
@@ -1041,6 +1076,14 @@ fn run_epoch(
                     audit,
                     recoverable,
                 } => {
+                    // post-mortem first: the dead rank's last-N-steps
+                    // window, dumped before any recovery decision (a
+                    // localized respawn keeps writing to this ring)
+                    emit_flight_lines(
+                        dp_obs::flight::dump_rank(rank, "rank_death")
+                            .into_iter()
+                            .collect(),
+                    );
                     if audit.is_some() && epoch_audit.is_none() {
                         epoch_audit = audit;
                     }
@@ -1250,8 +1293,10 @@ fn rank_loop(
     let mut nl_scratch = NlScratch::default();
     let mut nl = NeighborList::empty();
     {
-        let _span = dp_obs::span("neighbor_rebuild");
-        nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
+        let ((), d) = dp_obs::timed("neighbor_rebuild", || {
+            nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch)
+        });
+        stats.neigh_time += d;
     }
     stats.rebuilds += 1;
     let mut out = PotentialOutput::zeros(local.len());
@@ -1286,6 +1331,19 @@ fn rank_loop(
 
     for step in start_step + 1..=end_step {
         let step_t0 = dp_obs::enabled().then(Instant::now);
+        // phase-time marks for the flight recorder: deltas over this step
+        // become one StepRecord in this rank's post-mortem ring
+        let fr_marks = step_t0.map(|_| {
+            (
+                stats.compute_time,
+                stats.comm_time,
+                stats.reduce_time,
+                stats.neigh_time,
+                stats.io_time,
+                stats.ghost_atoms_sent,
+                dp_obs::counter("flops").get(),
+            )
+        });
         if let Some(f) = faults {
             if f.should_kill(st.rank, step) {
                 fault::kill_current_rank(st.rank, step);
@@ -1326,9 +1384,11 @@ fn rank_loop(
             });
             stats.comm_time += d;
             res?;
-            let _span = dp_obs::span("neighbor_rebuild");
-            refresh_local_system(&mut local, st);
-            nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
+            let ((), d) = dp_obs::timed("neighbor_rebuild", || {
+                refresh_local_system(&mut local, st);
+                nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch)
+            });
+            stats.neigh_time += d;
             stats.rebuilds += 1;
         } else {
             let (res, d) = dp_obs::timed("comm", || forward_comm(st, comm));
@@ -1409,6 +1469,7 @@ fn rank_loop(
                     gather_checkpoint(st, comm, cell, masses, step, start_rng, ck, faults)
                 });
                 stats.comm_time += d;
+                stats.io_time += d;
                 res?;
                 if step < end_step {
                     // realign to the exact state a restart from this
@@ -1452,6 +1513,7 @@ fn rank_loop(
                             }
                         });
                         stats.comm_time += d;
+                        stats.io_time += d;
                         *snap = Some(shard);
                     }
                     let (res, d) = dp_obs::timed("ghost_exchange", || {
@@ -1459,9 +1521,11 @@ fn rank_loop(
                     });
                     stats.comm_time += d;
                     res?;
-                    let _span = dp_obs::span("neighbor_rebuild");
-                    refresh_local_system(&mut local, st);
-                    nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch);
+                    let ((), d) = dp_obs::timed("neighbor_rebuild", || {
+                        refresh_local_system(&mut local, st);
+                        nl.build_into(&local, pot.cutoff() + opts.md.skin, &mut nl_scratch)
+                    });
+                    stats.neigh_time += d;
                     stats.rebuilds += 1;
                 }
             }
@@ -1496,8 +1560,30 @@ fn rank_loop(
             hb_wall = Instant::now();
         }
 
-        if let Some(t0) = step_t0 {
+        if let (Some(t0), Some(m)) = (step_t0, fr_marks) {
             dp_obs::hist::record("step_wall_ns", t0.elapsed().as_nanos() as u64);
+            let us = |d: Duration| d.as_micros() as u64;
+            let comm_us = us(stats.comm_time - m.1);
+            let io_us = us(stats.io_time - m.4);
+            let ghosts = stats.ghost_atoms_sent - m.5;
+            dp_obs::flight::record(
+                st.rank,
+                dp_obs::flight::StepRecord {
+                    step: step as u64,
+                    wall_us: t0.elapsed().as_micros() as u64,
+                    compute_us: us(stats.compute_time - m.0),
+                    // io rides inside comm_time (the §7.3 fold); report
+                    // the two disjointly here
+                    comm_us: comm_us.saturating_sub(io_us),
+                    wait_us: us(stats.reduce_time - m.2),
+                    neigh_us: us(stats.neigh_time - m.3),
+                    io_us,
+                    ghost_atoms: ghosts,
+                    // 3 f64 coordinates per ghost atom forwarded
+                    bytes: ghosts * 24,
+                    flops: dp_obs::counter("flops").get().saturating_sub(m.6),
+                },
+            );
         }
     }
 

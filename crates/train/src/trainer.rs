@@ -32,6 +32,9 @@ pub struct TrainReport {
     pub step: usize,
     pub loss: f64,
     pub lr: f64,
+    /// L2 norm of the mean gradient this step descended (the standard
+    /// divergence/plateau signal on a training dashboard).
+    pub grad_norm: f64,
     /// Wall time of this step (gradient pass + optimizer update).
     pub wall: Duration,
 }
@@ -144,18 +147,34 @@ impl Trainer {
         let nf = self.prepared.len() as f64;
         let mean_loss = total_loss / nf;
         let grads: Vec<f64> = grad_sum.iter().map(|g| g / nf).collect();
+        let grad_norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
 
         let mut params = self.model.flat_params();
         self.adam.step(&mut params, &grads);
         self.model.set_flat_params(&params);
         self.steps += 1;
         drop(span);
-        TrainReport {
+        let report = TrainReport {
             step: self.steps,
             loss: mean_loss,
             lr: self.adam.lr(),
+            grad_norm,
             wall: start.elapsed(),
+        };
+        // Per-step training telemetry into whatever metrics sink the app
+        // installed; inert (one relaxed load) when none is.
+        if dp_obs::metrics::active() {
+            dp_obs::metrics::emit_line(&format!(
+                "{{\"event\":\"train_step\",\"step\":{},\"loss\":{:e},\"grad_norm\":{:e},\
+                 \"lr\":{:e},\"wall_s\":{:e}}}",
+                report.step,
+                report.loss,
+                report.grad_norm,
+                report.lr,
+                report.wall.as_secs_f64()
+            ));
         }
+        report
     }
 
     /// Run `n` steps, returning the per-step losses.
@@ -269,7 +288,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(52);
         let model = DpModel::<f64>::new_random(cfg, &mut rng);
         let mut trainer = Trainer::new(model, &frames, 0.01, LossWeights::default());
-        let first = trainer.step().loss;
+        let first_report = trainer.step();
+        assert!(
+            first_report.grad_norm.is_finite() && first_report.grad_norm > 0.0,
+            "a step that moved the loss must have a nonzero gradient norm"
+        );
+        let first = first_report.loss;
         let reports = trainer.run(40);
         let last = reports.last().unwrap().loss;
         assert!(

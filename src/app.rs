@@ -41,12 +41,13 @@ use dp_md::potential::eam::SuttonChen;
 use dp_md::potential::pair::{LennardJones, PairTable};
 use dp_md::rng::CounterRng;
 use dp_md::{lattice, Potential, System};
+use dp_obs::report::{RooflineReport, RooflineRow};
 use dp_obs::ImbalanceReport;
 use dp_parallel::{
     expand_chaos, expand_soak, run_parallel_md, BreakInvariant, ChaosSpec, DelaySpec, FaultPlan,
     KillSpec, MsgSelector, ParallelCkpt, ParallelOptions, RunError, SoakSpec,
 };
-use dp_perfmodel::SystemModel;
+use dp_perfmodel::{Roofline, SystemModel};
 use serde::Deserialize;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -221,6 +222,17 @@ pub struct AppConfig {
     /// GFLOPS) after the run. Also settable as `dpmd --imbalance-report`.
     #[serde(default)]
     pub imbalance_report: bool,
+    /// Parallel runs only: print the roofline attribution table after the
+    /// run — per-phase achieved vs. modeled GFLOPS, arithmetic intensity,
+    /// and the memory/compute-bound verdict against the paper's V100
+    /// roofline. Also settable as `dpmd --profile-report`.
+    #[serde(default)]
+    pub profile_report: bool,
+    /// Write a Prometheus text-format (0.0.4) snapshot of every counter,
+    /// histogram, and published gauge here after the run. Also settable
+    /// as `dpmd --prom-dump <file>`.
+    #[serde(default)]
+    pub prom_dump: Option<String>,
 }
 
 /// The `fault_chaos` deck key: how much randomized fault traffic to
@@ -544,9 +556,10 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, App
             "fault_* keys require a parallel run: set \"grid\": [nx, ny, nz]".into(),
         ));
     }
-    if cfg.grid.is_none() && (cfg.report_every > 0 || cfg.imbalance_report) {
+    if cfg.grid.is_none() && (cfg.report_every > 0 || cfg.imbalance_report || cfg.profile_report) {
         return Err(AppError::Deck(
-            "report_every/imbalance_report require a parallel run: set \"grid\": [nx, ny, nz]"
+            "report_every/imbalance_report/profile_report require a parallel run: \
+             set \"grid\": [nx, ny, nz]"
                 .into(),
         ));
     }
@@ -703,6 +716,12 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, App
         )
     };
 
+    // Prometheus snapshot: counters are always on, so the dump is useful
+    // for plain (un-instrumented) runs too. It runs after a failed run as
+    // well — a fault drill's counters are the interesting part — but a
+    // write error never masks the run's own error.
+    let prom = write_prom_dump(cfg, &mut log);
+
     if obs_on {
         dp_obs::disable();
         // Teardown still runs after a failed run (a fault drill's metrics
@@ -733,9 +752,22 @@ pub fn run(cfg: &AppConfig, mut log: impl FnMut(&str)) -> Result<RunSummary, App
         })();
         let summary = result?;
         teardown?;
+        prom?;
         return Ok(summary);
     }
-    result
+    let summary = result?;
+    prom?;
+    Ok(summary)
+}
+
+fn write_prom_dump(cfg: &AppConfig, log: &mut impl FnMut(&str)) -> Result<(), AppError> {
+    let Some(path) = &cfg.prom_dump else {
+        return Ok(());
+    };
+    std::fs::write(path, dp_obs::prom::render())
+        .map_err(|e| AppError::Io(format!("cannot write prom dump {path}: {e}")))?;
+    log(&format!("prom: text-format snapshot -> {path}"));
+    Ok(())
 }
 
 fn write_frame_dedup(
@@ -932,7 +964,7 @@ fn run_parallel_deck(
         SystemSpec::Fcc { .. } => SystemModel::by_name("copper"),
     };
     let window_steps = imbalance.steps as f64;
-    if let (Some(m), Some(p)) = (model, imbalance.phase_mut("compute")) {
+    if let (Some(m), Some(p)) = (model.as_ref(), imbalance.phase_mut("compute")) {
         if p.mean_s > 0.0 {
             p.modeled_gflops = Some(m.step_flops(run.system.len()) * window_steps / p.mean_s / 1e9);
         }
@@ -942,6 +974,58 @@ fn run_parallel_deck(
     }
     if cfg.imbalance_report {
         for line in imbalance.to_table().lines() {
+            log(line);
+        }
+    }
+
+    // Roofline attribution: place each phase's achieved rate against the
+    // paper's V100 roofline (§6.3 / Fig. 3). Compute gets the FLOP counter
+    // and the perfmodel's per-atom traffic estimate; comm gets the ghost
+    // stream (3 f64 coordinates per forwarded atom); wait moves nothing.
+    let device = Roofline::v100();
+    let ghost_bytes: u64 = run
+        .rank_stats
+        .iter()
+        .map(|s| s.ghost_atoms_sent * 24)
+        .sum();
+    let mut rows = Vec::new();
+    for p in &imbalance.phases {
+        let (flops, bytes) = match p.name {
+            "compute" => (
+                run.flops,
+                model.as_ref().map_or(0, |m| {
+                    (m.bytes_per_atom() * run.system.len() as f64 * window_steps) as u64
+                }),
+            ),
+            "comm" => (0, ghost_bytes),
+            _ => (0, 0),
+        };
+        let mut row = RooflineRow::from_attribution(p.name, p.mean_s, flops, bytes);
+        row.modeled_gflops = p.modeled_gflops;
+        if let Some(ai) = row.arithmetic_intensity {
+            row.attainable_gflops = Some(device.attainable_gflops(ai));
+            row.bound = device.bound(ai);
+        }
+        rows.push(row);
+    }
+    let roofline = RooflineReport { rows };
+    if dp_obs::metrics::active() {
+        for r in &roofline.rows {
+            dp_obs::metrics::emit_line(&r.to_json());
+        }
+    }
+    for r in &roofline.rows {
+        dp_obs::prom::publish_gauge(
+            "roofline.achieved_gflops",
+            &[("phase", r.phase)],
+            r.achieved_gflops,
+        );
+        if let Some(att) = r.attainable_gflops {
+            dp_obs::prom::publish_gauge("roofline.attainable_gflops", &[("phase", r.phase)], att);
+        }
+    }
+    if cfg.profile_report {
+        for line in roofline.to_table().lines() {
             log(line);
         }
     }

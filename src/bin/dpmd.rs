@@ -4,15 +4,19 @@
 //! Usage:
 //!
 //! * `dpmd <input.json> [--resume <checkpoint>] [--trace <file>]
-//!   [--metrics <file>] [--imbalance-report]` — run a deck; see
-//!   `deepmd_repro::app` for the deck format. `--resume` restarts from
-//!   the newest valid generation of the given checkpoint rotation
-//!   (overriding any `resume` key in the deck) and appends to the deck's
-//!   trajectory instead of truncating it. `--trace` writes a
-//!   chrome://tracing JSON of the run's spans (parallel runs get one lane
-//!   per rank); `--metrics` writes per-step JSONL metrics. Both override
-//!   the corresponding deck keys. `--imbalance-report` prints the
-//!   cross-rank compute/comm/wait breakdown after a parallel run.
+//!   [--metrics <file>] [--prom-dump <file>] [--imbalance-report]
+//!   [--profile-report]` — run a deck; see `deepmd_repro::app` for the
+//!   deck format. `--resume` restarts from the newest valid generation of
+//!   the given checkpoint rotation (overriding any `resume` key in the
+//!   deck) and appends to the deck's trajectory instead of truncating it.
+//!   `--trace` writes a chrome://tracing JSON of the run's spans
+//!   (parallel runs get one lane per rank); `--metrics` writes per-step
+//!   JSONL metrics; `--prom-dump` writes a Prometheus text-format
+//!   snapshot of every counter/histogram/gauge after the run. All three
+//!   override the corresponding deck keys. `--imbalance-report` prints
+//!   the cross-rank compute/comm/wait breakdown after a parallel run;
+//!   `--profile-report` prints the roofline attribution table (achieved
+//!   vs. modeled GFLOPS, arithmetic intensity, memory/compute verdict).
 //! * `dpmd serve [--addr host:port | --unix path] [--addr-file path]
 //!   [--model NAME=model.json | NAME=synthetic:SEED]... [--workers N]
 //!   [--max-batch N] [--queue-depth N] [--batch-linger-ms MS]
@@ -28,6 +32,10 @@
 //!   client for the daemon (no curl needed): prints the response body to
 //!   stdout and exits non-zero on HTTP errors. URL is
 //!   `http://host:port/path` or `unix:/path/sock:/path`.
+//! * `dpmd promcheck <file>` — validate a Prometheus text-format
+//!   exposition (name/label grammar, TYPE lines, histogram bucket
+//!   monotonicity) with the same strict parser the tests use; exits 0 on
+//!   a clean parse, 2 with a diagnostic otherwise.
 //!
 //! Exit codes distinguish failure classes (see `app::AppError`):
 //! 2 = bad deck/usage, 3 = I/O failure, 4 = unusable checkpoint,
@@ -37,7 +45,7 @@ use std::io::{Read, Write};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>] [--imbalance-report]\n       dpmd ensemble <deck.json> [--resume]\n       dpmd serve [--addr host:port | --unix path] [--model NAME=SOURCE]... [options]\n       dpmd request METHOD URL [--data JSON | --body FILE]"
+        "usage: dpmd <input.json> [--resume <checkpoint>] [--trace <file>] [--metrics <file>] [--prom-dump <file>] [--imbalance-report] [--profile-report]\n       dpmd ensemble <deck.json> [--resume]\n       dpmd serve [--addr host:port | --unix path] [--model NAME=SOURCE]... [options]\n       dpmd request METHOD URL [--data JSON | --body FILE]\n       dpmd promcheck <file>"
     );
     std::process::exit(2);
 }
@@ -48,7 +56,35 @@ fn main() {
         Some("serve") => run_serve(&args[1..]),
         Some("request") => run_request(&args[1..]),
         Some("ensemble") => run_ensemble(&args[1..]),
+        Some("promcheck") => run_promcheck(&args[1..]),
         _ => run_deck(&args),
+    }
+}
+
+/// `dpmd promcheck` — strict validation of a Prometheus text-format file,
+/// so scripts can assert a scrape round-trips without a real Prometheus.
+fn run_promcheck(args: &[String]) -> ! {
+    let [path] = args else { usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dpmd promcheck: cannot read {path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    match dp_obs::prom::parse(&text) {
+        Ok(exp) => {
+            println!(
+                "{path}: ok ({} samples, {} typed families)",
+                exp.samples.len(),
+                exp.types.len()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("dpmd promcheck: {path}: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -232,11 +268,21 @@ fn run_deck(args: &[String]) -> ! {
     let mut resume: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut prom_dump: Option<String> = None;
     let mut imbalance_report = false;
+    let mut profile_report = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--imbalance-report" => imbalance_report = true,
+            "--profile-report" => profile_report = true,
+            "--prom-dump" => match it.next() {
+                Some(path) => prom_dump = Some(path.clone()),
+                None => {
+                    eprintln!("dpmd: --prom-dump needs an output path");
+                    usage();
+                }
+            },
             "--resume" => match it.next() {
                 Some(path) => resume = Some(path.clone()),
                 None => {
@@ -293,8 +339,14 @@ fn run_deck(args: &[String]) -> ! {
     if metrics.is_some() {
         cfg.metrics_path = metrics;
     }
+    if prom_dump.is_some() {
+        cfg.prom_dump = prom_dump;
+    }
     if imbalance_report {
         cfg.imbalance_report = true;
+    }
+    if profile_report {
+        cfg.profile_report = true;
     }
     if let Err(e) = deepmd_repro::app::run(&cfg, |line| println!("{line}")) {
         eprintln!("dpmd: {e}");

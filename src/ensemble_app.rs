@@ -165,6 +165,12 @@ pub struct EnsembleConfig {
     /// Write one JSON line per attempted exchange here.
     #[serde(default)]
     pub swap_log: Option<String>,
+    /// Write JSONL metrics for the run here: per-rank histogram rows,
+    /// active-learning `train_step` lines (loss, grad norm, wall), and
+    /// the closing `ensemble_summary`. Enables span/histogram collection
+    /// for the run's duration.
+    #[serde(default)]
+    pub metrics_path: Option<String>,
     /// Steps between whole-ensemble checkpoints (0 = none).
     #[serde(default)]
     pub checkpoint_every: usize,
@@ -310,6 +316,34 @@ pub fn run(cfg: &EnsembleConfig, mut log: impl FnMut(&str)) -> Result<EnsembleSu
         ));
     }
 
+    // Same obs lifecycle as `app::run`: a metrics sink for the run's
+    // duration, torn down afterwards (teardown errors never mask the
+    // run's own error).
+    let obs_on = cfg.metrics_path.is_some();
+    if obs_on {
+        if let Some(path) = &cfg.metrics_path {
+            dp_obs::metrics::install(path)
+                .map_err(|e| AppError::Io(format!("cannot open metrics file {path}: {e}")))?;
+        }
+        dp_obs::enable();
+    }
+    let result = run_engine(cfg, &mut log);
+    if obs_on {
+        dp_obs::disable();
+        let teardown = dp_obs::metrics::uninstall().map_or(Ok(()), |r| {
+            r.map_err(|e| AppError::Io(format!("metrics write failed: {e}")))
+        });
+        let summary = result?;
+        teardown?;
+        return Ok(summary);
+    }
+    result
+}
+
+fn run_engine(
+    cfg: &EnsembleConfig,
+    log: &mut impl FnMut(&str),
+) -> Result<EnsembleSummary, AppError> {
     let model = build_model(&cfg.model)?;
     let model_cfg = model.config.clone();
     let mode = if cfg.mixed_precision {
@@ -468,6 +502,17 @@ pub fn run(cfg: &EnsembleConfig, mut log: impl FnMut(&str)) -> Result<EnsembleSu
         log(&format!("swap log: {} events -> {path}", engine.swap_log.len()));
     }
 
+    if dp_obs::metrics::active() {
+        dp_obs::metrics::emit_line(&format!(
+            "{{\"event\":\"ensemble_summary\",\"replicas\":{},\"steps\":{},\
+             \"exchange_attempts\":{},\"exchange_accepted\":{}}}",
+            engine.n_replicas(),
+            engine.step,
+            engine.exchange_attempts,
+            engine.exchange_accepted
+        ));
+    }
+
     Ok(EnsembleSummary {
         replicas: engine.n_replicas(),
         steps: engine.step,
@@ -509,6 +554,7 @@ mod tests {
             mixed_precision: false,
             seed: 9,
             swap_log: None,
+            metrics_path: None,
             checkpoint_every: 0,
             checkpoint_path: None,
             checkpoint_keep: 3,

@@ -608,8 +608,68 @@ impl JobRunner for DeckRunner {
             fields.push(("final_temperature", json::num(last.temperature)));
             fields.push(("final_potential_energy", json::num(last.potential_energy)));
         }
+        // Parallel jobs carry their §7.3 phase breakdown onto
+        // `/v1/jobs/{id}`: per-phase share of rank busy time plus the
+        // run-level imbalance ratio.
+        if let Some(imb) = &summary.imbalance {
+            let mut phases: Vec<(&str, Json)> = imb
+                .phases
+                .iter()
+                .map(|p| (p.name, json::num(p.share)))
+                .collect();
+            phases.push(("imbalance", json::num(imb.imbalance)));
+            fields.push(("phases", json::obj(phases)));
+        }
         Ok(json::obj(fields).to_string())
     }
+}
+
+/// The ensemble-level `/metrics` section: replica-exchange acceptance,
+/// batched-evaluation occupancy, and active-learning progress, read from
+/// the always-on `dp_replica::metrics` counters. Present (zeroed) even
+/// before the first ensemble job runs, so dashboards can bind to it
+/// unconditionally.
+fn ensemble_metrics_json() -> Json {
+    use dp_replica::metrics as rm;
+    let attempts = dp_obs::counter(rm::EXCHANGE_ATTEMPTS).get();
+    let accepted = dp_obs::counter(rm::EXCHANGE_ACCEPTED).get();
+    let mut fields = vec![
+        ("exchange_attempts", json::num(attempts as f64)),
+        ("exchange_accepted", json::num(accepted as f64)),
+        (
+            "exchange_acceptance",
+            json::num(if attempts > 0 {
+                accepted as f64 / attempts as f64
+            } else {
+                0.0
+            }),
+        ),
+        ("ticks", json::num(dp_obs::counter(rm::TICKS).get() as f64)),
+        (
+            "batches",
+            json::num(dp_obs::counter(rm::BATCHES).get() as f64),
+        ),
+        (
+            "model_swaps",
+            json::num(dp_obs::counter(rm::MODEL_SWAPS).get() as f64),
+        ),
+        (
+            "active_rounds",
+            json::num(dp_obs::counter(rm::ACTIVE_ROUNDS).get() as f64),
+        ),
+        (
+            "active_labeled",
+            json::num(dp_obs::counter(rm::ACTIVE_LABELED).get() as f64),
+        ),
+        (
+            "steps_per_sec",
+            json::num(dp_obs::counter(rm::REPLICAS_PER_SEC).get() as f64),
+        ),
+    ];
+    let occ = dp_obs::hist::global(rm::BATCH_OCCUPANCY).snapshot();
+    fields.push(("batch_occupancy_p50", json::num(occ.quantile(0.50) as f64)));
+    fields.push(("batch_occupancy_p95", json::num(occ.quantile(0.95) as f64)));
+    json::obj(fields)
 }
 
 fn job_json(v: &JobView) -> Json {
@@ -658,6 +718,35 @@ pub fn run_serve(opts: &ServeOptions, mut log: impl FnMut(&str)) -> Result<(), A
     }
     std::fs::create_dir_all(&opts.state_dir)
         .map_err(|e| AppError::Io(format!("cannot create state dir: {e}")))?;
+
+    // Pre-register the ensemble-level counters/histogram and the roofline
+    // gauges so the very first scrape — before any job has run — already
+    // carries every series a dashboard binds to (closes the ROADMAP
+    // ensemble-observability item).
+    {
+        use dp_replica::metrics as rm;
+        for name in [
+            rm::TICKS,
+            rm::BATCHES,
+            rm::NL_REBUILDS,
+            rm::EXCHANGE_ATTEMPTS,
+            rm::EXCHANGE_ACCEPTED,
+            rm::MODEL_SWAPS,
+            rm::ACTIVE_ROUNDS,
+            rm::ACTIVE_LABELED,
+            rm::REPLICAS_PER_SEC,
+        ] {
+            dp_obs::counter(name);
+        }
+        dp_obs::hist::global(rm::BATCH_OCCUPANCY);
+        for phase in ["compute", "comm", "wait"] {
+            dp_obs::prom::publish_gauge(
+                "roofline.achieved_gflops",
+                &[("phase", phase)],
+                0.0,
+            );
+        }
+    }
 
     let store = JobStore::new();
     let runner = Arc::new(DeckRunner {
@@ -770,6 +859,32 @@ fn handle(
         }
         Route::Metrics => {
             let (queued, running, done, failed) = store.counts();
+            // Publish the daemon-level gauges into the prom registry
+            // before rendering either format, so both expositions see
+            // the same snapshot (per-model queue depths become labeled
+            // series).
+            dp_obs::prom::publish_gauge(
+                "serve.uptime_secs",
+                &[],
+                started.elapsed().as_secs_f64(),
+            );
+            dp_obs::prom::publish_gauge("serve.jobs.queued", &[], queued as f64);
+            dp_obs::prom::publish_gauge("serve.jobs.running", &[], running as f64);
+            for (name, b) in batchers.iter() {
+                dp_obs::prom::publish_gauge(
+                    "serve.eval.queue_depth",
+                    &[("model", name)],
+                    b.depth() as f64,
+                );
+            }
+            if req.query.contains("format=prometheus") {
+                return Response {
+                    status: 200,
+                    content_type: dp_obs::prom::CONTENT_TYPE,
+                    body: dp_obs::prom::render().into_bytes(),
+                    headers: Vec::new(),
+                };
+            }
             let obs = Json::parse(&dp_obs::serve::snapshot_json()).unwrap_or(Json::Null);
             let doc = json::obj(vec![
                 ("uptime_secs", json::num(started.elapsed().as_secs_f64())),
@@ -796,6 +911,7 @@ fn handle(
                             .collect(),
                     )
                 }),
+                ("ensemble", ensemble_metrics_json()),
                 ("obs", obs),
             ]);
             Response::json(200, doc.to_string())

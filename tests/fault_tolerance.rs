@@ -623,6 +623,68 @@ fn parallel_deck_runs_clean() {
     );
 }
 
+/// The always-on flight recorder: a rank kill must leave a post-mortem
+/// `"event":"flight_recorder"` line on the metrics stream whose window
+/// covers at least 16 steps leading up to the fault. Installs the
+/// process-global metrics sink, so it relies on this suite's
+/// `--test-threads=1` discipline (see module docs).
+#[test]
+fn flight_recorder_dumps_steps_before_rank_death() {
+    let dir = test_dir("dpft-flight-recorder");
+    let metrics_path = dir.join("flight.jsonl");
+    dp_obs::metrics::install(metrics_path.to_str().unwrap()).unwrap();
+    dp_obs::enable();
+
+    // Shards on: the kill is absorbed by a localized respawn, and the
+    // supervisor dumps the dead rank's ring before deciding on recovery.
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            step: 33,
+            every_epoch: false,
+        }),
+        ..FaultPlan::default()
+    };
+    let run = run_parallel_md(
+        &argon(),
+        lj(),
+        [2, 1, 1],
+        &opts(Some(ckpt_sharded(&dir, "a.ckpt")), Some(plan)),
+        60,
+    );
+
+    dp_obs::disable();
+    dp_obs::metrics::uninstall().unwrap().unwrap();
+    let run = run.unwrap();
+    assert_eq!(run.local_recoveries, 1, "kill at 33 must be repaired in place");
+
+    let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+    let dump = jsonl
+        .lines()
+        .find(|l| {
+            l.contains("\"event\":\"flight_recorder\"") && l.contains("\"reason\":\"rank_death\"")
+        })
+        .unwrap_or_else(|| panic!("no rank_death flight dump in:\n{jsonl}"));
+    assert!(dump.contains("\"rank\":1,"), "{dump}");
+
+    // The ring (capacity 64) holds every step the dead rank completed:
+    // the window must reach back >= 16 steps and end just before the kill.
+    let n_steps = dump.matches("\"step\":").count();
+    assert!(n_steps >= 16, "window covers only {n_steps} steps: {dump}");
+    assert!(dump.contains("\"step\":32,"), "window missing step 32: {dump}");
+    for key in [
+        "wall_us", "compute_us", "comm_us", "wait_us", "neigh_us", "io_us", "ghost_atoms",
+        "bytes", "flops",
+    ] {
+        assert!(
+            dump.contains(&format!("\"{key}\":")),
+            "step record missing {key}: {dump}"
+        );
+    }
+    // the dump is also counted (always-on counter, survives disable())
+    assert!(dp_obs::counter("flight.dumps").get() >= 1);
+}
+
 // ---- the dpmd binary: exit codes, stderr discipline, metrics ----------
 
 fn dpmd(deck_path: &std::path::Path, extra_args: &[&str]) -> std::process::Output {

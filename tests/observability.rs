@@ -84,3 +84,110 @@ fn dp_deck_with_trace_and_metrics_produces_valid_artifacts() {
     // a second run without obs keys leaves the subsystem disabled
     assert!(!deepmd_repro::obs::enabled());
 }
+
+// ---- the deck path through the dpmd binary (subprocess-isolated) -------
+
+/// A faulted parallel deck with `--metrics` and `--prom-dump` must leave
+/// (a) a flight-recorder post-mortem on the metrics stream covering the
+/// steps before the kill, (b) roofline attribution events, and (c) a
+/// Prometheus snapshot that both the library parser and `dpmd promcheck`
+/// accept. Runs in a subprocess, so in-process obs state stays clean.
+#[test]
+fn deck_level_fault_run_dumps_flight_recorder_and_prometheus() {
+    let dir = std::env::temp_dir().join("dpmd-obs-flight-prom");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("run.ckpt").display().to_string();
+    let deck = format!(
+        r#"{{
+        "system": {{"kind": "fcc", "a0": 5.26, "reps": [3,3,3], "mass": 39.948}},
+        "potential": {{"kind": "lennard_jones", "eps": 0.0104, "sigma": 3.405, "rcut": 5.0}},
+        "temperature": 40.0,
+        "dt_fs": 2.0,
+        "steps": 60,
+        "thermo_every": 20,
+        "seed": 7,
+        "grid": [2,1,1],
+        "checkpoint_every": 10,
+        "checkpoint_path": "{base}",
+        "checkpoint_shards": true,
+        "fault_kill_rank": 1,
+        "fault_kill_step": 33
+    }}"#
+    );
+    let deck_path = dir.join("deck.json");
+    std::fs::write(&deck_path, deck).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+    let prom = dir.join("prom.txt");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dpmd"))
+        .arg(&deck_path)
+        .args([
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--prom-dump",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dpmd");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    // flight-recorder post-mortem rode the metrics stream
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let dump = jsonl
+        .lines()
+        .find(|l| {
+            l.contains("\"event\":\"flight_recorder\"") && l.contains("\"reason\":\"rank_death\"")
+        })
+        .unwrap_or_else(|| panic!("no flight dump in metrics:\n{jsonl}"));
+    assert!(dump.contains("\"rank\":1,"), "{dump}");
+    assert!(
+        dump.matches("\"step\":").count() >= 16,
+        "flight window too short: {dump}"
+    );
+
+    // roofline attribution rides the same stream
+    assert!(jsonl.contains("\"event\":\"roofline\""), "{jsonl}");
+    assert!(jsonl.contains("\"phase\":\"compute\""), "{jsonl}");
+
+    // the Prometheus snapshot parses and carries the fault + roofline story
+    let text = std::fs::read_to_string(&prom).unwrap();
+    let exp = deepmd_repro::obs::prom::parse(&text)
+        .unwrap_or_else(|e| panic!("prom dump rejected: {e}\n{text}"));
+    for (name, at_least) in [
+        ("dpmd_fault_detected", 1.0),
+        ("dpmd_flight_dumps", 1.0),
+        ("dpmd_recovery_local_success", 1.0),
+    ] {
+        let s = exp
+            .sample(name)
+            .unwrap_or_else(|| panic!("missing {name} in prom dump:\n{text}"));
+        assert!(s.value >= at_least, "{name} = {}", s.value);
+    }
+    let roof = exp.samples_named("dpmd_roofline_achieved_gflops");
+    assert!(
+        roof.iter().any(|s| s.label("phase") == Some("compute")),
+        "no compute roofline gauge in prom dump:\n{text}"
+    );
+    assert!(
+        exp.has_prefix("dpmd_step_wall_ns"),
+        "step-wall histogram family missing:\n{text}"
+    );
+
+    // `dpmd promcheck` accepts the same file
+    let chk = std::process::Command::new(env!("CARGO_BIN_EXE_dpmd"))
+        .args(["promcheck", prom.to_str().unwrap()])
+        .output()
+        .expect("spawn dpmd promcheck");
+    assert!(
+        chk.status.success(),
+        "promcheck rejected the dump:\n{}{}",
+        String::from_utf8_lossy(&chk.stdout),
+        String::from_utf8_lossy(&chk.stderr)
+    );
+}

@@ -275,6 +275,62 @@ fn eval_errors_are_typed_and_do_not_kill_the_daemon() {
     d.shutdown();
 }
 
+#[test]
+fn prometheus_scrape_round_trips_with_ensemble_and_roofline_series() {
+    let d = Daemon::start("prom", &[]);
+
+    // Drive one eval so the serve counters and latency histograms move.
+    let (status, body) = d.http("POST", "/v1/eval", &eval_body(3));
+    assert_eq!(status, 200, "{body}");
+
+    let (status, text) = d.http("GET", "/metrics?format=prometheus", "");
+    assert_eq!(status, 200, "{text}");
+
+    // The scrape must survive the strict text-format parser — name
+    // grammar, label escaping, histogram bucket monotonicity and
+    // +Inf/_count agreement are all validated by parse().
+    let exp = deepmd_repro::obs::prom::parse(&text)
+        .unwrap_or_else(|e| panic!("scrape rejected by parser: {e}\n{text}"));
+    assert!(!exp.samples.is_empty());
+
+    // Ensemble series are pre-registered at daemon start, so they are
+    // scrape-able (as zeros) even before any replica work runs.
+    for name in [
+        "dpmd_replica_exchange_attempts",
+        "dpmd_replica_exchange_accepted",
+    ] {
+        assert!(exp.sample(name).is_some(), "missing {name} in scrape:\n{text}");
+    }
+    assert!(
+        exp.has_prefix("dpmd_replica_batch_occupancy"),
+        "missing batch-occupancy histogram family:\n{text}"
+    );
+
+    // Roofline attribution gauges carry a phase label.
+    let roof = exp.samples_named("dpmd_roofline_achieved_gflops");
+    assert!(!roof.is_empty(), "missing roofline gauges:\n{text}");
+    assert!(
+        roof.iter().any(|s| s.label("phase") == Some("compute")),
+        "no phase=\"compute\" roofline series:\n{text}"
+    );
+
+    // Serve-layer series from the same scrape: the request counter moved
+    // and the latency histogram has a consistent family.
+    let evals = exp
+        .sample("dpmd_serve_eval_requests")
+        .expect("serve.eval.requests counter");
+    assert!(evals.value >= 1.0, "{}", evals.value);
+    assert!(exp.has_prefix("dpmd_serve_http_latency_us"), "{text}");
+
+    // The JSON endpoint still answers alongside the prometheus one, with
+    // the ensemble block present.
+    let (status, json) = d.http("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(json.contains("\"ensemble\":"), "{json}");
+
+    d.shutdown();
+}
+
 /// Minimal fast deck for job tests (serial LJ, a few hundred steps).
 fn lj_deck() -> &'static str {
     r#"{

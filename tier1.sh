@@ -98,9 +98,17 @@ cat > "$DIR/fault.json" <<EOF
 }
 EOF
 "$DPMD" "$DIR/fault.json" --metrics "$DIR/fault-metrics.jsonl" \
+  --prom-dump "$DIR/fault-prom.txt" \
   | grep -q 'recovered from 1 failed epoch'
 grep -q 'fault.detected' "$DIR/fault-metrics.jsonl"
 grep -q 'recovery.success' "$DIR/fault-metrics.jsonl"
+# the flight recorder's pre-fault window rides the same metrics stream
+grep -q '"event":"flight_recorder"' "$DIR/fault-metrics.jsonl"
+# the Prometheus snapshot passes the strict parser and carries the fault
+# counters and per-phase roofline gauges
+"$DPMD" promcheck "$DIR/fault-prom.txt"
+grep -q 'dpmd_fault_detected' "$DIR/fault-prom.txt"
+grep -q 'dpmd_roofline_achieved_gflops{phase="compute"}' "$DIR/fault-prom.txt"
 echo "tier1: injected rank kill recovered bit-exactly via checkpoint"
 
 # Per-rank observability smoke: a parallel deck driven with --trace
@@ -215,6 +223,15 @@ printf '{"cell": [20,12,12], "positions": [[1,5,5],[3,5,5],[5,5,5]]}' \
 grep -q 'serve.http.latency_us' "$DIR/serve-metrics.json"
 grep -q '"p95":' "$DIR/serve-metrics.json"
 grep -q '"done":1' "$DIR/serve-metrics.json"
+grep -q '"ensemble":' "$DIR/serve-metrics.json"
+
+# Prometheus scrape of the same daemon: must pass the strict parser and
+# expose the pre-registered ensemble counters and roofline gauges.
+"$DPMD" request GET "http://$ADDR/metrics?format=prometheus" \
+  > "$DIR/serve-prom.txt"
+"$DPMD" promcheck "$DIR/serve-prom.txt"
+grep -q 'dpmd_replica_exchange_attempts' "$DIR/serve-prom.txt"
+grep -q 'dpmd_roofline_achieved_gflops{phase="compute"}' "$DIR/serve-prom.txt"
 
 "$DPMD" request POST "http://$ADDR/v1/admin/shutdown" | grep -q draining
 wait $SERVE_PID

@@ -142,7 +142,7 @@ echo "== run it_fault_tolerance (library-level drills)"
     killed_rank corrupted torn_checkpoint dropped_message delayed_message \
     rank_failure_without retries_exhausted_is_typed dead_rank_in_allreduce \
     chaos_schedule localized_respawn torn_shard_escalates chaos_soak_recovers \
-    broken_invariant_fails
+    broken_invariant_fails flight_recorder
 for t in it_alloc_regression it_workspace_reuse it_parallel_dp it_virial; do
     echo "== run $t"
     "$OUT/$t"
